@@ -1,0 +1,84 @@
+// Top-level benchmarks: one per table and figure of the paper's evaluation
+// (§9). Each benchmark runs the corresponding experiment from internal/bench;
+// `go test -bench=. -benchmem` regenerates every result, and cmd/flexbench
+// prints the paper-style tables.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tab, err := bench.Run(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+// BenchmarkFig7a — GRIN over Vineyard/GART/GraphAr (Exp-1a).
+func BenchmarkFig7a(b *testing.B) { runExperiment(b, "fig7a") }
+
+// BenchmarkFig7b — GRIN overhead vs direct coupling (Exp-1b).
+func BenchmarkFig7b(b *testing.B) { runExperiment(b, "fig7b") }
+
+// BenchmarkFig7c — GART scan throughput vs CSR/LiveGraph (Exp-1c).
+func BenchmarkFig7c(b *testing.B) { runExperiment(b, "fig7c") }
+
+// BenchmarkFig7d — GraphAr loading speedup vs CSV (Exp-1d).
+func BenchmarkFig7d(b *testing.B) { runExperiment(b, "fig7d") }
+
+// BenchmarkFig7e — RBO/CBO query optimization gains (Exp-2a).
+func BenchmarkFig7e(b *testing.B) { runExperiment(b, "fig7e") }
+
+// BenchmarkFig7f — SNB Interactive on HiActor vs baseline (Exp-2b).
+func BenchmarkFig7f(b *testing.B) { runExperiment(b, "fig7f") }
+
+// BenchmarkFig7g — SNB BI on Gaia vs baseline (Exp-2c).
+func BenchmarkFig7g(b *testing.B) { runExperiment(b, "fig7g") }
+
+// BenchmarkFig7h — PageRank on CPUs vs PowerGraph/Gemini (Exp-3a).
+func BenchmarkFig7h(b *testing.B) { runExperiment(b, "fig7h") }
+
+// BenchmarkFig7i — BFS on CPUs vs PowerGraph/Gemini (Exp-3b).
+func BenchmarkFig7i(b *testing.B) { runExperiment(b, "fig7i") }
+
+// BenchmarkFig7j — PageRank on simulated GPUs vs Groute/Gunrock (Exp-3c).
+func BenchmarkFig7j(b *testing.B) { runExperiment(b, "fig7j") }
+
+// BenchmarkFig7k — BFS on simulated GPUs vs Groute/Gunrock (Exp-3d).
+func BenchmarkFig7k(b *testing.B) { runExperiment(b, "fig7k") }
+
+// BenchmarkFig7l — GraphSAGE scale-up (Exp-4a).
+func BenchmarkFig7l(b *testing.B) { runExperiment(b, "fig7l") }
+
+// BenchmarkFig7m — GraphSAGE scale-out (Exp-4b).
+func BenchmarkFig7m(b *testing.B) { runExperiment(b, "fig7m") }
+
+// BenchmarkTable2 — real-time fraud detection throughput (Exp-5).
+func BenchmarkTable2(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkExp6 — equity analysis vs SQL baseline.
+func BenchmarkExp6(b *testing.B) { runExperiment(b, "exp6") }
+
+// BenchmarkExp7 — NCN social relation prediction.
+func BenchmarkExp7(b *testing.B) { runExperiment(b, "exp7") }
+
+// BenchmarkExp8 — cybersecurity 2-hop traversal vs SQL joins.
+func BenchmarkExp8(b *testing.B) { runExperiment(b, "exp8") }
+
+// BenchmarkAblationMsgAggregation — GRAPE message aggregation ablation.
+func BenchmarkAblationMsgAggregation(b *testing.B) { runExperiment(b, "ablation-msg") }
+
+// BenchmarkAblationGARTSegment — GART segment size sweep.
+func BenchmarkAblationGARTSegment(b *testing.B) { runExperiment(b, "ablation-gart") }
+
+// BenchmarkAblationPipeline — coupled vs decoupled training pipelines.
+func BenchmarkAblationPipeline(b *testing.B) { runExperiment(b, "ablation-pipeline") }

@@ -1,0 +1,41 @@
+// Command flexbench regenerates the paper's evaluation tables and figures
+// (§9). Run with no arguments for the full suite, or name experiment IDs.
+//
+// Usage:
+//
+//	flexbench            # all experiments
+//	flexbench fig7c exp8
+//	flexbench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment IDs")
+	flag.Parse()
+	if *list {
+		fmt.Println(strings.Join(bench.IDs(), "\n"))
+		return
+	}
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = bench.IDs()
+	}
+	fmt.Printf("flexbench: GOMAXPROCS=%d (scaling experiments need >1 CPU to separate)\n\n", runtime.GOMAXPROCS(0))
+	for _, id := range ids {
+		tab, err := bench.Run(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(tab)
+	}
+}

@@ -1,0 +1,55 @@
+// Command flexbuild validates a component selection and prints the resulting
+// deployment plan — the utility tool of §3 that lets users assemble a
+// tailored graph computing stack from LEGO-like components.
+//
+// Usage:
+//
+//	flexbuild -list
+//	flexbuild -preset bi
+//	flexbuild cypher gaia vineyard
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available components and presets")
+	preset := flag.String("preset", "", "use a named preset (analytics, bi, oltp, learning)")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("components:")
+		for _, c := range core.Registry {
+			fmt.Printf("  %-14s %-12s %s\n", c.Name, c.Layer, c.Doc)
+		}
+		fmt.Println("presets:")
+		for name, sel := range core.Presets {
+			fmt.Printf("  %-14s %v\n", name, sel)
+		}
+		return
+	}
+	selection := flag.Args()
+	if *preset != "" {
+		sel, ok := core.Presets[*preset]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown preset %q\n", *preset)
+			os.Exit(1)
+		}
+		selection = sel
+	}
+	if len(selection) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: flexbuild [-list] [-preset name] [component...]")
+		os.Exit(2)
+	}
+	plan, err := core.Build(selection)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(plan.Manifest())
+}

@@ -1,0 +1,73 @@
+// Command flexquery loads a generated SNB graph and evaluates one Cypher or
+// Gremlin query against it — the interactive entry point of the stack.
+//
+// Usage:
+//
+//	flexquery -persons 300 -lang cypher 'MATCH (p:Person)-[:KNOWS]->(f:Person) WHERE id(p) = 1 RETURN id(f)'
+//	flexquery -lang gremlin "g.V().hasLabel('Person').count()"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/query/cypher"
+	"repro/internal/query/gaia"
+	"repro/internal/query/gremlin"
+	"repro/internal/query/ir"
+	"repro/internal/storage/vineyard"
+)
+
+func main() {
+	persons := flag.Int("persons", 200, "SNB scale (persons)")
+	lang := flag.String("lang", "cypher", "query language: cypher or gremlin")
+	explain := flag.Bool("explain", false, "print the logical plan instead of executing")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: flexquery [-persons n] [-lang cypher|gremlin] [-explain] <query>")
+		os.Exit(2)
+	}
+	query := flag.Arg(0)
+
+	b := dataset.SNB(dataset.SNBOptions{Persons: *persons, Seed: 1})
+	st, err := vineyard.Load(b)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var plan *ir.Plan
+	switch *lang {
+	case "cypher":
+		plan, err = cypher.Parse(query, st.Schema())
+	case "gremlin":
+		plan, err = gremlin.Parse(query, st.Schema())
+	default:
+		err = fmt.Errorf("unknown language %q", *lang)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *explain {
+		fmt.Println(plan)
+		return
+	}
+	eng := gaia.NewEngine(st, gaia.Options{})
+	rows, out, err := eng.Submit(plan, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(strings.Join(out, "\t"))
+	for _, r := range rows {
+		cells := make([]string, len(r))
+		for i, v := range r {
+			cells[i] = v.String()
+		}
+		fmt.Println(strings.Join(cells, "\t"))
+	}
+	fmt.Printf("(%d rows)\n", len(rows))
+}

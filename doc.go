@@ -1,0 +1,11 @@
+// Package repro is a Go reproduction of "GraphScope Flex: LEGO-like Graph
+// Computing Stack" (SIGMOD 2024): a modular graph computing stack with a
+// unified storage interface (internal/grin), interchangeable storage
+// backends, interactive query engines, a distributed-style analytics engine,
+// and a decoupled GNN learning stack.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and experiment index, and EXPERIMENTS.md for paper-vs-measured
+// results. bench_test.go regenerates every table and figure of the paper's
+// evaluation.
+package repro

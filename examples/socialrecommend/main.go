@@ -1,0 +1,40 @@
+// Social relation prediction (§8, Exp-7): train the NCN link predictor with
+// the decoupled learning stack and rank held-out friendships against random
+// non-edges.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/learning/gnn"
+)
+
+func main() {
+	// Community-structured social graph: links are predictable from common
+	// neighbors.
+	full := dataset.Community("social", 1000, 10, 10, 0.05, 11)
+	train, posU, posV, negU, negV := dataset.TrainTestEdges(full, 0.1, 12)
+	g, err := train.ToCSR(false)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	model := gnn.NewNCN(g, 16, 13)
+	rng := rand.New(rand.NewSource(14))
+	for iter := 0; iter < 10000; iter++ {
+		if iter%2 == 0 {
+			i := rng.Intn(train.NumEdges())
+			model.TrainStep(train.Src[i], train.Dst[i], 1)
+		} else {
+			model.TrainStep(graph.VID(rng.Intn(g.NumVertices())), graph.VID(rng.Intn(g.NumVertices())), 0)
+		}
+	}
+	auc := model.AUCApprox(posU[:50], posV[:50], negU[:50], negV[:50])
+	fmt.Printf("NCN link prediction AUC on held-out friendships: %.3f\n", auc)
+	u, v := posU[0], posV[0]
+	fmt.Printf("example: score(%d, %d) = %.3f (true friendship)\n", u, v, model.Score(u, v))
+}

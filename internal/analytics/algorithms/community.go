@@ -1,0 +1,239 @@
+package algorithms
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/analytics/grape"
+	"repro/internal/graph"
+	"repro/internal/grin"
+)
+
+// CDLP runs community detection by synchronous label propagation (the
+// Graphalytics CDLP definition): for a fixed number of rounds, every vertex
+// adopts the most frequent label among its neighbors (both directions),
+// breaking ties toward the smaller label.
+func CDLP(g grin.Graph, rounds, fragments int) ([]float64, error) {
+	if rounds <= 0 {
+		rounds = 10
+	}
+	prog := &cdlpPIE{g: g, label: make([]float64, g.NumVertices()), rounds: rounds}
+	eng, err := grape.NewEngine(g, grape.Options{Fragments: fragments})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := eng.Run(prog); err != nil {
+		return nil, err
+	}
+	return prog.label, nil
+}
+
+type cdlpPIE struct {
+	g      grin.Graph
+	label  []float64
+	rounds int
+}
+
+// PEval self-labels and broadcasts round 0.
+func (p *cdlpPIE) PEval(f *grape.Fragment, ctx *grape.Context) {
+	lo, hi := f.Bounds()
+	for v := lo; v < hi; v++ {
+		p.label[v] = float64(v)
+	}
+	for v := lo; v < hi; v++ {
+		p.sendLabel(ctx, v)
+	}
+}
+
+// IncEval adopts the mode label among received messages per target.
+func (p *cdlpPIE) IncEval(f *grape.Fragment, ctx *grape.Context, msgs []grape.Message) {
+	// Group per target: messages carry raw neighbor labels (no combiner).
+	byTarget := make(map[graph.VID][]float64)
+	for _, m := range msgs {
+		byTarget[m.Target] = append(byTarget[m.Target], m.Value)
+	}
+	for v, labels := range byTarget {
+		p.label[v] = modeLabel(labels)
+	}
+	if ctx.Superstep() < p.rounds {
+		lo, hi := f.Bounds()
+		for v := lo; v < hi; v++ {
+			p.sendLabel(ctx, v)
+		}
+	}
+}
+
+func (p *cdlpPIE) sendLabel(ctx *grape.Context, v graph.VID) {
+	l := p.label[v]
+	grin.ForEachNeighbor(p.g, v, graph.Out, func(n graph.VID, _ graph.EID) bool {
+		ctx.Send(n, l)
+		return true
+	})
+	grin.ForEachNeighbor(p.g, v, graph.In, func(n graph.VID, _ graph.EID) bool {
+		ctx.Send(n, l)
+		return true
+	})
+}
+
+// modeLabel returns the most frequent label, ties toward the smallest.
+func modeLabel(labels []float64) float64 {
+	sort.Float64s(labels)
+	best, bestCnt := labels[0], 0
+	cur, cnt := labels[0], 0
+	for _, l := range labels {
+		if l == cur {
+			cnt++
+		} else {
+			cur, cnt = l, 1
+		}
+		if cnt > bestCnt {
+			best, bestCnt = cur, cnt
+		}
+	}
+	return best
+}
+
+// KCore returns whether each vertex belongs to the k-core of the undirected
+// view of the graph (iterative peeling as a PIE program).
+func KCore(g grin.Graph, k, fragments int) ([]bool, error) {
+	n := g.NumVertices()
+	prog := &kcorePIE{g: g, k: k, deg: make([]int, n), removed: make([]bool, n)}
+	eng, err := grape.NewEngine(g, grape.Options{
+		Fragments: fragments,
+		Combine:   func(a, b float64) float64 { return a + b },
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := eng.Run(prog); err != nil {
+		return nil, err
+	}
+	in := make([]bool, n)
+	for v := range in {
+		in[v] = !prog.removed[v]
+	}
+	return in, nil
+}
+
+type kcorePIE struct {
+	g       grin.Graph
+	k       int
+	deg     []int
+	removed []bool
+}
+
+// PEval computes undirected degrees and peels the first layer.
+func (p *kcorePIE) PEval(f *grape.Fragment, ctx *grape.Context) {
+	lo, hi := f.Bounds()
+	for v := lo; v < hi; v++ {
+		p.deg[v] = p.g.Degree(v, graph.Both)
+	}
+	for v := lo; v < hi; v++ {
+		if p.deg[v] < p.k {
+			p.peel(ctx, v)
+		}
+	}
+}
+
+// IncEval decrements degrees by the combined removal counts and cascades.
+func (p *kcorePIE) IncEval(f *grape.Fragment, ctx *grape.Context, msgs []grape.Message) {
+	for _, m := range msgs {
+		v := m.Target
+		if p.removed[v] {
+			continue
+		}
+		p.deg[v] -= int(m.Value)
+		if p.deg[v] < p.k {
+			p.peel(ctx, v)
+		}
+	}
+}
+
+func (p *kcorePIE) peel(ctx *grape.Context, v graph.VID) {
+	p.removed[v] = true
+	grin.ForEachNeighbor(p.g, v, graph.Out, func(n graph.VID, _ graph.EID) bool {
+		ctx.Send(n, 1)
+		return true
+	})
+	grin.ForEachNeighbor(p.g, v, graph.In, func(n graph.VID, _ graph.EID) bool {
+		ctx.Send(n, 1)
+		return true
+	})
+}
+
+// TriangleCount counts triangles in the undirected view by parallel sorted
+// adjacency intersection (a FLASH-style non-message computation). Each
+// triangle is counted once.
+func TriangleCount(g grin.Graph, workers int) int64 {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := g.NumVertices()
+	// Build deduplicated undirected adjacency restricted to higher IDs:
+	// counting (u < v < w) orientations counts each triangle once.
+	adj := make([][]graph.VID, n)
+	for v := 0; v < n; v++ {
+		set := map[graph.VID]bool{}
+		grin.ForEachNeighbor(g, graph.VID(v), graph.Both, func(u graph.VID, _ graph.EID) bool {
+			if u > graph.VID(v) {
+				set[u] = true
+			}
+			return true
+		})
+		lst := make([]graph.VID, 0, len(set))
+		for u := range set {
+			lst = append(lst, u)
+		}
+		sort.Slice(lst, func(i, j int) bool { return lst[i] < lst[j] })
+		adj[v] = lst
+	}
+
+	var total int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			var local int64
+			for v := lo; v < hi; v++ {
+				av := adj[v]
+				for _, u := range av {
+					local += int64(intersectCount(av, adj[u]))
+				}
+			}
+			mu.Lock()
+			total += local
+			mu.Unlock()
+		}(lo, hi)
+	}
+	wg.Wait()
+	return total
+}
+
+// intersectCount counts common elements of two sorted slices.
+func intersectCount(a, b []graph.VID) int {
+	i, j, c := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			c++
+			i++
+			j++
+		}
+	}
+	return c
+}

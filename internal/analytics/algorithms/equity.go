@@ -1,0 +1,132 @@
+package algorithms
+
+import (
+	"repro/internal/analytics/grape"
+	"repro/internal/graph"
+	"repro/internal/grin"
+)
+
+// EquityOptions configures equity (ultimate controller) propagation.
+type EquityOptions struct {
+	// Threshold is the cumulative share that makes a holder the controller
+	// (0.51 in the paper's example).
+	Threshold float64
+	// Epsilon prunes propagation of negligible shares.
+	Epsilon float64
+	// MaxDepth bounds propagation on (unexpected) cyclic ownership.
+	MaxDepth  int
+	Fragments int
+}
+
+func (o *EquityOptions) defaults() {
+	if o.Threshold == 0 {
+		o.Threshold = 0.51
+	}
+	if o.Epsilon == 0 {
+		o.Epsilon = 1e-4
+	}
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 64
+	}
+}
+
+// EquityResult reports, per vertex, the controlling holder and its share.
+type EquityResult struct {
+	// Controller[v] is the internal VID of the holder cumulatively owning at
+	// least Threshold of v, or graph.NilVID.
+	Controller []graph.VID
+	// Share[v] is the controlling holder's cumulative share.
+	Share []float64
+	// Shares[v] maps each reaching holder to its cumulative share of v.
+	Shares []map[uint32]float64
+}
+
+// Equity computes, for every vertex, the cumulative effective share of each
+// ultimate holder (vertices in [holderLo, holderHi)) by propagating shares
+// down weighted OWNS edges — the modified label propagation of the Exp-6
+// case study. Edge weights are share fractions read through the GRIN weight
+// trait.
+func Equity(g grin.Graph, holderLo, holderHi graph.VID, opt EquityOptions) (*EquityResult, error) {
+	opt.defaults()
+	n := g.NumVertices()
+	prog := &equityPIE{
+		g:        g,
+		opt:      opt,
+		holderLo: holderLo,
+		holderHi: holderHi,
+		acc:      make([]map[uint32]float64, n),
+	}
+	eng, err := grape.NewEngine(g, grape.Options{
+		Fragments:     opt.Fragments,
+		MaxSupersteps: opt.MaxDepth,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := eng.Run(prog); err != nil {
+		return nil, err
+	}
+	res := &EquityResult{
+		Controller: make([]graph.VID, n),
+		Share:      make([]float64, n),
+		Shares:     prog.acc,
+	}
+	for v := 0; v < n; v++ {
+		res.Controller[v] = graph.NilVID
+		best, bestShare := graph.NilVID, 0.0
+		for p, s := range prog.acc[v] {
+			if s > bestShare || (s == bestShare && graph.VID(p) < best) {
+				best, bestShare = graph.VID(p), s
+			}
+		}
+		if bestShare >= opt.Threshold {
+			res.Controller[v] = best
+			res.Share[v] = bestShare
+		}
+	}
+	return res, nil
+}
+
+type equityPIE struct {
+	g        grin.Graph
+	opt      EquityOptions
+	holderLo graph.VID
+	holderHi graph.VID
+	acc      []map[uint32]float64
+}
+
+// PEval seeds direct holdings: every holder sends its share along OWNS
+// edges.
+func (p *equityPIE) PEval(f *grape.Fragment, ctx *grape.Context) {
+	lo, hi := f.Bounds()
+	g := p.g
+	for v := lo; v < hi; v++ {
+		if v < p.holderLo || v >= p.holderHi {
+			continue
+		}
+		grin.ForEachNeighbor(g, v, graph.Out, func(c graph.VID, e graph.EID) bool {
+			ctx.SendAux(c, uint32(v), grin.Weight(g, e))
+			return true
+		})
+	}
+}
+
+// IncEval accumulates incoming (holder, share) pairs and forwards diluted
+// shares downstream; negligible deltas are pruned by Epsilon.
+func (p *equityPIE) IncEval(f *grape.Fragment, ctx *grape.Context, msgs []grape.Message) {
+	g := p.g
+	for _, m := range msgs {
+		v := m.Target
+		if p.acc[v] == nil {
+			p.acc[v] = make(map[uint32]float64, 4)
+		}
+		p.acc[v][m.Aux] += m.Value
+		if m.Value < p.opt.Epsilon {
+			continue
+		}
+		grin.ForEachNeighbor(g, v, graph.Out, func(c graph.VID, e graph.EID) bool {
+			ctx.SendAux(c, m.Aux, m.Value*grin.Weight(g, e))
+			return true
+		})
+	}
+}

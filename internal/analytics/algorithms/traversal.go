@@ -1,0 +1,180 @@
+package algorithms
+
+import (
+	"math"
+
+	"repro/internal/analytics/grape"
+	"repro/internal/graph"
+	"repro/internal/grin"
+)
+
+// Unreached marks vertices not reached by BFS/SSSP.
+const Unreached = math.MaxFloat64
+
+// BFS computes level-synchronous breadth-first levels from root over
+// out-edges. Unreached vertices get Unreached.
+func BFS(g grin.Graph, root graph.VID, fragments int) ([]float64, error) {
+	prog := &bfsPIE{g: g, root: root, dist: make([]float64, g.NumVertices())}
+	eng, err := grape.NewEngine(g, grape.Options{
+		Fragments: fragments,
+		Combine:   math.Min,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := eng.Run(prog); err != nil {
+		return nil, err
+	}
+	return prog.dist, nil
+}
+
+type bfsPIE struct {
+	g    grin.Graph
+	root graph.VID
+	dist []float64
+}
+
+// PEval seeds the frontier at the root's fragment.
+func (p *bfsPIE) PEval(f *grape.Fragment, ctx *grape.Context) {
+	lo, hi := f.Bounds()
+	for v := lo; v < hi; v++ {
+		p.dist[v] = Unreached
+	}
+	if f.IsInner(p.root) {
+		p.dist[p.root] = 0
+		grin.ForEachNeighbor(p.g, p.root, graph.Out, func(n graph.VID, _ graph.EID) bool {
+			ctx.Send(n, 1)
+			return true
+		})
+	}
+}
+
+// IncEval settles newly discovered vertices and expands the frontier.
+func (p *bfsPIE) IncEval(f *grape.Fragment, ctx *grape.Context, msgs []grape.Message) {
+	for _, m := range msgs {
+		v := m.Target
+		if m.Value < p.dist[v] {
+			p.dist[v] = m.Value
+			next := m.Value + 1
+			// Do not peek at p.dist[n]: n may be owned by another fragment
+			// whose state is being written concurrently. The receiver
+			// discards stale levels.
+			grin.ForEachNeighbor(p.g, v, graph.Out, func(n graph.VID, _ graph.EID) bool {
+				ctx.Send(n, next)
+				return true
+			})
+		}
+	}
+}
+
+// SSSP computes single-source shortest paths over weighted out-edges
+// (Bellman-Ford style label correcting with min-combined messages).
+func SSSP(g grin.Graph, root graph.VID, fragments int) ([]float64, error) {
+	prog := &ssspPIE{g: g, root: root, dist: make([]float64, g.NumVertices())}
+	eng, err := grape.NewEngine(g, grape.Options{
+		Fragments: fragments,
+		Combine:   math.Min,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := eng.Run(prog); err != nil {
+		return nil, err
+	}
+	return prog.dist, nil
+}
+
+type ssspPIE struct {
+	g    grin.Graph
+	root graph.VID
+	dist []float64
+}
+
+// PEval seeds and relaxes the root.
+func (p *ssspPIE) PEval(f *grape.Fragment, ctx *grape.Context) {
+	lo, hi := f.Bounds()
+	for v := lo; v < hi; v++ {
+		p.dist[v] = Unreached
+	}
+	if f.IsInner(p.root) {
+		p.dist[p.root] = 0
+		p.relax(ctx, p.root, 0)
+	}
+}
+
+// IncEval applies improved distances and relaxes outward.
+func (p *ssspPIE) IncEval(f *grape.Fragment, ctx *grape.Context, msgs []grape.Message) {
+	for _, m := range msgs {
+		if m.Value < p.dist[m.Target] {
+			p.dist[m.Target] = m.Value
+			p.relax(ctx, m.Target, m.Value)
+		}
+	}
+}
+
+func (p *ssspPIE) relax(ctx *grape.Context, v graph.VID, dv float64) {
+	g := p.g
+	// No remote-state peeking (see bfsPIE.IncEval); the min combiner and
+	// the receiver-side check keep the message volume bounded.
+	grin.ForEachNeighbor(g, v, graph.Out, func(n graph.VID, e graph.EID) bool {
+		ctx.Send(n, dv+grin.Weight(g, e))
+		return true
+	})
+}
+
+// WCC computes weakly connected components by min-label propagation over
+// both edge directions; the result maps each vertex to its component's
+// minimum vertex ID.
+func WCC(g grin.Graph, fragments int) ([]float64, error) {
+	prog := &wccPIE{g: g, label: make([]float64, g.NumVertices())}
+	eng, err := grape.NewEngine(g, grape.Options{
+		Fragments: fragments,
+		Combine:   math.Min,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := eng.Run(prog); err != nil {
+		return nil, err
+	}
+	return prog.label, nil
+}
+
+type wccPIE struct {
+	g     grin.Graph
+	label []float64
+}
+
+// PEval assigns self-labels and broadcasts them.
+func (p *wccPIE) PEval(f *grape.Fragment, ctx *grape.Context) {
+	lo, hi := f.Bounds()
+	for v := lo; v < hi; v++ {
+		p.label[v] = float64(v)
+	}
+	for v := lo; v < hi; v++ {
+		p.broadcast(ctx, v, p.label[v])
+	}
+}
+
+// IncEval adopts smaller labels and re-broadcasts.
+func (p *wccPIE) IncEval(f *grape.Fragment, ctx *grape.Context, msgs []grape.Message) {
+	for _, m := range msgs {
+		if m.Value < p.label[m.Target] {
+			p.label[m.Target] = m.Value
+			p.broadcast(ctx, m.Target, m.Value)
+		}
+	}
+}
+
+func (p *wccPIE) broadcast(ctx *grape.Context, v graph.VID, l float64) {
+	// Sends are unconditional: neighbor labels may live on other fragments
+	// (see bfsPIE.IncEval).
+	grin.ForEachNeighbor(p.g, v, graph.Out, func(n graph.VID, _ graph.EID) bool {
+		ctx.Send(n, l)
+		return true
+	})
+	grin.ForEachNeighbor(p.g, v, graph.In, func(n graph.VID, _ graph.EID) bool {
+		ctx.Send(n, l)
+		return true
+	})
+}

@@ -1,0 +1,168 @@
+package baselines
+
+import (
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/grin"
+)
+
+// powerGraphBatch is PowerGraph's fine message granularity: gathers and
+// mirror updates travel in small batches.
+const powerGraphBatch = 64
+
+// PowerGraph is a GAS-model engine over a vertex-cut (edge-partitioned)
+// graph: each worker owns a slice of the edge list; vertex state lives with
+// a hash-assigned master and is mirrored to every worker that touches the
+// vertex.
+type PowerGraph struct {
+	g       grin.Graph
+	workers int
+	n       int
+
+	// Edge partition per worker.
+	src, dst [][]graph.VID
+	eid      [][]graph.EID
+
+	// replicas[w] lists vertices worker w holds as a mirror (appears as an
+	// edge source in w's partition); masters broadcast updates there.
+	replicas [][]graph.VID
+}
+
+// NewPowerGraph edge-partitions the graph across workers.
+func NewPowerGraph(g grin.Graph, workers int) *PowerGraph {
+	workers = defaultWorkers(workers)
+	pg := &PowerGraph{g: g, workers: workers, n: g.NumVertices()}
+	s, d, e := collectEdges(g)
+	per := (len(s) + workers - 1) / workers
+	pg.src = make([][]graph.VID, workers)
+	pg.dst = make([][]graph.VID, workers)
+	pg.eid = make([][]graph.EID, workers)
+	pg.replicas = make([][]graph.VID, workers)
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		hi := lo + per
+		if lo > len(s) {
+			lo = len(s)
+		}
+		if hi > len(s) {
+			hi = len(s)
+		}
+		pg.src[w] = s[lo:hi]
+		pg.dst[w] = d[lo:hi]
+		pg.eid[w] = e[lo:hi]
+		seen := map[graph.VID]bool{}
+		for _, v := range pg.src[w] {
+			if !seen[v] {
+				seen[v] = true
+				pg.replicas[w] = append(pg.replicas[w], v)
+			}
+		}
+	}
+	return pg
+}
+
+func (pg *PowerGraph) master(v graph.VID) int {
+	return int(uint64(v) * 0x9E3779B97F4A7C15 % uint64(pg.workers))
+}
+
+// PageRank runs fixed-iteration PageRank in gather-apply-scatter rounds.
+func (pg *PowerGraph) PageRank(damping float64, iters int) []float64 {
+	n := pg.n
+	rank := make([]float64, n)   // master copies
+	mirror := make([]float64, n) // worker-visible mirror values
+	acc := make([]float64, n)    // gather accumulators at masters
+	outDeg := make([]float64, n)
+	for v := 0; v < n; v++ {
+		rank[v] = 1 / float64(n)
+		mirror[v] = rank[v]
+		outDeg[v] = float64(pg.g.Degree(graph.VID(v), graph.Out))
+	}
+	var accMu sync.Mutex
+
+	router := newRouter(pg.workers, powerGraphBatch)
+	for it := 0; it < iters; it++ {
+		for v := range acc {
+			acc[v] = 0
+		}
+		// GATHER: every edge produces a partial contribution message routed
+		// to the destination's master.
+		router.exchange(func(w int, s *sender) {
+			for i, u := range pg.src[w] {
+				if outDeg[u] == 0 {
+					continue
+				}
+				c := mirror[u] / outDeg[u]
+				t := pg.dst[w][i]
+				s.send(pg.master(t), msg{target: t, value: c})
+			}
+		}, func(w int, batch []msg) {
+			accMu.Lock()
+			for _, m := range batch {
+				acc[m.target] += m.value
+			}
+			accMu.Unlock()
+		})
+		// APPLY at masters.
+		for v := 0; v < n; v++ {
+			rank[v] = (1-damping)/float64(n) + damping*acc[v]
+		}
+		// SCATTER/SYNC: masters broadcast new values to every replica.
+		var mirMu sync.Mutex
+		router.exchange(func(w int, s *sender) {
+			for dstW := 0; dstW < pg.workers; dstW++ {
+				for _, v := range pg.replicas[dstW] {
+					if pg.master(v) == w {
+						s.send(dstW, msg{target: v, value: rank[v]})
+					}
+				}
+			}
+		}, func(w int, batch []msg) {
+			mirMu.Lock()
+			for _, m := range batch {
+				mirror[m.target] = m.value
+			}
+			mirMu.Unlock()
+		})
+	}
+	return rank
+}
+
+// BFS runs frontier-synchronous BFS; activations are per-edge messages.
+func (pg *PowerGraph) BFS(root graph.VID) []float64 {
+	n := pg.n
+	dist := make([]float64, n)
+	for v := range dist {
+		dist[v] = unreached
+	}
+	dist[root] = 0
+	frontier := map[graph.VID]bool{root: true}
+	var mu sync.Mutex
+	router := newRouter(pg.workers, powerGraphBatch)
+	level := 1.0
+	for len(frontier) > 0 {
+		next := map[graph.VID]bool{}
+		router.exchange(func(w int, s *sender) {
+			for i, u := range pg.src[w] {
+				if frontier[u] {
+					t := pg.dst[w][i]
+					s.send(pg.master(t), msg{target: t, value: level})
+				}
+			}
+		}, func(w int, batch []msg) {
+			mu.Lock()
+			for _, m := range batch {
+				if dist[m.target] == unreached {
+					dist[m.target] = m.value
+					next[m.target] = true
+				}
+			}
+			mu.Unlock()
+		})
+		frontier = next
+		level++
+	}
+	return dist
+}
+
+const unreached = 1.7976931348623157e308

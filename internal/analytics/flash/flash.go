@@ -1,0 +1,156 @@
+// Package flash implements the FLASH programming model of §6: a flexible
+// control-flow API over vertex subsets that expresses algorithms beyond
+// fixed-point vertex-centric computation ([58] in the paper). Programs chain
+// VertexMap / EdgeMap primitives over frontiers under arbitrary host control
+// flow, with parallel execution inside each primitive.
+package flash
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/grin"
+)
+
+// VertexSet is a dense subset of vertices.
+type VertexSet struct {
+	bits  []uint64
+	count int
+}
+
+// NewVertexSet returns an empty set over n vertices.
+func NewVertexSet(n int) *VertexSet {
+	return &VertexSet{bits: make([]uint64, (n+63)/64)}
+}
+
+// Full returns the set of all n vertices.
+func Full(n int) *VertexSet {
+	s := NewVertexSet(n)
+	for v := 0; v < n; v++ {
+		s.Add(graph.VID(v))
+	}
+	return s
+}
+
+// Add inserts v.
+func (s *VertexSet) Add(v graph.VID) {
+	w, b := v/64, v%64
+	if s.bits[w]&(1<<b) == 0 {
+		s.bits[w] |= 1 << b
+		s.count++
+	}
+}
+
+// Contains reports membership.
+func (s *VertexSet) Contains(v graph.VID) bool {
+	return s.bits[v/64]&(1<<(v%64)) != 0
+}
+
+// Size returns the cardinality.
+func (s *VertexSet) Size() int { return s.count }
+
+// ForEach visits members in ascending order.
+func (s *VertexSet) ForEach(f func(v graph.VID)) {
+	for w, word := range s.bits {
+		for word != 0 {
+			b := word & (-word)
+			bit := trailingZeros(word)
+			f(graph.VID(w*64 + bit))
+			word ^= b
+		}
+	}
+}
+
+func trailingZeros(x uint64) int {
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// Engine executes FLASH primitives in parallel over a GRIN graph.
+type Engine struct {
+	g       grin.Graph
+	workers int
+	n       int
+}
+
+// NewEngine wraps a graph for FLASH execution.
+func NewEngine(g grin.Graph, workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{g: g, workers: workers, n: g.NumVertices()}
+}
+
+// Graph returns the underlying graph.
+func (e *Engine) Graph() grin.Graph { return e.g }
+
+// N returns the vertex count.
+func (e *Engine) N() int { return e.n }
+
+// parallelOver splits members of U across workers.
+func (e *Engine) parallelOver(u *VertexSet, f func(v graph.VID)) {
+	var members []graph.VID
+	u.ForEach(func(v graph.VID) { members = append(members, v) })
+	var wg sync.WaitGroup
+	chunk := (len(members) + e.workers - 1) / e.workers
+	if chunk == 0 {
+		chunk = 1
+	}
+	for lo := 0; lo < len(members); lo += chunk {
+		hi := lo + chunk
+		if hi > len(members) {
+			hi = len(members)
+		}
+		wg.Add(1)
+		go func(part []graph.VID) {
+			defer wg.Done()
+			for _, v := range part {
+				f(v)
+			}
+		}(members[lo:hi])
+	}
+	wg.Wait()
+}
+
+// VertexMap returns the subset of U where f returns true. f may update
+// per-vertex state; it must only write state owned by v.
+func (e *Engine) VertexMap(u *VertexSet, f func(v graph.VID) bool) *VertexSet {
+	out := NewVertexSet(e.n)
+	var mu sync.Mutex
+	e.parallelOver(u, func(v graph.VID) {
+		if f(v) {
+			mu.Lock()
+			out.Add(v)
+			mu.Unlock()
+		}
+	})
+	return out
+}
+
+// EdgeMap applies h to every edge (u, v) with u ∈ U and cond(v); vertices
+// for which h returns true join the result frontier. Unlike Pregel, h may
+// target non-neighbor state via the returned frontier and host control flow
+// — FLASH's distinguishing capability.
+func (e *Engine) EdgeMap(u *VertexSet, dir graph.Direction, cond func(v graph.VID) bool, h func(src, dst graph.VID, eid graph.EID) bool) *VertexSet {
+	out := NewVertexSet(e.n)
+	var mu sync.Mutex
+	e.parallelOver(u, func(src graph.VID) {
+		grin.ForEachNeighbor(e.g, src, dir, func(dst graph.VID, eid graph.EID) bool {
+			if cond != nil && !cond(dst) {
+				return true
+			}
+			if h(src, dst, eid) {
+				mu.Lock()
+				out.Add(dst)
+				mu.Unlock()
+			}
+			return true
+		})
+	})
+	return out
+}

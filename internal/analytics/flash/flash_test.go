@@ -1,0 +1,92 @@
+package flash
+
+import (
+	"testing"
+
+	"repro/internal/analytics/algorithms"
+	"repro/internal/dataset"
+	"repro/internal/graph"
+)
+
+func TestVertexSetBasics(t *testing.T) {
+	s := NewVertexSet(100)
+	if s.Size() != 0 || s.Contains(5) {
+		t.Fatal("empty set")
+	}
+	s.Add(5)
+	s.Add(64)
+	s.Add(5) // duplicate
+	if s.Size() != 2 || !s.Contains(5) || !s.Contains(64) {
+		t.Fatal("add/contains")
+	}
+	var got []graph.VID
+	s.ForEach(func(v graph.VID) { got = append(got, v) })
+	if len(got) != 2 || got[0] != 5 || got[1] != 64 {
+		t.Fatalf("ForEach got %v", got)
+	}
+	if Full(10).Size() != 10 {
+		t.Fatal("full set")
+	}
+}
+
+func TestVertexMapFilters(t *testing.T) {
+	g, _ := dataset.Datagen("t", 50, 2, 1).ToCSR(false)
+	e := NewEngine(g, 4)
+	evens := e.VertexMap(Full(50), func(v graph.VID) bool { return v%2 == 0 })
+	if evens.Size() != 25 {
+		t.Fatalf("evens %d", evens.Size())
+	}
+}
+
+func TestFlashBFSMatchesGRAPE(t *testing.T) {
+	g, err := dataset.RMAT("t", 9, 6, 31).ToCSR(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := algorithms.BFS(g, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := BFS(g, 0, 4)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("vertex %d: flash %v vs grape %v", v, got[v], want[v])
+		}
+	}
+}
+
+func TestFlashCCMatchesGRAPE(t *testing.T) {
+	g, err := dataset.Datagen("t", 300, 1, 33).ToCSR(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := algorithms.WCC(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := CC(g, 4)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("vertex %d: flash %v vs grape %v", v, got[v], want[v])
+		}
+	}
+}
+
+func TestFlashKCoreMatchesGRAPE(t *testing.T) {
+	g, err := dataset.Datagen("t", 300, 5, 35).ToCSR(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{2, 5} {
+		want, err := algorithms.KCore(g, k, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := KCore(g, k, 4)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("k=%d vertex %d: flash %v vs grape %v", k, v, got[v], want[v])
+			}
+		}
+	}
+}

@@ -1,0 +1,300 @@
+// Package gpu simulates the GPU backend of §6 and its comparators for
+// Exp-3c/3d (Fig 7j-7k). A "device" is a pool of worker goroutines standing
+// in for SMs. The backends differ exactly where the paper says the real
+// systems differ:
+//
+//   - Flex (GRAPE-GPU): load-balanced thread mapping — work is split into
+//     edge-balanced chunks so skewed degree distributions cannot starve
+//     workers — plus inter-device work stealing: idle devices steal chunks
+//     from busy ones ([64] in the paper).
+//   - Groute: asynchronous per-device static vertex ranges; no load
+//     balancing within or across devices, so hubs create stragglers.
+//   - Gunrock: vertex-balanced dynamic chunks within a device, but no
+//     cross-device stealing.
+//
+// All three produce bit-identical results; only scheduling differs.
+package gpu
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/grin"
+)
+
+// Options configures the simulated GPU cluster.
+type Options struct {
+	// Devices simulates the GPU count (default 2).
+	Devices int
+	// WorkersPerDevice simulates SMs per GPU (default GOMAXPROCS/Devices,
+	// at least 1).
+	WorkersPerDevice int
+}
+
+func (o *Options) defaults() {
+	if o.Devices <= 0 {
+		o.Devices = 2
+	}
+	if o.WorkersPerDevice <= 0 {
+		o.WorkersPerDevice = runtime.GOMAXPROCS(0) / o.Devices
+		if o.WorkersPerDevice < 1 {
+			o.WorkersPerDevice = 1
+		}
+	}
+}
+
+// chunk is a contiguous vertex range processed as one work item.
+type chunk struct {
+	lo, hi graph.VID
+}
+
+// edgeBalancedChunks cuts [0, n) into pieces of roughly equal edge count
+// (Flex's load-balanced thread mapping).
+func edgeBalancedChunks(g grin.Graph, pieces int) []chunk {
+	n := g.NumVertices()
+	total := g.NumEdges()
+	per := total/pieces + 1
+	var out []chunk
+	lo := 0
+	acc := 0
+	for v := 0; v < n; v++ {
+		acc += g.Degree(graph.VID(v), graph.Out)
+		if acc >= per {
+			out = append(out, chunk{lo: graph.VID(lo), hi: graph.VID(v + 1)})
+			lo = v + 1
+			acc = 0
+		}
+	}
+	if lo < n {
+		out = append(out, chunk{lo: graph.VID(lo), hi: graph.VID(n)})
+	}
+	return out
+}
+
+// vertexBalancedChunks cuts [0, n) into equal vertex-count pieces.
+func vertexBalancedChunks(n, pieces int) []chunk {
+	per := (n + pieces - 1) / pieces
+	var out []chunk
+	for lo := 0; lo < n; lo += per {
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		out = append(out, chunk{lo: graph.VID(lo), hi: graph.VID(hi)})
+	}
+	return out
+}
+
+// schedule runs work chunks across devices. Each device owns a queue; when
+// stealing is enabled, idle workers drain other devices' queues.
+func schedule(chunks []chunk, opt Options, steal bool, run func(c chunk)) {
+	queues := make([]chan chunk, opt.Devices)
+	for d := range queues {
+		queues[d] = make(chan chunk, len(chunks))
+	}
+	for i, c := range chunks {
+		queues[i%opt.Devices] <- c
+	}
+	for d := range queues {
+		close(queues[d])
+	}
+	var wg sync.WaitGroup
+	for d := 0; d < opt.Devices; d++ {
+		for w := 0; w < opt.WorkersPerDevice; w++ {
+			wg.Add(1)
+			go func(d int) {
+				defer wg.Done()
+				for c := range queues[d] {
+					run(c)
+				}
+				if !steal {
+					return
+				}
+				// Inter-device work stealing: help the busiest remaining
+				// queues.
+				for off := 1; off < opt.Devices; off++ {
+					for c := range queues[(d+off)%opt.Devices] {
+						run(c)
+					}
+				}
+			}(d)
+		}
+	}
+	wg.Wait()
+}
+
+// Backend selects the simulated system.
+type Backend int
+
+const (
+	// Flex is the GRAPE-GPU backend: edge-balanced chunks + stealing.
+	Flex Backend = iota
+	// Groute: static vertex ranges, no stealing.
+	Groute
+	// Gunrock: vertex-balanced chunks, no stealing.
+	Gunrock
+)
+
+// String names the backend.
+func (b Backend) String() string {
+	switch b {
+	case Flex:
+		return "flex-gpu"
+	case Groute:
+		return "groute"
+	case Gunrock:
+		return "gunrock"
+	}
+	return "gpu?"
+}
+
+// chunksFor picks the backend's work decomposition.
+func chunksFor(b Backend, g grin.Graph, opt Options) ([]chunk, bool) {
+	switch b {
+	case Flex:
+		// Many small edge-balanced chunks enable both balance and stealing.
+		return edgeBalancedChunks(g, opt.Devices*opt.WorkersPerDevice*8), true
+	case Gunrock:
+		return vertexBalancedChunks(g.NumVertices(), opt.Devices*opt.WorkersPerDevice*8), false
+	default: // Groute
+		// One static range per worker: stragglers bound the iteration.
+		return vertexBalancedChunks(g.NumVertices(), opt.Devices*opt.WorkersPerDevice), false
+	}
+}
+
+// PageRank runs fixed-iteration push-mode PageRank on the simulated backend:
+// each vertex atomically scatters rank/deg along its out-edges — the GPU
+// idiom, and the phase where out-degree skew punishes unbalanced thread
+// mappings (the effect Fig 7j measures).
+func PageRank(g grin.Graph, b Backend, damping float64, iters int, opt Options) []float64 {
+	opt.defaults()
+	n := g.NumVertices()
+	rank := make([]float64, n)
+	next := make([]uint64, n) // float64 bits, atomically accumulated
+	for v := range rank {
+		rank[v] = 1 / float64(n)
+	}
+	chunks, steal := chunksFor(b, g, opt)
+	finalize := vertexBalancedChunks(n, opt.Devices*opt.WorkersPerDevice*4)
+	for it := 0; it < iters; it++ {
+		schedule(chunks, opt, steal, func(c chunk) {
+			for v := c.lo; v < c.hi; v++ {
+				d := g.Degree(v, graph.Out)
+				if d == 0 {
+					continue
+				}
+				contrib := damping * rank[v] / float64(d)
+				grin.ForEachNeighbor(g, v, graph.Out, func(u graph.VID, _ graph.EID) bool {
+					atomicAddFloat(&next[u], contrib)
+					return true
+				})
+			}
+		})
+		schedule(finalize, opt, steal, func(c chunk) {
+			for v := c.lo; v < c.hi; v++ {
+				rank[v] = (1-damping)/float64(n) + math.Float64frombits(next[v])
+				next[v] = 0
+			}
+		})
+	}
+	return rank
+}
+
+// atomicAddFloat CAS-adds a float64 stored as bits.
+func atomicAddFloat(addr *uint64, delta float64) {
+	for {
+		old := atomic.LoadUint64(addr)
+		nv := math.Float64bits(math.Float64frombits(old) + delta)
+		if atomic.CompareAndSwapUint64(addr, old, nv) {
+			return
+		}
+	}
+}
+
+// BFS runs level-synchronous BFS with CAS-claimed visitation (the GPU
+// frontier idiom) on the simulated backend.
+func BFS(g grin.Graph, b Backend, root graph.VID, opt Options) []float64 {
+	opt.defaults()
+	n := g.NumVertices()
+	dist := make([]int64, n)
+	for v := range dist {
+		dist[v] = -1
+	}
+	dist[root] = 0
+	frontier := []graph.VID{root}
+	level := int64(1)
+	_, steal := chunksFor(b, g, opt)
+	for len(frontier) > 0 {
+		// Decompose the frontier like the backend decomposes vertices.
+		var pieces int
+		switch b {
+		case Groute:
+			pieces = opt.Devices * opt.WorkersPerDevice
+		default:
+			pieces = opt.Devices * opt.WorkersPerDevice * 8
+		}
+		fchunks := splitFrontier(g, frontier, pieces, b == Flex)
+		var mu sync.Mutex
+		var next []graph.VID
+		schedule(fchunks, opt, steal, func(c chunk) {
+			var localNext []graph.VID
+			for i := c.lo; i < c.hi; i++ {
+				v := frontier[i]
+				grin.ForEachNeighbor(g, v, graph.Out, func(u graph.VID, _ graph.EID) bool {
+					if atomic.CompareAndSwapInt64(&dist[u], -1, level) {
+						localNext = append(localNext, u)
+					}
+					return true
+				})
+			}
+			if len(localNext) > 0 {
+				mu.Lock()
+				next = append(next, localNext...)
+				mu.Unlock()
+			}
+		})
+		frontier = next
+		level++
+	}
+	out := make([]float64, n)
+	for v := range out {
+		if dist[v] < 0 {
+			out[v] = unreachedF
+		} else {
+			out[v] = float64(dist[v])
+		}
+	}
+	return out
+}
+
+const unreachedF = 1.7976931348623157e308
+
+// splitFrontier cuts frontier indexes into chunks; edge-balanced for Flex,
+// count-balanced otherwise. Chunk bounds index the frontier slice.
+func splitFrontier(g grin.Graph, frontier []graph.VID, pieces int, edgeBalanced bool) []chunk {
+	n := len(frontier)
+	if !edgeBalanced {
+		return vertexBalancedChunks(n, pieces)
+	}
+	total := 0
+	for _, v := range frontier {
+		total += g.Degree(v, graph.Out)
+	}
+	per := total/pieces + 1
+	var out []chunk
+	lo, acc := 0, 0
+	for i, v := range frontier {
+		acc += g.Degree(v, graph.Out)
+		if acc >= per {
+			out = append(out, chunk{lo: graph.VID(lo), hi: graph.VID(i + 1)})
+			lo, acc = i+1, 0
+		}
+	}
+	if lo < n {
+		out = append(out, chunk{lo: graph.VID(lo), hi: graph.VID(n)})
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package gpu
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/analytics/algorithms"
+	"repro/internal/dataset"
+	"repro/internal/graph"
+)
+
+func TestAllBackendsMatchCPUPageRank(t *testing.T) {
+	g, err := dataset.RMAT("t", 9, 8, 17).ToCSR(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := algorithms.PageRank(g, algorithms.PageRankOptions{Iterations: 6, Fragments: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []Backend{Flex, Groute, Gunrock} {
+		got := PageRank(g, b, 0.85, 6, Options{Devices: 2, WorkersPerDevice: 2})
+		for v := range want {
+			if math.Abs(got[v]-want[v]) > 1e-6 {
+				t.Fatalf("%v: vertex %d differs: %v vs %v", b, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestAllBackendsMatchCPUBFS(t *testing.T) {
+	g, err := dataset.RMAT("t", 9, 6, 19).ToCSR(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := algorithms.BFS(g, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []Backend{Flex, Groute, Gunrock} {
+		got := BFS(g, b, 0, Options{Devices: 2, WorkersPerDevice: 2})
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("%v: vertex %d differs: %v vs %v", b, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestEdgeBalancedChunksCoverAllVertices(t *testing.T) {
+	g, err := dataset.Datagen("t", 200, 8, 23).ToCSR(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := edgeBalancedChunks(g, 7)
+	covered := make([]bool, 200)
+	for _, c := range chunks {
+		for v := c.lo; v < c.hi; v++ {
+			if covered[v] {
+				t.Fatalf("vertex %d covered twice", v)
+			}
+			covered[v] = true
+		}
+	}
+	for v, ok := range covered {
+		if !ok {
+			t.Fatalf("vertex %d uncovered", v)
+		}
+	}
+	// Edge balance: no chunk should hold more than ~3x the fair share.
+	fair := g.NumEdges() / 7
+	for _, c := range chunks {
+		e := 0
+		for v := c.lo; v < c.hi; v++ {
+			e += g.Degree(v, graph.Out)
+		}
+		// Final chunk may be small; single hub vertices may exceed fair
+		// share — bound generously.
+		if e > 4*fair+200 {
+			t.Fatalf("chunk [%d,%d) holds %d edges (fair %d)", c.lo, c.hi, e, fair)
+		}
+	}
+}
+
+func TestBackendNames(t *testing.T) {
+	if Flex.String() != "flex-gpu" || Groute.String() != "groute" || Gunrock.String() != "gunrock" {
+		t.Fatal("names")
+	}
+}

@@ -1,0 +1,160 @@
+// Package pregel implements the vertex-centric "think-like-a-vertex" API of
+// §6 on top of the GRAPE engine, mirroring how GraphScope Flex layers the
+// Pregel model over PIE: a Pregel superstep is one IncEval round in which
+// each fragment iterates its active inner vertices.
+package pregel
+
+import (
+	"math"
+
+	"repro/internal/analytics/grape"
+	"repro/internal/graph"
+	"repro/internal/grin"
+)
+
+// VertexContext is handed to Compute for one vertex in one superstep.
+type VertexContext struct {
+	ctx   *grape.Context
+	g     grin.Graph
+	v     graph.VID
+	step  int
+	halt  bool
+	value *float64
+}
+
+// Vertex returns the vertex being computed.
+func (vc *VertexContext) Vertex() graph.VID { return vc.v }
+
+// Superstep returns the current superstep (0-based).
+func (vc *VertexContext) Superstep() int { return vc.step }
+
+// Value returns the vertex's current value.
+func (vc *VertexContext) Value() float64 { return *vc.value }
+
+// SetValue updates the vertex's value.
+func (vc *VertexContext) SetValue(x float64) { *vc.value = x }
+
+// Degree returns the vertex's degree in the direction.
+func (vc *VertexContext) Degree(dir graph.Direction) int { return vc.g.Degree(vc.v, dir) }
+
+// SendToNeighbors sends a message to every neighbor in the direction.
+func (vc *VertexContext) SendToNeighbors(dir graph.Direction, val float64) {
+	grin.ForEachNeighbor(vc.g, vc.v, dir, func(n graph.VID, _ graph.EID) bool {
+		vc.ctx.Send(n, val)
+		return true
+	})
+}
+
+// SendWeightedToNeighbors sends val scaled by each edge's weight.
+func (vc *VertexContext) SendWeightedToNeighbors(dir graph.Direction, val float64) {
+	g := vc.g
+	grin.ForEachNeighbor(g, vc.v, dir, func(n graph.VID, e graph.EID) bool {
+		vc.ctx.Send(n, val*grin.Weight(g, e))
+		return true
+	})
+}
+
+// Send sends a message to an arbitrary vertex.
+func (vc *VertexContext) Send(to graph.VID, val float64) { vc.ctx.Send(to, val) }
+
+// VoteToHalt deactivates the vertex until a message re-activates it.
+func (vc *VertexContext) VoteToHalt() { vc.halt = true }
+
+// Program is a Pregel vertex program over float64 vertex values.
+type Program interface {
+	// Init returns the initial value of a vertex.
+	Init(v graph.VID, g grin.Graph) float64
+	// Compute processes the vertex's messages for this superstep. Vertices
+	// stay active until they VoteToHalt; halted vertices wake on messages.
+	Compute(vc *VertexContext, msgs []float64)
+}
+
+// Options configures a Pregel run.
+type Options struct {
+	Fragments     int
+	Combine       func(a, b float64) float64
+	MaxSupersteps int
+}
+
+// Run executes a Pregel program and returns the final vertex values and the
+// number of supersteps.
+func Run(g grin.Graph, p Program, opt Options) ([]float64, int, error) {
+	n := g.NumVertices()
+	values := make([]float64, n)
+	adapter := &pieAdapter{p: p, values: values, g: g}
+	adapter.initHalted(n)
+	eng, err := grape.NewEngine(g, grape.Options{
+		Fragments:     opt.Fragments,
+		Combine:       opt.Combine,
+		MaxSupersteps: opt.MaxSupersteps,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	steps, err := eng.Run(adapter)
+	if err != nil {
+		return nil, 0, err
+	}
+	return values, steps, nil
+}
+
+// pieAdapter runs a vertex program inside the PIE protocol. Each fragment
+// owns the values of its inner range; halted state is per vertex.
+type pieAdapter struct {
+	p      Program
+	values []float64
+	g      grin.Graph
+	halted []bool
+}
+
+// PEval implements grape.Program: superstep 0 computes every vertex with no
+// messages.
+func (a *pieAdapter) PEval(f *grape.Fragment, ctx *grape.Context) {
+	lo, hi := f.Bounds()
+	if a.halted == nil {
+		// Allocated once by fragment 0's arrival order is racy; size is
+		// fixed so allocate lazily under the engine's pre-run. Fragments
+		// write disjoint ranges only.
+		panic("pregel: adapter not initialized")
+	}
+	for v := lo; v < hi; v++ {
+		a.values[v] = a.p.Init(v, a.g)
+	}
+	for v := lo; v < hi; v++ {
+		vc := &VertexContext{ctx: ctx, g: a.g, v: v, step: 0, value: &a.values[v]}
+		a.p.Compute(vc, nil)
+		a.halted[v] = vc.halt
+		if !vc.halt {
+			ctx.Rerun()
+		}
+	}
+}
+
+// IncEval implements grape.Program: deliver messages to targets, wake them,
+// and compute all active vertices.
+func (a *pieAdapter) IncEval(f *grape.Fragment, ctx *grape.Context, msgs []grape.Message) {
+	lo, hi := f.Bounds()
+	// Group messages per target (combined already when a combiner is set).
+	byTarget := make(map[graph.VID][]float64, len(msgs))
+	for _, m := range msgs {
+		byTarget[m.Target] = append(byTarget[m.Target], m.Value)
+		a.halted[m.Target] = false
+	}
+	for v := lo; v < hi; v++ {
+		if a.halted[v] {
+			continue
+		}
+		vc := &VertexContext{ctx: ctx, g: a.g, v: v, step: ctx.Superstep(), value: &a.values[v]}
+		a.p.Compute(vc, byTarget[v])
+		a.halted[v] = vc.halt
+		if !vc.halt {
+			ctx.Rerun()
+		}
+	}
+}
+
+// init sizes the halted bitmap; called by Run before the engine starts.
+func (a *pieAdapter) initHalted(n int) { a.halted = make([]bool, n) }
+
+// Inf is a convenience +infinity for distance algorithms.
+var Inf = math.Inf(1)

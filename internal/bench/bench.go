@@ -1,0 +1,104 @@
+// Package bench is the experiment harness: one function per table/figure of
+// the paper's evaluation (§9), each running the scaled-down workload and
+// returning a formatted table with the same rows/series the paper reports.
+// cmd/flexbench prints them; bench_test.go wraps the hot paths in testing.B.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Table is one experiment's result, printable in paper-table form.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// timeIt measures fn averaged over reps.
+func timeIt(reps int, fn func()) time.Duration {
+	if reps <= 0 {
+		reps = 1
+	}
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		fn()
+	}
+	return time.Since(start) / time.Duration(reps)
+}
+
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+}
+
+func speedup(base, fast time.Duration) string {
+	if fast == 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.1fx", float64(base)/float64(fast))
+}
+
+// Registry maps experiment IDs to runners.
+var registry = map[string]func() (*Table, error){}
+
+func register(id string, fn func() (*Table, error)) {
+	registry[id] = fn
+}
+
+// Run executes one experiment by ID.
+func Run(id string) (*Table, error) {
+	fn, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown experiment %q (known: %s)", id, strings.Join(IDs(), ", "))
+	}
+	return fn()
+}
+
+// IDs lists registered experiments in order.
+func IDs() []string {
+	var ids []string
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/grin"
+	"repro/internal/storage/gart"
+	"repro/internal/storage/vineyard"
+)
+
+func TestBuildPresets(t *testing.T) {
+	for name, sel := range Presets {
+		plan, err := Build(sel)
+		if err != nil {
+			t.Fatalf("preset %s: %v", name, err)
+		}
+		if plan.Store == "" {
+			t.Fatalf("preset %s: no store", name)
+		}
+		m := plan.Manifest()
+		if !strings.Contains(m, plan.Store) {
+			t.Fatalf("preset %s: manifest missing store", name)
+		}
+	}
+}
+
+func TestBuildClosesDependencies(t *testing.T) {
+	plan, err := Build([]string{"cypher", "gaia", "vineyard"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range plan.Components {
+		if c == "compiler" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("dependency closure missed the compiler")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build([]string{"nonsense"}); err == nil {
+		t.Fatal("unknown component accepted")
+	}
+	if _, err := Build([]string{"gaia"}); err == nil {
+		t.Fatal("store-less plan accepted")
+	}
+	if _, err := Build([]string{"gaia", "vineyard", "gart"}); err == nil {
+		t.Fatal("two stores accepted")
+	}
+	// grape-gpu needs the array trait, which GART does not provide.
+	if _, err := Build([]string{"grape-gpu", "gart"}); err == nil {
+		t.Fatal("trait mismatch accepted")
+	}
+	if _, err := Build([]string{"grape-gpu", "vineyard"}); err != nil {
+		t.Fatalf("valid gpu plan rejected: %v", err)
+	}
+}
+
+// TestStoreTraitsMatchImplementations keeps the registry's trait table in
+// sync with what the backends actually implement.
+func TestStoreTraitsMatchImplementations(t *testing.T) {
+	b := dataset.SNB(dataset.SNBOptions{Persons: 30, Seed: 1})
+	vy, err := vineyard.Load(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := gart.NewStore(dataset.SNBSchema(), 0)
+	if err := gs.LoadBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, g grin.Graph) {
+		for _, tr := range storeTraits[name] {
+			if tr == grin.TraitVersioned {
+				// Versioning lives on the store handle, not on snapshots.
+				if _, ok := interface{}(gs).(grin.Versioned); !ok {
+					t.Errorf("registry claims %s is versioned but the store is not", name)
+				}
+				continue
+			}
+			if !grin.Has(g, tr) {
+				t.Errorf("registry claims %s has %v but it does not", name, tr)
+			}
+		}
+	}
+	check("vineyard", vy)
+	check("gart", gs.Latest())
+}

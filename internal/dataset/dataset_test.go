@@ -1,0 +1,301 @@
+package dataset
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/storage/vineyard"
+)
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := Datagen("x", 500, 8, 1)
+	b := Datagen("x", 500, 8, 1)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("datagen not deterministic in size")
+	}
+	for i := range a.Src {
+		if a.Src[i] != b.Src[i] || a.Dst[i] != b.Dst[i] {
+			t.Fatal("datagen not deterministic")
+		}
+	}
+	c := Datagen("x", 500, 8, 2)
+	same := c.NumEdges() == a.NumEdges()
+	if same {
+		diff := false
+		for i := range a.Src {
+			if a.Src[i] != c.Src[i] {
+				diff = true
+				break
+			}
+		}
+		if !diff {
+			t.Fatal("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestDatagenSizeAndRange(t *testing.T) {
+	g := Datagen("d", 1000, 10, 7)
+	if g.N != 1000 {
+		t.Fatal("n")
+	}
+	if g.NumEdges() < 10000 {
+		t.Fatalf("edges %d below target", g.NumEdges())
+	}
+	for i := range g.Src {
+		if int(g.Src[i]) >= g.N || int(g.Dst[i]) >= g.N {
+			t.Fatal("edge out of range")
+		}
+	}
+	// Power law: max degree should far exceed average.
+	deg := make([]int, g.N)
+	for _, s := range g.Src {
+		deg[s]++
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(deg)))
+	if deg[0] < 3*10 {
+		t.Fatalf("no hubs: max degree %d", deg[0])
+	}
+}
+
+func TestRMATSkew(t *testing.T) {
+	g := RMAT("r", 10, 8, 3)
+	if g.N != 1024 || g.NumEdges() != 8192 {
+		t.Fatalf("sizes %d %d", g.N, g.NumEdges())
+	}
+	// RMAT quadrant skew concentrates edges on low IDs.
+	lowHalf := 0
+	for _, s := range g.Src {
+		if int(s) < g.N/2 {
+			lowHalf++
+		}
+	}
+	if float64(lowHalf)/float64(g.NumEdges()) < 0.6 {
+		t.Fatalf("RMAT skew missing: %d/%d in low half", lowHalf, g.NumEdges())
+	}
+}
+
+func TestWebGraphLocality(t *testing.T) {
+	g := WebGraph("w", 2000, 10, 5)
+	local := 0
+	for i := range g.Src {
+		d := int(g.Src[i]) - int(g.Dst[i])
+		if d < 0 {
+			d = -d
+		}
+		if d <= 64 || d >= g.N-64 {
+			local++
+		}
+	}
+	if float64(local)/float64(g.NumEdges()) < 0.5 {
+		t.Fatalf("web locality missing: %d/%d local", local, g.NumEdges())
+	}
+}
+
+func TestWeightedAndConversions(t *testing.T) {
+	g := Datagen("d", 100, 4, 9).Weighted(10)
+	for _, w := range g.W {
+		if w <= 0 || w > 1 {
+			t.Fatalf("weight out of range: %v", w)
+		}
+	}
+	cg, err := g.ToCSR(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cg.NumVertices() != g.N || cg.NumEdges() != g.NumEdges() {
+		t.Fatal("CSR conversion size mismatch")
+	}
+	b := g.ToBatch()
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vineyard.Load(b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, abbr := range []string{"FB0", "FB1", "ZF", "G500", "WB", "UK", "CF", "TW", "IT", "AR"} {
+		g, err := ByName(abbr)
+		if err != nil {
+			t.Fatalf("%s: %v", abbr, err)
+		}
+		if g.N == 0 || g.NumEdges() == 0 {
+			t.Fatalf("%s empty", abbr)
+		}
+		if g.Name != abbr {
+			t.Fatalf("%s name mismatch", abbr)
+		}
+	}
+	if _, err := ByName("NOPE"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestSNBValidAndLoadable(t *testing.T) {
+	b := SNB(SNBOptions{Persons: 200, Seed: 1})
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := vineyard.Load(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Label ranges exist for all six labels.
+	for l := graph.LabelID(0); l < 6; l++ {
+		lo, hi, ok := st.LabelRange(l)
+		if !ok || hi <= lo {
+			t.Fatalf("label %d empty range", l)
+		}
+	}
+	// KNOWS is symmetric: out-knows of any person equals in-knows.
+	schema := SNBSchema()
+	knowsID, _ := schema.EdgeLabelID("KNOWS")
+	lo, hi, _ := st.LabelRange(SNBPerson)
+	for v := lo; v < lo+10 && v < hi; v++ {
+		var out, in []graph.VID
+		st.Neighbors(v, graph.Out, func(n graph.VID, e graph.EID) bool {
+			if st.EdgeLabel(e) == knowsID {
+				out = append(out, n)
+			}
+			return true
+		})
+		st.Neighbors(v, graph.In, func(n graph.VID, e graph.EID) bool {
+			if st.EdgeLabel(e) == knowsID {
+				in = append(in, n)
+			}
+			return true
+		})
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		sort.Slice(in, func(i, j int) bool { return in[i] < in[j] })
+		if len(out) != len(in) {
+			t.Fatalf("KNOWS asymmetric at %d: %d out vs %d in", v, len(out), len(in))
+		}
+		for i := range out {
+			if out[i] != in[i] {
+				t.Fatalf("KNOWS neighbor sets differ at %d", v)
+			}
+		}
+	}
+}
+
+func TestFraudBaseAndStream(t *testing.T) {
+	opt := FraudOptions{Accounts: 300, Items: 100, Seeds: 10, Seed: 2}
+	b := FraudBase(opt)
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	orders := FraudStream(opt, 500)
+	if len(orders) != 500 {
+		t.Fatal("stream size")
+	}
+	hot := 0
+	for _, o := range orders {
+		if o.Account < 0 || o.Account >= 300 || o.Item < 0 || o.Item >= 100 {
+			t.Fatal("order out of range")
+		}
+		if o.Item < int64(opt.Items/20) {
+			hot++
+		}
+	}
+	if hot == 0 {
+		t.Fatal("no hot-item orders generated")
+	}
+}
+
+func TestEquityShareConservation(t *testing.T) {
+	b := Equity(EquityOptions{Persons: 50, Companies: 200, Seed: 3})
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Incoming shares of every company sum to ~1.
+	sums := map[int64]float64{}
+	for _, e := range b.Edges {
+		sums[e.Dst] += e.Props[0].Float()
+	}
+	if len(sums) != 200 {
+		t.Fatalf("companies with owners: %d", len(sums))
+	}
+	for c, s := range sums {
+		if s < 0.999 || s > 1.001 {
+			t.Fatalf("company %d shares sum to %v", c, s)
+		}
+	}
+	// Company IDs are offset above the person range.
+	for _, v := range b.Vertices {
+		if v.Label == EquityCompany && v.ExtID < EquityCompanyExtBase {
+			t.Fatal("company ext ID below base")
+		}
+	}
+}
+
+func TestFeaturesClassCorrelated(t *testing.T) {
+	nf := Features(500, 16, 4, 11)
+	if len(nf.Features) != 500 || len(nf.Labels) != 500 {
+		t.Fatal("sizes")
+	}
+	// Same-class vectors should be closer than cross-class on average.
+	var sameD, crossD float64
+	var sameN, crossN int
+	dist := func(a, b []float32) float64 {
+		var s float64
+		for i := range a {
+			d := float64(a[i] - b[i])
+			s += d * d
+		}
+		return s
+	}
+	for i := 0; i < 200; i++ {
+		for j := i + 1; j < 200; j++ {
+			d := dist(nf.Features[i], nf.Features[j])
+			if nf.Labels[i] == nf.Labels[j] {
+				sameD += d
+				sameN++
+			} else {
+				crossD += d
+				crossN++
+			}
+		}
+	}
+	if sameD/float64(sameN) >= crossD/float64(crossN) {
+		t.Fatal("features not class-correlated")
+	}
+}
+
+func TestGNNByName(t *testing.T) {
+	for _, abbr := range []string{"PD", "PA"} {
+		d, err := GNNByName(abbr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(d.Feats.Features) != d.Graph.N {
+			t.Fatalf("%s: features misaligned", abbr)
+		}
+	}
+	if _, err := GNNByName("XX"); err == nil {
+		t.Fatal("unknown GNN dataset accepted")
+	}
+}
+
+func TestTrainTestEdges(t *testing.T) {
+	g := Datagen("d", 200, 6, 21)
+	train, ts, td, ns, nd := TrainTestEdges(g, 0.2, 22)
+	if len(ts) != len(td) || len(ns) != len(nd) || len(ns) != len(ts) {
+		t.Fatal("split sizes inconsistent")
+	}
+	if train.NumEdges()+len(ts) != g.NumEdges() {
+		t.Fatal("edges lost in split")
+	}
+	// Negatives are non-edges.
+	exists := map[[2]graph.VID]bool{}
+	for i := range g.Src {
+		exists[[2]graph.VID{g.Src[i], g.Dst[i]}] = true
+	}
+	for i := range ns {
+		if exists[[2]graph.VID{ns[i], nd[i]}] {
+			t.Fatal("negative sample is a real edge")
+		}
+	}
+}

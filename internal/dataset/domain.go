@@ -1,0 +1,212 @@
+package dataset
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// ---- Fraud detection (Exp-5, Fig 6a) ----
+
+// Fraud vertex labels.
+const (
+	FraudAccount graph.LabelID = iota
+	FraudItem
+)
+
+// Fraud edge labels.
+const (
+	FraudKnows graph.LabelID = iota
+	FraudBuy
+)
+
+// FraudSchema returns the transaction-graph schema of the real-time fraud
+// detection use case: accounts that know each other and buy items.
+func FraudSchema() *graph.Schema {
+	return graph.NewSchema(
+		[]graph.VertexLabel{
+			{Name: "Account", Props: []graph.PropDef{{Name: "risk", Kind: graph.KindFloat}}},
+			{Name: "Item", Props: []graph.PropDef{{Name: "price", Kind: graph.KindFloat}}},
+		},
+		[]graph.EdgeLabel{
+			{Name: "KNOWS", Src: FraudAccount, Dst: FraudAccount},
+			{Name: "BUY", Src: FraudAccount, Dst: FraudItem, Props: []graph.PropDef{{Name: "date", Kind: graph.KindInt}}},
+		},
+	)
+}
+
+// Order is one incoming purchase event in the fraud stream.
+type Order struct {
+	Account int64
+	Item    int64
+	Date    int64
+}
+
+// FraudOptions scales the fraud workload.
+type FraudOptions struct {
+	Accounts int
+	Items    int
+	Seeds    int // number of known-fraud seed accounts (low IDs)
+	Seed     int64
+}
+
+// FraudBase generates the base transaction graph: social KNOWS edges and a
+// history of purchases; seed accounts (IDs < Seeds) co-purchase hot items,
+// so collusive orders are detectable via shared items.
+func FraudBase(opt FraudOptions) *graph.Batch {
+	if opt.Accounts <= 0 {
+		opt.Accounts = 2000
+	}
+	if opt.Items <= 0 {
+		opt.Items = 500
+	}
+	if opt.Seeds <= 0 {
+		opt.Seeds = 20
+	}
+	r := rand.New(rand.NewSource(opt.Seed))
+	b := graph.NewBatch(FraudSchema())
+	for a := 0; a < opt.Accounts; a++ {
+		b.AddVertex(FraudAccount, int64(a), graph.FloatValue(r.Float64()))
+	}
+	for i := 0; i < opt.Items; i++ {
+		b.AddVertex(FraudItem, int64(i), graph.FloatValue(1+r.Float64()*99))
+	}
+	// Social graph: ~8 friends each.
+	for a := 0; a < opt.Accounts; a++ {
+		for k := 0; k < 8; k++ {
+			q := r.Intn(opt.Accounts)
+			if q != a {
+				b.AddEdge(FraudKnows, int64(a), int64(q))
+			}
+		}
+	}
+	// Purchase history: seeds concentrate on the first 5% of items.
+	hot := opt.Items / 20
+	if hot < 1 {
+		hot = 1
+	}
+	day := int64(86400)
+	for a := 0; a < opt.Accounts; a++ {
+		buys := 2 + r.Intn(6)
+		for k := 0; k < buys; k++ {
+			item := r.Intn(opt.Items)
+			if a < opt.Seeds {
+				item = r.Intn(hot)
+			}
+			b.AddEdge(FraudBuy, int64(a), int64(item), graph.IntValue(int64(r.Intn(30))*day))
+		}
+	}
+	return b
+}
+
+// FraudStream generates n incoming orders; a fraction hit the hot items that
+// fraud seeds co-purchase (true positives for the detection query).
+func FraudStream(opt FraudOptions, n int) []Order {
+	r := rand.New(rand.NewSource(opt.Seed + 1))
+	hot := opt.Items / 20
+	if hot < 1 {
+		hot = 1
+	}
+	day := int64(86400)
+	orders := make([]Order, n)
+	for i := range orders {
+		item := r.Intn(opt.Items)
+		if r.Float64() < 0.2 {
+			item = r.Intn(hot)
+		}
+		orders[i] = Order{
+			Account: int64(r.Intn(opt.Accounts)),
+			Item:    int64(item),
+			Date:    int64(30+r.Intn(5)) * day,
+		}
+	}
+	return orders
+}
+
+// ---- Equity analysis (Exp-6, Fig 6b) ----
+
+// Equity vertex labels.
+const (
+	EquityPerson graph.LabelID = iota
+	EquityCompany
+)
+
+// EquityOwns is the single edge label: ownership with a share weight.
+const EquityOwns graph.LabelID = 0
+
+// EquitySchema returns the shareholding schema: persons and companies own
+// shares of companies, with the share fraction as the edge weight.
+func EquitySchema() *graph.Schema {
+	return graph.NewSchema(
+		[]graph.VertexLabel{
+			{Name: "Person", Props: []graph.PropDef{{Name: "name", Kind: graph.KindString}}},
+			{Name: "Company", Props: []graph.PropDef{{Name: "name", Kind: graph.KindString}}},
+		},
+		[]graph.EdgeLabel{
+			{Name: "OWNS", Src: graph.AnyLabel, Dst: EquityCompany, Props: []graph.PropDef{{Name: "weight", Kind: graph.KindFloat}}},
+		},
+	)
+}
+
+// EquityOptions scales the ownership graph.
+type EquityOptions struct {
+	Persons   int
+	Companies int
+	Seed      int64
+}
+
+// Equity generates a layered ownership graph: persons own top companies,
+// companies own each other downward through layers, and each company's
+// incoming shares sum to 1 — so ultimate-controller propagation is well
+// defined, mirroring Fig 6(b).
+func Equity(opt EquityOptions) *graph.Batch {
+	if opt.Persons <= 0 {
+		opt.Persons = 300
+	}
+	if opt.Companies <= 0 {
+		opt.Companies = 1000
+	}
+	r := rand.New(rand.NewSource(opt.Seed))
+	b := graph.NewBatch(EquitySchema())
+	for p := 0; p < opt.Persons; p++ {
+		b.AddVertex(EquityPerson, int64(p), graph.StringValue(firstNames[r.Intn(len(firstNames))]))
+	}
+	for c := 0; c < opt.Companies; c++ {
+		b.AddVertex(EquityCompany, EquityCompanyExtBase+int64(c), graph.StringValue(lastNames[r.Intn(len(lastNames))]+" Corp"))
+	}
+	// Each company gets 1-4 shareholders whose shares sum to 1. Shareholders
+	// of company c are persons or companies with smaller index (acyclic).
+	for c := 0; c < opt.Companies; c++ {
+		k := 1 + r.Intn(4)
+		shares := randomShares(r, k)
+		for i := 0; i < k; i++ {
+			dst := EquityCompanyExtBase + int64(c)
+			if c == 0 || r.Float64() < 0.4 {
+				p := int64(r.Intn(opt.Persons))
+				b.AddEdge(EquityOwns, p, dst, graph.FloatValue(shares[i]))
+			} else {
+				owner := EquityCompanyExtBase + int64(r.Intn(c)) // earlier company
+				b.AddEdge(EquityOwns, owner, dst, graph.FloatValue(shares[i]))
+			}
+		}
+	}
+	return b
+}
+
+// randomShares draws k positive shares summing to 1.
+func randomShares(r *rand.Rand, k int) []float64 {
+	cuts := make([]float64, k)
+	total := 0.0
+	for i := range cuts {
+		cuts[i] = 0.1 + r.Float64()
+		total += cuts[i]
+	}
+	for i := range cuts {
+		cuts[i] /= total
+	}
+	return cuts
+}
+
+// EquityCompanyExtBase offsets company external IDs so that AnyLabel-sourced
+// OWNS edges resolve unambiguously (person IDs stay below the base).
+const EquityCompanyExtBase = 1 << 30

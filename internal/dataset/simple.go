@@ -1,0 +1,227 @@
+// Package dataset provides deterministic synthetic graph generators standing
+// in for the paper's datasets (Table 1). The generators reproduce the
+// *degree-distribution families* of the originals — LDBC-datagen-style power
+// laws, RMAT/graph500 skew, web-crawl locality — at laptop scale, so the
+// relative behaviour of engines and stores (cache friendliness, skew
+// handling, crossovers) is preserved even though absolute sizes are not.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/storage/csr"
+)
+
+// Simple is an unlabeled directed graph with optional weights.
+type Simple struct {
+	Name string
+	N    int
+	Src  []graph.VID
+	Dst  []graph.VID
+	W    []float64 // nil when unweighted
+}
+
+// NumEdges returns the edge count.
+func (s *Simple) NumEdges() int { return len(s.Src) }
+
+// ToCSR materializes the graph as a static CSR.
+func (s *Simple) ToCSR(buildCSC bool) (*csr.Graph, error) {
+	edges := make([]csr.Edge, len(s.Src))
+	for i := range s.Src {
+		w := 1.0
+		if s.W != nil {
+			w = s.W[i]
+		}
+		edges[i] = csr.Edge{Src: s.Src[i], Dst: s.Dst[i], Weight: w}
+	}
+	return csr.Build(s.N, edges, csr.Options{BuildCSC: buildCSC, Weighted: s.W != nil})
+}
+
+// ToBatch converts to a property-graph batch over the simple schema with
+// external IDs equal to internal IDs.
+func (s *Simple) ToBatch() *graph.Batch {
+	b := graph.NewBatch(graph.SimpleSchema(s.W != nil))
+	for v := 0; v < s.N; v++ {
+		b.AddVertex(0, int64(v))
+	}
+	for i := range s.Src {
+		if s.W != nil {
+			b.AddEdge(0, int64(s.Src[i]), int64(s.Dst[i]), graph.FloatValue(s.W[i]))
+		} else {
+			b.AddEdge(0, int64(s.Src[i]), int64(s.Dst[i]))
+		}
+	}
+	return b
+}
+
+// Datagen generates an LDBC-datagen-style graph: power-law out-degrees
+// (Zipf-like) with uniformly random destinations, the shape of the fb/zf
+// datasets. avgDeg controls |E| ≈ n×avgDeg.
+func Datagen(name string, n, avgDeg int, seed int64) *Simple {
+	r := rand.New(rand.NewSource(seed))
+	s := &Simple{Name: name, N: n}
+	// Zipf over degree classes: a few hubs, a long tail.
+	z := rand.NewZipf(r, 1.3, 4, uint64(avgDeg*20))
+	target := n * avgDeg
+	for v := 0; v < n && s.NumEdges() < target; v++ {
+		d := int(z.Uint64())
+		if d == 0 {
+			d = 1
+		}
+		for k := 0; k < d; k++ {
+			s.Src = append(s.Src, graph.VID(v))
+			s.Dst = append(s.Dst, graph.VID(r.Intn(n)))
+		}
+	}
+	// Top up to the target with uniform edges for size determinism.
+	for s.NumEdges() < target {
+		s.Src = append(s.Src, graph.VID(r.Intn(n)))
+		s.Dst = append(s.Dst, graph.VID(r.Intn(n)))
+	}
+	return s
+}
+
+// RMAT generates a graph500-style RMAT graph: 2^scale vertices and
+// edgeFactor×2^scale edges with the canonical (0.57, 0.19, 0.19, 0.05)
+// quadrant skew.
+func RMAT(name string, scale, edgeFactor int, seed int64) *Simple {
+	r := rand.New(rand.NewSource(seed))
+	n := 1 << scale
+	m := n * edgeFactor
+	s := &Simple{Name: name, N: n, Src: make([]graph.VID, m), Dst: make([]graph.VID, m)}
+	const a, b, c = 0.57, 0.19, 0.19
+	for i := 0; i < m; i++ {
+		var u, v int
+		for bit := scale - 1; bit >= 0; bit-- {
+			p := r.Float64()
+			switch {
+			case p < a:
+				// upper-left: no bits set
+			case p < a+b:
+				v |= 1 << bit
+			case p < a+b+c:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		s.Src[i], s.Dst[i] = graph.VID(u), graph.VID(v)
+		u, v = 0, 0
+	}
+	return s
+}
+
+// WebGraph generates a web-crawl-like graph (uk/webbase/it/arabic shape):
+// strong locality — most links point to nearby pages — plus a power-law
+// sprinkle of far links to popular pages.
+func WebGraph(name string, n, avgDeg int, seed int64) *Simple {
+	r := rand.New(rand.NewSource(seed))
+	s := &Simple{Name: name, N: n}
+	m := n * avgDeg
+	hubs := n / 100
+	if hubs < 1 {
+		hubs = 1
+	}
+	for i := 0; i < m; i++ {
+		u := r.Intn(n)
+		var v int
+		switch {
+		case r.Float64() < 0.8:
+			// Local link within a window of ±64.
+			v = u + r.Intn(129) - 64
+			if v < 0 {
+				v += n
+			}
+			v %= n
+		case r.Float64() < 0.5:
+			v = r.Intn(hubs) // popular page
+		default:
+			v = r.Intn(n)
+		}
+		s.Src = append(s.Src, graph.VID(u))
+		s.Dst = append(s.Dst, graph.VID(v))
+	}
+	return s
+}
+
+// Weighted attaches deterministic pseudo-random weights in (0, 1].
+func (s *Simple) Weighted(seed int64) *Simple {
+	r := rand.New(rand.NewSource(seed))
+	s.W = make([]float64, s.NumEdges())
+	for i := range s.W {
+		s.W[i] = 1 - math.Nextafter(r.Float64(), -1) // avoid exact 0
+	}
+	return s
+}
+
+// ByName returns a scaled-down analog of a paper dataset by its Table 1
+// abbreviation. Sizes are ~10^4–10^5 edges so every bench finishes on a
+// laptop while keeping the degree-distribution family.
+func ByName(abbr string) (*Simple, error) {
+	switch abbr {
+	case "FB0":
+		return Datagen("FB0", 4_000, 16, 900), nil
+	case "FB1":
+		return Datagen("FB1", 5_000, 16, 901), nil
+	case "ZF":
+		// zf: huge vertex count, low average degree.
+		return Datagen("ZF", 40_000, 2, 902), nil
+	case "G500":
+		return RMAT("G500", 12, 16, 926), nil
+	case "WB":
+		return WebGraph("WB", 11_000, 14, 2001), nil
+	case "UK":
+		return WebGraph("UK", 8_000, 20, 2005), nil
+	case "CF":
+		return Datagen("CF", 6_500, 18, 5501), nil
+	case "TW":
+		return RMAT("TW", 12, 12, 2010), nil
+	case "IT":
+		return WebGraph("IT", 8_200, 14, 2004), nil
+	case "AR":
+		return WebGraph("AR", 4_500, 24, 2005+1), nil
+	default:
+		return nil, fmt.Errorf("dataset: unknown abbreviation %q", abbr)
+	}
+}
+
+// Community generates a graph with planted group structure: vertices belong
+// to groups of groupSize; most edges stay inside the group (triadic closure,
+// so common-neighbor evidence exists), a fraction crosses groups. Used by
+// link-prediction workloads, where structure — unlike uniform randomness —
+// is learnable.
+func Community(name string, n, groupSize, avgDeg int, interFrac float64, seed int64) *Simple {
+	r := rand.New(rand.NewSource(seed))
+	s := &Simple{Name: name, N: n}
+	m := n * avgDeg
+	groups := n / groupSize
+	if groups < 1 {
+		groups = 1
+	}
+	for i := 0; i < m; i++ {
+		u := r.Intn(n)
+		var v int
+		if r.Float64() < interFrac {
+			v = r.Intn(n)
+		} else {
+			g := u / groupSize
+			if g >= groups {
+				g = groups - 1
+			}
+			v = g*groupSize + r.Intn(groupSize)
+			if v >= n {
+				v = n - 1
+			}
+		}
+		if u == v {
+			continue
+		}
+		s.Src = append(s.Src, graph.VID(u))
+		s.Dst = append(s.Dst, graph.VID(v))
+	}
+	return s
+}

@@ -1,0 +1,243 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// SNB vertex label IDs, stable across the repo (queries reference them).
+const (
+	SNBPerson graph.LabelID = iota
+	SNBForum
+	SNBPost
+	SNBComment
+	SNBTag
+	SNBPlace
+)
+
+// SNB edge label IDs.
+const (
+	SNBKnows graph.LabelID = iota
+	SNBHasCreator
+	SNBCommentHasCreator
+	SNBReplyOf
+	SNBContainerOf
+	SNBHasMember
+	SNBLikes
+	SNBHasTag
+	SNBHasInterest
+	SNBIsLocatedIn
+)
+
+// SNBSchema returns the social-network schema used by the interactive and BI
+// workloads — a condensed LDBC SNB: persons who know each other, forums
+// containing posts, comments replying to posts, tags, and places.
+func SNBSchema() *graph.Schema {
+	return graph.NewSchema(
+		[]graph.VertexLabel{
+			{Name: "Person", Props: []graph.PropDef{
+				{Name: "firstName", Kind: graph.KindString},
+				{Name: "lastName", Kind: graph.KindString},
+				{Name: "birthday", Kind: graph.KindInt},
+				{Name: "creationDate", Kind: graph.KindInt},
+				{Name: "browserUsed", Kind: graph.KindString},
+			}},
+			{Name: "Forum", Props: []graph.PropDef{
+				{Name: "title", Kind: graph.KindString},
+				{Name: "creationDate", Kind: graph.KindInt},
+			}},
+			{Name: "Post", Props: []graph.PropDef{
+				{Name: "content", Kind: graph.KindString},
+				{Name: "creationDate", Kind: graph.KindInt},
+				{Name: "length", Kind: graph.KindInt},
+			}},
+			{Name: "Comment", Props: []graph.PropDef{
+				{Name: "content", Kind: graph.KindString},
+				{Name: "creationDate", Kind: graph.KindInt},
+				{Name: "length", Kind: graph.KindInt},
+			}},
+			{Name: "Tag", Props: []graph.PropDef{
+				{Name: "name", Kind: graph.KindString},
+			}},
+			{Name: "Place", Props: []graph.PropDef{
+				{Name: "name", Kind: graph.KindString},
+			}},
+		},
+		[]graph.EdgeLabel{
+			{Name: "KNOWS", Src: SNBPerson, Dst: SNBPerson, Props: []graph.PropDef{{Name: "creationDate", Kind: graph.KindInt}}},
+			{Name: "HAS_CREATOR", Src: SNBPost, Dst: SNBPerson},
+			{Name: "COMMENT_HAS_CREATOR", Src: SNBComment, Dst: SNBPerson},
+			{Name: "REPLY_OF", Src: SNBComment, Dst: SNBPost},
+			{Name: "CONTAINER_OF", Src: SNBForum, Dst: SNBPost},
+			{Name: "HAS_MEMBER", Src: SNBForum, Dst: SNBPerson, Props: []graph.PropDef{{Name: "joinDate", Kind: graph.KindInt}}},
+			{Name: "LIKES", Src: SNBPerson, Dst: SNBPost, Props: []graph.PropDef{{Name: "creationDate", Kind: graph.KindInt}}},
+			{Name: "HAS_TAG", Src: SNBPost, Dst: SNBTag},
+			{Name: "HAS_INTEREST", Src: SNBPerson, Dst: SNBTag},
+			{Name: "IS_LOCATED_IN", Src: SNBPerson, Dst: SNBPlace},
+		},
+	)
+}
+
+var firstNames = []string{"Jan", "Wei", "Ana", "Otto", "Maya", "Ivan", "Lena", "Hugo", "Nina", "Ravi", "Sara", "Tomo", "Yara", "Karl", "Mina", "Amir"}
+var lastNames = []string{"Ng", "Smith", "Garcia", "Kim", "Mueller", "Rossi", "Tanaka", "Singh", "Ivanov", "Silva", "Chen", "Dubois", "Novak", "Costa"}
+var browsers = []string{"Firefox", "Chrome", "Safari", "Opera"}
+var tagNames = []string{"music", "sports", "travel", "food", "tech", "art", "history", "science", "film", "books", "games", "nature", "fashion", "finance", "health", "politics"}
+var placeNames = []string{"Shanghai", "Berlin", "Lagos", "Lima", "Mumbai", "Osaka", "Paris", "Austin", "Cairo", "Sydney", "Toronto", "Oslo"}
+
+// SNBOptions scales the generator; Persons is the primary knob (the paper's
+// SF30/300/1000 become Persons=1k/3k/10k here).
+type SNBOptions struct {
+	Persons int
+	Seed    int64
+}
+
+// SNB generates a social-network property graph batch. Friendship degrees are
+// power-law (Zipf), posts and comments are attributed to members, likes and
+// tags follow popularity skew — the shapes the SNB interactive and BI query
+// mixes are sensitive to.
+func SNB(opt SNBOptions) *graph.Batch {
+	if opt.Persons <= 0 {
+		opt.Persons = 1000
+	}
+	r := rand.New(rand.NewSource(opt.Seed))
+	s := SNBSchema()
+	b := graph.NewBatch(s)
+
+	nPersons := opt.Persons
+	nForums := nPersons/10 + 1
+	nPosts := nPersons * 3
+	nComments := nPersons * 5
+	nTags := len(tagNames)
+	nPlaces := len(placeNames)
+	day := int64(86400)
+	epoch := int64(1_577_836_800) // 2020-01-01
+
+	// External ID spaces are disjoint per label by construction (0..count-1
+	// within each label).
+	for p := 0; p < nPersons; p++ {
+		b.AddVertex(SNBPerson, int64(p),
+			graph.StringValue(firstNames[r.Intn(len(firstNames))]),
+			graph.StringValue(lastNames[r.Intn(len(lastNames))]),
+			graph.IntValue(epoch-int64(r.Intn(20000))*day),
+			graph.IntValue(epoch+int64(r.Intn(1000))*day),
+			graph.StringValue(browsers[r.Intn(len(browsers))]),
+		)
+	}
+	for f := 0; f < nForums; f++ {
+		b.AddVertex(SNBForum, int64(f),
+			graph.StringValue(fmt.Sprintf("Forum %d about %s", f, tagNames[r.Intn(nTags)])),
+			graph.IntValue(epoch+int64(r.Intn(500))*day),
+		)
+	}
+	for t := 0; t < nTags; t++ {
+		b.AddVertex(SNBTag, int64(t), graph.StringValue(tagNames[t]))
+	}
+	for pl := 0; pl < nPlaces; pl++ {
+		b.AddVertex(SNBPlace, int64(pl), graph.StringValue(placeNames[pl]))
+	}
+	for po := 0; po < nPosts; po++ {
+		length := 20 + r.Intn(200)
+		b.AddVertex(SNBPost, int64(po),
+			graph.StringValue(fmt.Sprintf("post %d about %s", po, tagNames[r.Intn(nTags)])),
+			graph.IntValue(epoch+int64(r.Intn(1200))*day),
+			graph.IntValue(int64(length)),
+		)
+	}
+	for c := 0; c < nComments; c++ {
+		length := 5 + r.Intn(120)
+		b.AddVertex(SNBComment, int64(c),
+			graph.StringValue(fmt.Sprintf("comment %d", c)),
+			graph.IntValue(epoch+int64(r.Intn(1300))*day),
+			graph.IntValue(int64(length)),
+		)
+	}
+
+	// KNOWS: Zipf friend counts, deduplicated, stored in both directions
+	// (LDBC treats KNOWS as undirected; we materialize both arcs).
+	z := rand.NewZipf(r, 1.4, 3, 40)
+	type pair struct{ a, b int64 }
+	seen := map[pair]bool{}
+	for p := 0; p < nPersons; p++ {
+		d := int(z.Uint64()) + 1
+		for k := 0; k < d; k++ {
+			q := r.Intn(nPersons)
+			if q == p {
+				continue
+			}
+			a, bb := int64(p), int64(q)
+			if a > bb {
+				a, bb = bb, a
+			}
+			if seen[pair{a, bb}] {
+				continue
+			}
+			seen[pair{a, bb}] = true
+			date := graph.IntValue(epoch + int64(r.Intn(1000))*day)
+			b.AddEdge(SNBKnows, a, bb, date)
+			b.AddEdge(SNBKnows, bb, a, date)
+		}
+	}
+
+	// Posts: creator (popularity-skewed), forum container, tags.
+	for po := 0; po < nPosts; po++ {
+		creator := int64(skewed(r, nPersons))
+		b.AddEdge(SNBHasCreator, int64(po), creator)
+		b.AddEdge(SNBContainerOf, int64(r.Intn(nForums)), int64(po))
+		for _, tg := range pickTags(r, 1+r.Intn(3), nTags) {
+			b.AddEdge(SNBHasTag, int64(po), int64(tg))
+		}
+	}
+	// Comments reply to posts.
+	for c := 0; c < nComments; c++ {
+		b.AddEdge(SNBCommentHasCreator, int64(c), int64(skewed(r, nPersons)))
+		b.AddEdge(SNBReplyOf, int64(c), int64(r.Intn(nPosts)))
+	}
+	// Forum membership.
+	for f := 0; f < nForums; f++ {
+		members := 5 + r.Intn(nPersons/20+5)
+		for k := 0; k < members; k++ {
+			b.AddEdge(SNBHasMember, int64(f), int64(r.Intn(nPersons)),
+				graph.IntValue(epoch+int64(r.Intn(900))*day))
+		}
+	}
+	// Likes: popular posts accumulate likes.
+	nLikes := nPersons * 4
+	for k := 0; k < nLikes; k++ {
+		b.AddEdge(SNBLikes, int64(r.Intn(nPersons)), int64(skewed(r, nPosts)),
+			graph.IntValue(epoch+int64(r.Intn(1100))*day))
+	}
+	// Interests and locations.
+	for p := 0; p < nPersons; p++ {
+		for _, tg := range pickTags(r, 1+r.Intn(4), nTags) {
+			b.AddEdge(SNBHasInterest, int64(p), int64(tg))
+		}
+		b.AddEdge(SNBIsLocatedIn, int64(p), int64(r.Intn(nPlaces)))
+	}
+	return b
+}
+
+// skewed draws an index in [0, n) with popularity skew (low indexes hot).
+func skewed(r *rand.Rand, n int) int {
+	f := r.Float64()
+	f *= f // quadratic skew toward 0
+	return int(f * float64(n))
+}
+
+// pickTags draws k distinct tag indexes.
+func pickTags(r *rand.Rand, k, n int) []int {
+	if k > n {
+		k = n
+	}
+	seen := map[int]bool{}
+	var out []int
+	for len(out) < k {
+		t := r.Intn(n)
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package graph
+
+import "fmt"
+
+// PropDef describes one property of a vertex or edge label.
+type PropDef struct {
+	Name string
+	Kind Kind
+}
+
+// VertexLabel describes a vertex label: its name and property list. The
+// position of a PropDef in Props is its PropID.
+type VertexLabel struct {
+	Name  string
+	Props []PropDef
+}
+
+// EdgeLabel describes an edge label, including the (src, dst) vertex label
+// constraint used by the optimizer to prune expansions.
+type EdgeLabel struct {
+	Name  string
+	Src   LabelID // source vertex label (AnyLabel if unconstrained)
+	Dst   LabelID // destination vertex label
+	Props []PropDef
+}
+
+// Schema is the catalog of labels for one property graph. It is immutable
+// after construction and shared by storage backends, parsers and the
+// optimizer.
+type Schema struct {
+	Vertices []VertexLabel
+	Edges    []EdgeLabel
+
+	vByName map[string]LabelID
+	eByName map[string]LabelID
+}
+
+// NewSchema builds a schema from label definitions and indexes names.
+func NewSchema(vertices []VertexLabel, edges []EdgeLabel) *Schema {
+	s := &Schema{
+		Vertices: vertices,
+		Edges:    edges,
+		vByName:  make(map[string]LabelID, len(vertices)),
+		eByName:  make(map[string]LabelID, len(edges)),
+	}
+	for i, v := range vertices {
+		s.vByName[v.Name] = LabelID(i)
+	}
+	for i, e := range edges {
+		s.eByName[e.Name] = LabelID(i)
+	}
+	return s
+}
+
+// SimpleSchema returns the schema of an unlabeled (simple or weighted) graph:
+// one vertex label "V" and one edge label "E" with an optional float "weight".
+func SimpleSchema(weighted bool) *Schema {
+	var eprops []PropDef
+	if weighted {
+		eprops = []PropDef{{Name: "weight", Kind: KindFloat}}
+	}
+	return NewSchema(
+		[]VertexLabel{{Name: "V"}},
+		[]EdgeLabel{{Name: "E", Src: 0, Dst: 0, Props: eprops}},
+	)
+}
+
+// NumVertexLabels returns the number of vertex labels.
+func (s *Schema) NumVertexLabels() int { return len(s.Vertices) }
+
+// NumEdgeLabels returns the number of edge labels.
+func (s *Schema) NumEdgeLabels() int { return len(s.Edges) }
+
+// VertexLabelID resolves a vertex label name; ok is false if absent.
+func (s *Schema) VertexLabelID(name string) (LabelID, bool) {
+	id, ok := s.vByName[name]
+	return id, ok
+}
+
+// EdgeLabelID resolves an edge label name; ok is false if absent.
+func (s *Schema) EdgeLabelID(name string) (LabelID, bool) {
+	id, ok := s.eByName[name]
+	return id, ok
+}
+
+// VertexLabelName returns the name for a vertex label ID ("*" for AnyLabel).
+func (s *Schema) VertexLabelName(id LabelID) string {
+	if id == AnyLabel {
+		return "*"
+	}
+	if int(id) >= len(s.Vertices) {
+		return fmt.Sprintf("vlabel(%d)", id)
+	}
+	return s.Vertices[id].Name
+}
+
+// EdgeLabelName returns the name for an edge label ID ("*" for AnyLabel).
+func (s *Schema) EdgeLabelName(id LabelID) string {
+	if id == AnyLabel {
+		return "*"
+	}
+	if int(id) >= len(s.Edges) {
+		return fmt.Sprintf("elabel(%d)", id)
+	}
+	return s.Edges[id].Name
+}
+
+// VertexPropID resolves a property name within a vertex label.
+func (s *Schema) VertexPropID(label LabelID, name string) PropID {
+	if label == AnyLabel || int(label) >= len(s.Vertices) {
+		return NoProp
+	}
+	for i, p := range s.Vertices[label].Props {
+		if p.Name == name {
+			return PropID(i)
+		}
+	}
+	return NoProp
+}
+
+// EdgePropID resolves a property name within an edge label.
+func (s *Schema) EdgePropID(label LabelID, name string) PropID {
+	if label == AnyLabel || int(label) >= len(s.Edges) {
+		return NoProp
+	}
+	for i, p := range s.Edges[label].Props {
+		if p.Name == name {
+			return PropID(i)
+		}
+	}
+	return NoProp
+}

@@ -1,0 +1,75 @@
+// Package graph defines the core data model shared by every storage backend
+// and execution engine in the stack: vertex/edge identifiers, labels,
+// directions, property values, schemas and load batches.
+//
+// The model is the Labeled Property Graph (LPG) of the paper (§2.1): vertices
+// and edges carry a label and a set of typed properties. Simple and weighted
+// graphs are the degenerate cases with one label and zero or one property.
+package graph
+
+import "fmt"
+
+// VID is a dense internal vertex identifier. Storage backends assign internal
+// IDs so that vertices of one label occupy a contiguous range, which makes
+// per-label scans and analytics over the whole vertex set cheap.
+type VID uint32
+
+// EID is a dense internal edge identifier, assigned in out-CSR order by
+// immutable stores and in insertion order by dynamic stores. Edge property
+// columns are indexed by EID.
+type EID uint32
+
+// NilVID marks “no vertex”. Valid internal IDs are < NilVID.
+const NilVID = VID(^uint32(0))
+
+// NilEID marks “no edge”.
+const NilEID = EID(^uint32(0))
+
+// LabelID identifies a vertex or edge label within a schema. Vertex labels and
+// edge labels live in separate ID spaces.
+type LabelID int32
+
+// AnyLabel matches every label in scans and expansions.
+const AnyLabel = LabelID(-1)
+
+// PropID identifies a property within a label's property list.
+type PropID int32
+
+// NoProp marks “property not found” in schema lookups.
+const NoProp = PropID(-1)
+
+// Direction selects which adjacency of a vertex to traverse.
+type Direction uint8
+
+const (
+	// Out traverses edges whose source is the vertex.
+	Out Direction = iota
+	// In traverses edges whose destination is the vertex.
+	In
+	// Both traverses out-edges then in-edges.
+	Both
+)
+
+// String returns the conventional lowercase name of the direction.
+func (d Direction) String() string {
+	switch d {
+	case Out:
+		return "out"
+	case In:
+		return "in"
+	case Both:
+		return "both"
+	}
+	return fmt.Sprintf("Direction(%d)", uint8(d))
+}
+
+// Reverse flips Out and In; Both is its own reverse.
+func (d Direction) Reverse() Direction {
+	switch d {
+	case Out:
+		return In
+	case In:
+		return Out
+	}
+	return Both
+}

@@ -1,0 +1,239 @@
+package graph
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind enumerates the property value types of the IR data model D (§5.1):
+// primitives plus the graph-associated types carried through query pipelines.
+type Kind uint8
+
+const (
+	// KindNil is the zero Value: absent or NULL.
+	KindNil Kind = iota
+	// KindBool is a boolean.
+	KindBool
+	// KindInt is a 64-bit signed integer.
+	KindInt
+	// KindFloat is a 64-bit float.
+	KindFloat
+	// KindString is a UTF-8 string.
+	KindString
+	// KindVertex is a vertex reference (internal VID in I).
+	KindVertex
+	// KindEdge is an edge reference (internal EID in I).
+	KindEdge
+	// KindList is an ordered list of Values.
+	KindList
+)
+
+// String returns the lowercase kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindNil:
+		return "nil"
+	case KindBool:
+		return "bool"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindVertex:
+		return "vertex"
+	case KindEdge:
+		return "edge"
+	case KindList:
+		return "list"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Value is a compact tagged union holding one property or intermediate query
+// value. The zero Value is NULL. Values are small (no pointers except Str/Lst)
+// and copied freely through operator pipelines.
+type Value struct {
+	K   Kind
+	I   int64 // KindBool (0/1), KindInt, KindVertex, KindEdge
+	F   float64
+	S   string
+	Lst []Value
+}
+
+// NullValue is the NULL Value.
+var NullValue = Value{}
+
+// BoolValue wraps a bool.
+func BoolValue(b bool) Value {
+	v := Value{K: KindBool}
+	if b {
+		v.I = 1
+	}
+	return v
+}
+
+// IntValue wraps an int64.
+func IntValue(i int64) Value { return Value{K: KindInt, I: i} }
+
+// FloatValue wraps a float64.
+func FloatValue(f float64) Value { return Value{K: KindFloat, F: f} }
+
+// StringValue wraps a string.
+func StringValue(s string) Value { return Value{K: KindString, S: s} }
+
+// VertexValue wraps an internal vertex ID.
+func VertexValue(v VID) Value { return Value{K: KindVertex, I: int64(v)} }
+
+// EdgeValue wraps an internal edge ID.
+func EdgeValue(e EID) Value { return Value{K: KindEdge, I: int64(e)} }
+
+// ListValue wraps a list of values.
+func ListValue(vs []Value) Value { return Value{K: KindList, Lst: vs} }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.K == KindNil }
+
+// Bool returns the boolean payload; false for non-bool values.
+func (v Value) Bool() bool { return v.K == KindBool && v.I != 0 }
+
+// Int returns the integer payload, converting from float if needed.
+func (v Value) Int() int64 {
+	if v.K == KindFloat {
+		return int64(v.F)
+	}
+	return v.I
+}
+
+// Float returns the float payload, converting from int if needed.
+func (v Value) Float() float64 {
+	if v.K == KindInt || v.K == KindVertex || v.K == KindEdge || v.K == KindBool {
+		return float64(v.I)
+	}
+	return v.F
+}
+
+// Str returns the string payload; empty for non-strings.
+func (v Value) Str() string { return v.S }
+
+// Vertex returns the vertex payload; NilVID for non-vertex values.
+func (v Value) Vertex() VID {
+	if v.K != KindVertex {
+		return NilVID
+	}
+	return VID(v.I)
+}
+
+// Edge returns the edge payload; NilEID for non-edge values.
+func (v Value) Edge() EID {
+	if v.K != KindEdge {
+		return NilEID
+	}
+	return EID(v.I)
+}
+
+// numeric reports whether the value participates in arithmetic.
+func (v Value) numeric() bool { return v.K == KindInt || v.K == KindFloat }
+
+// Compare orders two values: -1, 0, +1. NULLs sort first; numerics compare
+// numerically across int/float; otherwise values compare within a kind and
+// kinds compare by their ordinal.
+func (v Value) Compare(o Value) int {
+	if v.K == KindNil || o.K == KindNil {
+		switch {
+		case v.K == o.K:
+			return 0
+		case v.K == KindNil:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if v.numeric() && o.numeric() {
+		a, b := v.Float(), o.Float()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if v.K != o.K {
+		if v.K < o.K {
+			return -1
+		}
+		return 1
+	}
+	switch v.K {
+	case KindBool, KindInt, KindVertex, KindEdge:
+		switch {
+		case v.I < o.I:
+			return -1
+		case v.I > o.I:
+			return 1
+		}
+		return 0
+	case KindString:
+		switch {
+		case v.S < o.S:
+			return -1
+		case v.S > o.S:
+			return 1
+		}
+		return 0
+	case KindList:
+		n := len(v.Lst)
+		if len(o.Lst) < n {
+			n = len(o.Lst)
+		}
+		for i := 0; i < n; i++ {
+			if c := v.Lst[i].Compare(o.Lst[i]); c != 0 {
+				return c
+			}
+		}
+		switch {
+		case len(v.Lst) < len(o.Lst):
+			return -1
+		case len(v.Lst) > len(o.Lst):
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+// Equal reports deep equality under Compare semantics.
+func (v Value) Equal(o Value) bool { return v.Compare(o) == 0 }
+
+// String renders the value for debugging and result printing.
+func (v Value) String() string {
+	switch v.K {
+	case KindNil:
+		return "null"
+	case KindBool:
+		return strconv.FormatBool(v.I != 0)
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindString:
+		return v.S
+	case KindVertex:
+		return fmt.Sprintf("v[%d]", v.I)
+	case KindEdge:
+		return fmt.Sprintf("e[%d]", v.I)
+	case KindList:
+		s := "["
+		for i, e := range v.Lst {
+			if i > 0 {
+				s += ", "
+			}
+			s += e.String()
+		}
+		return s + "]"
+	}
+	return "?"
+}

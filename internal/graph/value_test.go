@@ -1,0 +1,156 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	if !BoolValue(true).Bool() || BoolValue(false).Bool() {
+		t.Fatal("BoolValue round trip failed")
+	}
+	if IntValue(42).Int() != 42 {
+		t.Fatal("IntValue round trip failed")
+	}
+	if FloatValue(2.5).Float() != 2.5 {
+		t.Fatal("FloatValue round trip failed")
+	}
+	if StringValue("hi").Str() != "hi" {
+		t.Fatal("StringValue round trip failed")
+	}
+	if VertexValue(7).Vertex() != 7 {
+		t.Fatal("VertexValue round trip failed")
+	}
+	if EdgeValue(9).Edge() != 9 {
+		t.Fatal("EdgeValue round trip failed")
+	}
+	if !NullValue.IsNull() || IntValue(0).IsNull() {
+		t.Fatal("IsNull misclassified")
+	}
+}
+
+func TestValueCrossKindAccessors(t *testing.T) {
+	if IntValue(3).Float() != 3.0 {
+		t.Fatal("int should convert to float")
+	}
+	if FloatValue(3.9).Int() != 3 {
+		t.Fatal("float should truncate to int")
+	}
+	if StringValue("x").Vertex() != NilVID {
+		t.Fatal("non-vertex Vertex() should be NilVID")
+	}
+	if IntValue(1).Edge() != NilEID {
+		t.Fatal("non-edge Edge() should be NilEID")
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{IntValue(1), IntValue(2), -1},
+		{IntValue(2), IntValue(2), 0},
+		{IntValue(3), IntValue(2), 1},
+		{IntValue(1), FloatValue(1.5), -1}, // numeric cross-kind
+		{FloatValue(2.0), IntValue(2), 0},
+		{NullValue, IntValue(0), -1}, // null sorts first
+		{NullValue, NullValue, 0},
+		{StringValue("a"), StringValue("b"), -1},
+		{StringValue("b"), StringValue("b"), 0},
+		{BoolValue(false), BoolValue(true), -1},
+		{VertexValue(1), VertexValue(2), -1},
+		{ListValue([]Value{IntValue(1)}), ListValue([]Value{IntValue(1), IntValue(2)}), -1},
+		{ListValue([]Value{IntValue(2)}), ListValue([]Value{IntValue(1), IntValue(9)}), 1},
+		{IntValue(1), StringValue("1"), -1}, // kind ordinal: int < string
+	}
+	for i, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("case %d: Compare(%v,%v)=%d want %d", i, c.a, c.b, got, c.want)
+		}
+		if got := c.b.Compare(c.a); got != -c.want {
+			t.Errorf("case %d: reverse Compare(%v,%v)=%d want %d", i, c.b, c.a, got, -c.want)
+		}
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := map[string]Value{
+		"null":   NullValue,
+		"true":   BoolValue(true),
+		"42":     IntValue(42),
+		"2.5":    FloatValue(2.5),
+		"hi":     StringValue("hi"),
+		"v[3]":   VertexValue(3),
+		"e[4]":   EdgeValue(4),
+		"[1, 2]": ListValue([]Value{IntValue(1), IntValue(2)}),
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("String(%#v)=%q want %q", v, got, want)
+		}
+	}
+}
+
+// randomValue generates an arbitrary scalar Value for property tests.
+func randomValue(r *rand.Rand) Value {
+	switch r.Intn(5) {
+	case 0:
+		return NullValue
+	case 1:
+		return BoolValue(r.Intn(2) == 0)
+	case 2:
+		return IntValue(r.Int63n(1000) - 500)
+	case 3:
+		return FloatValue(r.NormFloat64())
+	default:
+		return StringValue(string(rune('a' + r.Intn(26))))
+	}
+}
+
+func TestValueCompareProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	// Antisymmetry: Compare(a,b) == -Compare(b,a).
+	antisym := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		a, b := randomValue(rr), randomValue(rr)
+		return a.Compare(b) == -b.Compare(a)
+	}
+	if err := quick.Check(antisym, nil); err != nil {
+		t.Error(err)
+	}
+	// Reflexivity: Compare(a,a) == 0 and Equal(a,a).
+	for i := 0; i < 200; i++ {
+		a := randomValue(r)
+		if a.Compare(a) != 0 || !a.Equal(a) {
+			t.Fatalf("value not equal to itself: %v", a)
+		}
+	}
+	// Transitivity on a sorted triple.
+	for i := 0; i < 200; i++ {
+		a, b, c := randomValue(r), randomValue(r), randomValue(r)
+		if a.Compare(b) <= 0 && b.Compare(c) <= 0 && a.Compare(c) > 0 {
+			t.Fatalf("transitivity violated: %v %v %v", a, b, c)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := []Kind{KindNil, KindBool, KindInt, KindFloat, KindString, KindVertex, KindEdge, KindList}
+	names := []string{"nil", "bool", "int", "float", "string", "vertex", "edge", "list"}
+	for i, k := range kinds {
+		if k.String() != names[i] {
+			t.Errorf("Kind(%d).String()=%q want %q", k, k.String(), names[i])
+		}
+	}
+}
+
+func TestDirection(t *testing.T) {
+	if Out.Reverse() != In || In.Reverse() != Out || Both.Reverse() != Both {
+		t.Fatal("Direction.Reverse wrong")
+	}
+	if Out.String() != "out" || In.String() != "in" || Both.String() != "both" {
+		t.Fatal("Direction.String wrong")
+	}
+}

@@ -1,0 +1,124 @@
+package grin
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// stubGraph implements only the core topology trait.
+type stubGraph struct {
+	n   int
+	adj map[graph.VID][]Target
+}
+
+func (s *stubGraph) NumVertices() int { return s.n }
+func (s *stubGraph) NumEdges() int {
+	m := 0
+	for _, a := range s.adj {
+		m += len(a)
+	}
+	return m
+}
+func (s *stubGraph) Degree(v graph.VID, dir graph.Direction) int { return len(s.adj[v]) }
+func (s *stubGraph) Neighbors(v graph.VID, dir graph.Direction, yield func(graph.VID, graph.EID) bool) {
+	for _, t := range s.adj[v] {
+		if !yield(t.Nbr, t.Edge) {
+			return
+		}
+	}
+}
+
+func TestTraitNamesDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for tr := Trait(0); tr < numTraits; tr++ {
+		name := tr.String()
+		if name == "" || strings.HasPrefix(name, "trait(") || seen[name] {
+			t.Fatalf("bad trait name %q", name)
+		}
+		seen[name] = true
+	}
+}
+
+func TestHasOnMinimalBackend(t *testing.T) {
+	g := &stubGraph{n: 2, adj: map[graph.VID][]Target{0: {{Nbr: 1, Edge: 0}}}}
+	if !Has(g, TraitTopology) {
+		t.Fatal("topology should always hold for non-nil graphs")
+	}
+	for tr := TraitAdjArray; tr < numTraits; tr++ {
+		if Has(g, tr) {
+			t.Fatalf("stub should not provide %v", tr)
+		}
+	}
+	ts := Traits(g)
+	if len(ts) != 1 || ts[0] != TraitTopology {
+		t.Fatalf("Traits = %v", ts)
+	}
+}
+
+func TestRequireErrorNamesUnknownBackend(t *testing.T) {
+	g := &stubGraph{n: 1}
+	err := Require(g, "test-engine", TraitIndex)
+	if err == nil {
+		t.Fatal("missing trait accepted")
+	}
+	mt, ok := err.(*ErrMissingTrait)
+	if !ok {
+		t.Fatalf("wrong error type %T", err)
+	}
+	if mt.Backend != "unknown" || mt.Engine != "test-engine" || mt.Trait != TraitIndex {
+		t.Fatalf("error fields: %+v", mt)
+	}
+	if !strings.Contains(mt.Error(), "index") {
+		t.Fatal("error message missing trait name")
+	}
+}
+
+func TestHelpersFallBackToIterator(t *testing.T) {
+	g := &stubGraph{n: 3, adj: map[graph.VID][]Target{
+		0: {{Nbr: 1, Edge: 0}, {Nbr: 2, Edge: 1}},
+	}}
+	var ns []graph.VID
+	ForEachNeighbor(g, 0, graph.Out, func(n graph.VID, _ graph.EID) bool {
+		ns = append(ns, n)
+		return true
+	})
+	if len(ns) != 2 {
+		t.Fatalf("iterator fallback got %v", ns)
+	}
+	// Early stop through the fallback.
+	count := 0
+	ForEachNeighbor(g, 0, graph.Out, func(graph.VID, graph.EID) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Fatal("early stop ignored")
+	}
+	if got := CollectNeighbors(g, 0, graph.Out); len(got) != 2 {
+		t.Fatalf("CollectNeighbors got %v", got)
+	}
+	if Weight(g, 0) != 1.0 {
+		t.Fatal("weight fallback should be 1")
+	}
+}
+
+func TestScanLabelFallsBackToFullScan(t *testing.T) {
+	// No index, predicate or property traits: ScanLabel visits everything.
+	g := &stubGraph{n: 4}
+	var vs []graph.VID
+	ScanLabel(g, graph.AnyLabel, func(v graph.VID) bool {
+		vs = append(vs, v)
+		return true
+	})
+	if len(vs) != 4 {
+		t.Fatalf("full-scan fallback got %v", vs)
+	}
+	// Early stop.
+	n := 0
+	ScanLabel(g, graph.AnyLabel, func(graph.VID) bool { n++; return false })
+	if n != 1 {
+		t.Fatal("scan early stop ignored")
+	}
+}

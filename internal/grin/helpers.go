@@ -1,0 +1,84 @@
+package grin
+
+import "repro/internal/graph"
+
+// ForEachNeighbor iterates the adjacency of v using the fastest trait the
+// backend offers: the zero-copy array trait when present, otherwise the
+// iterator trait. Engines use this helper so the trait dispatch lives in one
+// place.
+func ForEachNeighbor(g Graph, v graph.VID, dir graph.Direction, yield func(nbr graph.VID, e graph.EID) bool) {
+	if aa, ok := g.(AdjArray); ok {
+		// AdjSlice is defined per single direction; expand Both into two
+		// passes so in-edges are not silently dropped.
+		if dir == graph.Both {
+			for _, t := range aa.AdjSlice(v, graph.Out) {
+				if !yield(t.Nbr, t.Edge) {
+					return
+				}
+			}
+			for _, t := range aa.AdjSlice(v, graph.In) {
+				if !yield(t.Nbr, t.Edge) {
+					return
+				}
+			}
+			return
+		}
+		for _, t := range aa.AdjSlice(v, dir) {
+			if !yield(t.Nbr, t.Edge) {
+				return
+			}
+		}
+		return
+	}
+	g.Neighbors(v, dir, yield)
+}
+
+// CollectNeighbors materializes the adjacency of v; used by tests and by
+// operators that need random access to a small neighbor set.
+func CollectNeighbors(g Graph, v graph.VID, dir graph.Direction) []Target {
+	var out []Target
+	ForEachNeighbor(g, v, dir, func(nbr graph.VID, e graph.EID) bool {
+		out = append(out, Target{Nbr: nbr, Edge: e})
+		return true
+	})
+	return out
+}
+
+// ScanLabel iterates every vertex of a label, preferring the index trait's
+// O(1) label range, then the predicate trait, then a full scan with label
+// filtering through the property trait.
+func ScanLabel(g Graph, label graph.LabelID, yield func(graph.VID) bool) {
+	if idx, ok := g.(Index); ok {
+		if lo, hi, rangeOK := idx.LabelRange(label); rangeOK {
+			for v := lo; v < hi; v++ {
+				if !yield(v) {
+					return
+				}
+			}
+			return
+		}
+	}
+	if pp, ok := g.(PredicatePush); ok {
+		pp.ScanVertices(label, nil, yield)
+		return
+	}
+	pr, hasProps := g.(PropertyReader)
+	n := graph.VID(g.NumVertices())
+	for v := graph.VID(0); v < n; v++ {
+		if label != graph.AnyLabel && hasProps && pr.VertexLabel(v) != label {
+			continue
+		}
+		if !yield(v) {
+			return
+		}
+	}
+}
+
+// Weight returns the edge weight via the weight trait, falling back to 1.0
+// for unweighted backends.
+func Weight(g Graph, e graph.EID) float64 {
+	if wr, ok := g.(WeightReader); ok {
+		return wr.EdgeWeight(e)
+	}
+	return 1.0
+}

@@ -1,0 +1,234 @@
+// Package gnn implements the models the learning stack trains: a GraphSAGE
+// node classifier with mean aggregation and manual backpropagation, and the
+// NCN common-neighbor link predictor of the social-relation use case (§8).
+package gnn
+
+import (
+	"math/rand"
+
+	"repro/internal/learning/sampler"
+	"repro/internal/learning/tensor"
+)
+
+// SAGELayer is one GraphSAGE layer: h' = ReLU(h_self·Wself + mean(h_nbr)·Wneigh + b).
+type SAGELayer struct {
+	Wself  *tensor.Matrix
+	Wneigh *tensor.Matrix
+	Bias   []float32
+}
+
+// SAGE is a stack of layers plus a linear classifier head.
+type SAGE struct {
+	Layers []*SAGELayer
+	Head   *tensor.Matrix // hidden × classes
+	HeadB  []float32
+	LR     float32
+}
+
+// NewSAGE builds a GraphSAGE model: inDim → hidden (×layers) → classes.
+func NewSAGE(inDim, hidden, classes, layers int, seed int64) *SAGE {
+	r := rand.New(rand.NewSource(seed))
+	m := &SAGE{LR: 0.05, Head: tensor.NewRandom(hidden, classes, r), HeadB: make([]float32, classes)}
+	d := inDim
+	for l := 0; l < layers; l++ {
+		m.Layers = append(m.Layers, &SAGELayer{
+			Wself:  tensor.NewRandom(d, hidden, r),
+			Wneigh: tensor.NewRandom(d, hidden, r),
+			Bias:   make([]float32, hidden),
+		})
+		d = hidden
+	}
+	return m
+}
+
+// layerCache holds forward intermediates needed by backward.
+type layerCache struct {
+	hSelf  *tensor.Matrix // inputs gathered for self
+	hMean  *tensor.Matrix // mean-aggregated neighbor inputs
+	mask   []bool         // ReLU mask
+	blk    sampler.Block
+	inRows int // rows of the layer's input H
+}
+
+// Forward runs the model over a mini-batch, returning seed logits and the
+// caches for Backward.
+func (m *SAGE) Forward(mb *sampler.MiniBatch) (*tensor.Matrix, []layerCache) {
+	if len(mb.Blocks) != len(m.Layers) {
+		panic("gnn: blocks/layers mismatch")
+	}
+	h := mb.Feats
+	caches := make([]layerCache, len(m.Layers))
+	for l, layer := range m.Layers {
+		blk := mb.Blocks[l]
+		nDst := len(blk.SelfIdx)
+		hSelf := tensor.New(nDst, h.Cols)
+		hMean := tensor.New(nDst, h.Cols)
+		for i := 0; i < nDst; i++ {
+			copy(hSelf.Row(i), h.Row(int(blk.SelfIdx[i])))
+			nbrs := blk.Nbrs[i]
+			if len(nbrs) == 0 {
+				continue
+			}
+			mr := hMean.Row(i)
+			for _, ni := range nbrs {
+				nr := h.Row(int(ni))
+				for j := range mr {
+					mr[j] += nr[j]
+				}
+			}
+			inv := 1 / float32(len(nbrs))
+			for j := range mr {
+				mr[j] *= inv
+			}
+		}
+		out := tensor.Add(tensor.MatMul(hSelf, layer.Wself), tensor.MatMul(hMean, layer.Wneigh))
+		out.AddBiasInPlace(layer.Bias)
+		mask := out.ReLUInPlace()
+		caches[l] = layerCache{hSelf: hSelf, hMean: hMean, mask: mask, blk: blk, inRows: h.Rows}
+		h = out
+	}
+	logits := tensor.MatMul(h, m.Head)
+	logits.AddBiasInPlace(m.HeadB)
+	caches = append(caches, layerCache{hSelf: h}) // head input
+	return logits, caches
+}
+
+// TrainStep runs forward + backward + SGD on one mini-batch, returning the
+// mean cross-entropy loss.
+func (m *SAGE) TrainStep(mb *sampler.MiniBatch) float64 {
+	logits, caches := m.Forward(mb)
+	loss, dLogits := tensor.SoftmaxCrossEntropy(logits, mb.Labels)
+
+	// Head gradients.
+	headIn := caches[len(caches)-1].hSelf
+	dHead := tensor.MatMulATB(headIn, dLogits)
+	dBias := colSums(dLogits)
+	dH := tensor.MatMulABT(dLogits, m.Head)
+	m.Head.AXPYInPlace(-m.LR, dHead)
+	axpyVec(m.HeadB, -m.LR, dBias)
+
+	// Layer gradients, last to first.
+	for l := len(m.Layers) - 1; l >= 0; l-- {
+		layer := m.Layers[l]
+		c := caches[l]
+		dH.ApplyMaskInPlace(c.mask)
+		dWself := tensor.MatMulATB(c.hSelf, dH)
+		dWneigh := tensor.MatMulATB(c.hMean, dH)
+		dB := colSums(dH)
+		var dHin *tensor.Matrix
+		if l > 0 {
+			// Scatter gradients back to the previous layer's rows.
+			dSelf := tensor.MatMulABT(dH, layer.Wself)
+			dMean := tensor.MatMulABT(dH, layer.Wneigh)
+			dHin = tensor.New(c.inRows, dSelf.Cols)
+			for i := 0; i < len(c.blk.SelfIdx); i++ {
+				addRow(dHin.Row(int(c.blk.SelfIdx[i])), dSelf.Row(i), 1)
+				nbrs := c.blk.Nbrs[i]
+				if len(nbrs) == 0 {
+					continue
+				}
+				inv := 1 / float32(len(nbrs))
+				for _, ni := range nbrs {
+					addRow(dHin.Row(int(ni)), dMean.Row(i), inv)
+				}
+			}
+		}
+		layer.Wself.AXPYInPlace(-m.LR, dWself)
+		layer.Wneigh.AXPYInPlace(-m.LR, dWneigh)
+		axpyVec(layer.Bias, -m.LR, dB)
+		dH = dHin
+	}
+	return loss
+}
+
+// Predict returns argmax classes for a mini-batch's seeds.
+func (m *SAGE) Predict(mb *sampler.MiniBatch) []int {
+	logits, _ := m.Forward(mb)
+	return logits.Argmax()
+}
+
+// Accuracy evaluates prediction accuracy on a batch.
+func (m *SAGE) Accuracy(mb *sampler.MiniBatch) float64 {
+	pred := m.Predict(mb)
+	hit := 0
+	for i, p := range pred {
+		if p == mb.Labels[i] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(pred))
+}
+
+// Clone deep-copies the model (per-trainer replicas in data-parallel runs).
+func (m *SAGE) Clone() *SAGE {
+	c := &SAGE{LR: m.LR, Head: m.Head.Clone(), HeadB: append([]float32(nil), m.HeadB...)}
+	for _, l := range m.Layers {
+		c.Layers = append(c.Layers, &SAGELayer{
+			Wself:  l.Wself.Clone(),
+			Wneigh: l.Wneigh.Clone(),
+			Bias:   append([]float32(nil), l.Bias...),
+		})
+	}
+	return c
+}
+
+// AverageFrom overwrites this model with the parameter average of replicas
+// (parameter averaging after a data-parallel epoch).
+func (m *SAGE) AverageFrom(replicas []*SAGE) {
+	if len(replicas) == 0 {
+		return
+	}
+	inv := 1 / float32(len(replicas))
+	avg := func(dst *tensor.Matrix, pick func(r *SAGE) *tensor.Matrix) {
+		for i := range dst.Data {
+			var s float32
+			for _, r := range replicas {
+				s += pick(r).Data[i]
+			}
+			dst.Data[i] = s * inv
+		}
+	}
+	avg(m.Head, func(r *SAGE) *tensor.Matrix { return r.Head })
+	for j := range m.HeadB {
+		var s float32
+		for _, r := range replicas {
+			s += r.HeadB[j]
+		}
+		m.HeadB[j] = s * inv
+	}
+	for li, l := range m.Layers {
+		li := li
+		avg(l.Wself, func(r *SAGE) *tensor.Matrix { return r.Layers[li].Wself })
+		avg(l.Wneigh, func(r *SAGE) *tensor.Matrix { return r.Layers[li].Wneigh })
+		for j := range l.Bias {
+			var s float32
+			for _, r := range replicas {
+				s += r.Layers[li].Bias[j]
+			}
+			l.Bias[j] = s * inv
+		}
+	}
+}
+
+func colSums(m *tensor.Matrix) []float32 {
+	out := make([]float32, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		r := m.Row(i)
+		for j, v := range r {
+			out[j] += v
+		}
+	}
+	return out
+}
+
+func axpyVec(dst []float32, f float32, src []float32) {
+	for i := range dst {
+		dst[i] += f * src[i]
+	}
+}
+
+func addRow(dst, src []float32, f float32) {
+	for i := range dst {
+		dst[i] += f * src[i]
+	}
+}

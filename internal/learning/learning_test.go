@@ -1,0 +1,239 @@
+// Package learning_test integration-tests the learning stack: sampler shape
+// invariants, GraphSAGE learning on class-correlated features, NCN link
+// prediction, and the decoupled pipeline.
+package learning_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/learning/gnn"
+	"repro/internal/learning/pipeline"
+	"repro/internal/learning/sampler"
+	"repro/internal/learning/tensor"
+)
+
+func TestTensorOps(t *testing.T) {
+	a := tensor.FromRows([][]float32{{1, 2}, {3, 4}})
+	b := tensor.FromRows([][]float32{{5, 6}, {7, 8}})
+	c := tensor.MatMul(a, b)
+	want := [][]float32{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if c.Row(i)[j] != want[i][j] {
+				t.Fatalf("matmul[%d][%d]=%v", i, j, c.Row(i)[j])
+			}
+		}
+	}
+	// aᵀ·b and a·bᵀ consistency with explicit transpose.
+	atb := tensor.MatMulATB(a, b)
+	if atb.Row(0)[0] != 1*5+3*7 {
+		t.Fatalf("ATB wrong: %v", atb.Row(0))
+	}
+	abt := tensor.MatMulABT(a, b)
+	if abt.Row(0)[0] != 1*5+2*6 {
+		t.Fatalf("ABT wrong: %v", abt.Row(0))
+	}
+	// ReLU + mask round trip.
+	m := tensor.FromRows([][]float32{{-1, 2}})
+	mask := m.ReLUInPlace()
+	if m.Row(0)[0] != 0 || m.Row(0)[1] != 2 || mask[0] || !mask[1] {
+		t.Fatal("relu wrong")
+	}
+	g := tensor.FromRows([][]float32{{5, 5}})
+	g.ApplyMaskInPlace(mask)
+	if g.Row(0)[0] != 0 || g.Row(0)[1] != 5 {
+		t.Fatal("mask backward wrong")
+	}
+	// Softmax CE: a confident correct prediction has low loss.
+	logits := tensor.FromRows([][]float32{{10, 0}})
+	loss, grad := tensor.SoftmaxCrossEntropy(logits, []int{0})
+	if loss > 0.01 {
+		t.Fatalf("confident loss %v", loss)
+	}
+	if grad.Row(0)[0] > 0 {
+		t.Fatal("gradient sign wrong")
+	}
+	if tensor.Sigmoid(0) != 0.5 {
+		t.Fatal("sigmoid")
+	}
+}
+
+func TestSamplerShapes(t *testing.T) {
+	d, err := dataset.GNNByName("PD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := d.Graph.ToCSR(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sampler.New(g, d.Feats.Features, d.Feats.Labels, sampler.Options{
+		Fanouts: []int{5, 3}, Workers: 2, Seed: 1,
+	})
+	seeds := []graph.VID{0, 1, 2, 3, 4, 5, 6, 7}
+	mb := s.Sample(seeds, rand.New(rand.NewSource(2)))
+	if len(mb.Blocks) != 2 {
+		t.Fatalf("blocks %d", len(mb.Blocks))
+	}
+	// The innermost block's dst set is the seeds.
+	inner := mb.Blocks[len(mb.Blocks)-1]
+	if len(inner.SelfIdx) != len(seeds) {
+		t.Fatalf("inner dst %d", len(inner.SelfIdx))
+	}
+	for i, si := range inner.SelfIdx {
+		if inner.Nodes[si] != seeds[i] {
+			t.Fatal("self index broken")
+		}
+	}
+	// Fanout bounds hold.
+	for _, blk := range mb.Blocks {
+		for i, nbrs := range blk.Nbrs {
+			if len(nbrs) > 5 {
+				t.Fatalf("fanout exceeded: %d", len(nbrs))
+			}
+			for _, ni := range nbrs {
+				if int(ni) >= len(blk.Nodes) {
+					t.Fatalf("neighbor index out of range at dst %d", i)
+				}
+			}
+		}
+	}
+	// Features align with the outermost block.
+	if mb.Feats.Rows != len(mb.Blocks[0].Nodes) {
+		t.Fatal("features misaligned")
+	}
+	if len(mb.Labels) != len(seeds) {
+		t.Fatal("labels misaligned")
+	}
+	// Determinism under the same rng seed.
+	mb2 := s.Sample(seeds, rand.New(rand.NewSource(2)))
+	if len(mb2.Blocks[0].Nodes) != len(mb.Blocks[0].Nodes) {
+		t.Fatal("sampling not deterministic")
+	}
+}
+
+func TestSAGELearnsClassCorrelatedFeatures(t *testing.T) {
+	d, err := dataset.GNNByName("PD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := d.Graph.ToCSR(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sampler.New(g, d.Feats.Features, d.Feats.Labels, sampler.Options{
+		Fanouts: []int{8, 4}, Workers: 2, Seed: 3,
+	})
+	model := gnn.NewSAGE(d.Feats.Dim, 32, d.Feats.Classes, 2, 4)
+	rng := rand.New(rand.NewSource(5))
+	seeds := make([]graph.VID, 512)
+	for i := range seeds {
+		seeds[i] = graph.VID(rng.Intn(g.NumVertices()))
+	}
+	firstLoss, lastLoss := 0.0, 0.0
+	for epoch := 0; epoch < 8; epoch++ {
+		total := 0.0
+		n := 0
+		for lo := 0; lo < len(seeds); lo += 128 {
+			mb := s.Sample(seeds[lo:lo+128], rng)
+			total += model.TrainStep(mb)
+			n++
+		}
+		avg := total / float64(n)
+		if epoch == 0 {
+			firstLoss = avg
+		}
+		lastLoss = avg
+	}
+	if lastLoss >= firstLoss*0.8 {
+		t.Fatalf("loss did not decrease: %v -> %v", firstLoss, lastLoss)
+	}
+	// Accuracy should clearly beat chance (classes are feature-separable).
+	mb := s.Sample(seeds[:256], rng)
+	acc := model.Accuracy(mb)
+	if acc < 2.0/float64(d.Feats.Classes) {
+		t.Fatalf("accuracy %v not above chance", acc)
+	}
+}
+
+func TestCommonNeighbors(t *testing.T) {
+	g, _ := dataset.Datagen("t", 50, 0, 1).ToCSR(false)
+	_ = g
+	// Build a tiny explicit graph: 0->2, 1->2, 0->3, 1->4.
+	s := &dataset.Simple{N: 5,
+		Src: []graph.VID{0, 1, 0, 1},
+		Dst: []graph.VID{2, 2, 3, 4},
+	}
+	cg, err := s.ToCSR(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn := sampler.CommonNeighbors(cg, 0, 1)
+	if len(cn) != 1 || cn[0] != 2 {
+		t.Fatalf("common neighbors = %v", cn)
+	}
+}
+
+func TestNCNLearnsLinkPrediction(t *testing.T) {
+	// Community structure makes links predictable from common neighbors.
+	full := dataset.Community("soc", 400, 10, 12, 0.05, 11)
+	train, posU, posV, negU, negV := dataset.TrainTestEdges(full, 0.15, 12)
+	g, err := train.ToCSR(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := gnn.NewNCN(g, 16, 13)
+	rng := rand.New(rand.NewSource(14))
+	// Train on training edges as positives and random non-edges as
+	// negatives.
+	for iter := 0; iter < 8000; iter++ {
+		if iter%2 == 0 {
+			i := rng.Intn(train.NumEdges())
+			m.TrainStep(train.Src[i], train.Dst[i], 1)
+		} else {
+			u, v := graph.VID(rng.Intn(g.NumVertices())), graph.VID(rng.Intn(g.NumVertices()))
+			m.TrainStep(u, v, 0)
+		}
+	}
+	auc := m.AUCApprox(posU[:50], posV[:50], negU[:50], negV[:50])
+	if auc < 0.6 {
+		t.Fatalf("AUC %v too low — NCN did not learn", auc)
+	}
+}
+
+func TestPipelineDecoupledMatchesCoupledLossScale(t *testing.T) {
+	d, err := dataset.GNNByName("PD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := d.Graph.ToCSR(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := make([]graph.VID, 600)
+	for i := range seeds {
+		seeds[i] = graph.VID(i % g.NumVertices())
+	}
+	run := func(opt pipeline.Options) pipeline.EpochStats {
+		s := sampler.New(g, d.Feats.Features, d.Feats.Labels, sampler.Options{Fanouts: []int{6, 3}, Workers: 2, Seed: 21})
+		model := gnn.NewSAGE(d.Feats.Dim, 16, d.Feats.Classes, 2, 22)
+		p := pipeline.New(s, model, opt)
+		var st pipeline.EpochStats
+		for e := 0; e < 2; e++ {
+			st = p.RunEpoch(seeds, e)
+		}
+		return st
+	}
+	dec := run(pipeline.Options{SamplingWorkers: 2, TrainingWorkers: 2, BatchSize: 100, Prefetch: 2, Seed: 23})
+	cpl := run(pipeline.Options{TrainingWorkers: 2, BatchSize: 100, Coupled: true, Seed: 23})
+	if dec.Batches != cpl.Batches || dec.Batches != 6 {
+		t.Fatalf("batch counts: decoupled %d coupled %d", dec.Batches, cpl.Batches)
+	}
+	// Both train: losses must be finite and in a sane range.
+	if dec.Loss <= 0 || cpl.Loss <= 0 || dec.Loss > 10 || cpl.Loss > 10 {
+		t.Fatalf("losses out of range: %v %v", dec.Loss, cpl.Loss)
+	}
+}

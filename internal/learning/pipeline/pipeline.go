@@ -1,0 +1,209 @@
+// Package pipeline implements the decoupled sampling/training architecture
+// of §7: sampling servers and training servers scale independently, batches
+// flow through an asynchronous channel, and each trainer keeps a prefetch
+// cache so it never idles waiting for a single slow sampling task.
+package pipeline
+
+import (
+	"math/rand"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/learning/gnn"
+	"repro/internal/learning/sampler"
+)
+
+// Options configures a training pipeline.
+type Options struct {
+	// SamplingWorkers is the number of sampling server processes.
+	SamplingWorkers int
+	// TrainingWorkers is the number of training server processes.
+	TrainingWorkers int
+	// BatchSize is the seed count per mini-batch.
+	BatchSize int
+	// Prefetch is the per-trainer prefetch cache depth; 0 disables
+	// prefetching (the ablation arm).
+	Prefetch int
+	// Coupled runs sampling inline inside the trainer (the non-decoupled
+	// ablation arm: one process alternates sample/train).
+	Coupled bool
+	// Seed drives seed shuffling and neighbor sampling.
+	Seed int64
+}
+
+// EpochStats reports one epoch of training.
+type EpochStats struct {
+	Batches int
+	Loss    float64 // mean over batches
+}
+
+// Pipeline wires samplers to trainers for one model.
+type Pipeline struct {
+	s   *sampler.Sampler
+	m   *gnn.SAGE
+	opt Options
+}
+
+// New builds a pipeline.
+func New(s *sampler.Sampler, m *gnn.SAGE, opt Options) *Pipeline {
+	if opt.SamplingWorkers <= 0 {
+		opt.SamplingWorkers = 1
+	}
+	if opt.TrainingWorkers <= 0 {
+		opt.TrainingWorkers = 1
+	}
+	if opt.BatchSize <= 0 {
+		opt.BatchSize = 256
+	}
+	return &Pipeline{s: s, m: m, opt: opt}
+}
+
+// RunEpoch trains one epoch over the seed set and returns stats. Gradient
+// application is serialized on the shared model (data-parallel trainers with
+// a shared parameter store); sampling and training overlap through the batch
+// channel.
+func (p *Pipeline) RunEpoch(seeds []graph.VID, epoch int) EpochStats {
+	rng := rand.New(rand.NewSource(p.opt.Seed + int64(epoch)*7919))
+	shuffled := append([]graph.VID(nil), seeds...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+
+	var batches [][]graph.VID
+	for lo := 0; lo < len(shuffled); lo += p.opt.BatchSize {
+		hi := lo + p.opt.BatchSize
+		if hi > len(shuffled) {
+			hi = len(shuffled)
+		}
+		batches = append(batches, shuffled[lo:hi])
+	}
+
+	if p.opt.Coupled {
+		return p.runCoupled(batches, rng)
+	}
+	return p.runDecoupled(batches, rng)
+}
+
+// runCoupled alternates sampling and training in each worker — the
+// resource-inefficient arrangement §7 motivates against.
+func (p *Pipeline) runCoupled(batches [][]graph.VID, rng *rand.Rand) EpochStats {
+	var mu sync.Mutex
+	stats := EpochStats{}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	go func() {
+		for i := range batches {
+			idx <- i
+		}
+		close(idx)
+	}()
+	seeds := make([]int64, len(batches))
+	for i := range seeds {
+		seeds[i] = rng.Int63()
+	}
+	replicas := make([]*gnn.SAGE, p.opt.TrainingWorkers)
+	for w := 0; w < p.opt.TrainingWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := p.m.Clone()
+			replicas[w] = local
+			for i := range idx {
+				r := rand.New(rand.NewSource(seeds[i]))
+				mb := p.s.Sample(batches[i], r)
+				loss := local.TrainStep(mb)
+				mu.Lock()
+				stats.Loss += loss
+				stats.Batches++
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	p.m.AverageFrom(replicas)
+	if stats.Batches > 0 {
+		stats.Loss /= float64(stats.Batches)
+	}
+	return stats
+}
+
+// runDecoupled runs sampling servers feeding training servers through an
+// asynchronous channel with per-trainer prefetch caches.
+func (p *Pipeline) runDecoupled(batches [][]graph.VID, rng *rand.Rand) EpochStats {
+	depth := p.opt.Prefetch
+	if depth <= 0 {
+		depth = 1
+	}
+	// The sample channel: sampling servers write, trainers prefetch.
+	sampleCh := make(chan *sampler.MiniBatch, depth*p.opt.TrainingWorkers)
+
+	seeds := make([]int64, len(batches))
+	for i := range seeds {
+		seeds[i] = rng.Int63()
+	}
+	var sampleWG sync.WaitGroup
+	next := make(chan int)
+	go func() {
+		for i := range batches {
+			next <- i
+		}
+		close(next)
+	}()
+	for w := 0; w < p.opt.SamplingWorkers; w++ {
+		sampleWG.Add(1)
+		go func() {
+			defer sampleWG.Done()
+			for i := range next {
+				r := rand.New(rand.NewSource(seeds[i]))
+				sampleCh <- p.s.Sample(batches[i], r)
+			}
+		}()
+	}
+	go func() {
+		sampleWG.Wait()
+		close(sampleCh)
+	}()
+
+	// Each training server trains a local model replica (data parallelism);
+	// parameters are averaged into the shared model after the epoch —
+	// training therefore scales with TrainingWorkers instead of serializing
+	// on one parameter store.
+	var mu sync.Mutex
+	stats := EpochStats{}
+	replicas := make([]*gnn.SAGE, p.opt.TrainingWorkers)
+	var trainWG sync.WaitGroup
+	for w := 0; w < p.opt.TrainingWorkers; w++ {
+		trainWG.Add(1)
+		go func(w int) {
+			defer trainWG.Done()
+			local := p.m.Clone()
+			replicas[w] = local
+			// Prefetch cache: pull ahead so training never blocks on one
+			// slow sampling task.
+			cache := make([]*sampler.MiniBatch, 0, depth)
+			for {
+				for len(cache) < depth {
+					mb, ok := <-sampleCh
+					if !ok {
+						break
+					}
+					cache = append(cache, mb)
+				}
+				if len(cache) == 0 {
+					return
+				}
+				mb := cache[0]
+				cache = cache[1:]
+				loss := local.TrainStep(mb)
+				mu.Lock()
+				stats.Loss += loss
+				stats.Batches++
+				mu.Unlock()
+			}
+		}(w)
+	}
+	trainWG.Wait()
+	p.m.AverageFrom(replicas)
+	if stats.Batches > 0 {
+		stats.Loss /= float64(stats.Batches)
+	}
+	return stats
+}

@@ -1,0 +1,197 @@
+// Package sampler implements the graph sampling side of the learning stack
+// (§7): multi-hop neighbor sampling with per-hop fan-outs, modeled as a
+// dataflow whose per-hop tasks parallelize across graph partitions, plus
+// feature collection as the sink node.
+package sampler
+
+import (
+	"math/rand"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/grin"
+	"repro/internal/learning/tensor"
+)
+
+// Block is one hop of a sampled computation graph: for each destination node
+// (index into the next layer's node list), the indexes of its sampled
+// neighbors within this layer's node list.
+type Block struct {
+	// Nodes are this layer's vertex IDs (inputs to the hop).
+	Nodes []graph.VID
+	// DstCount is the size of the next (output) layer; dst i's neighbors
+	// are Nbrs[i], indexes into Nodes. Dst i itself is Nodes[SelfIdx[i]].
+	Nbrs    [][]int32
+	SelfIdx []int32
+}
+
+// MiniBatch is the training unit flowing from samplers to trainers.
+type MiniBatch struct {
+	Seeds  []graph.VID
+	Blocks []Block // Blocks[0] is the outermost hop (largest node set)
+	// Feats are the input features of Blocks[0].Nodes.
+	Feats *tensor.Matrix
+	// Labels are the seed labels (classification tasks).
+	Labels []int
+}
+
+// Options configures a Sampler.
+type Options struct {
+	// Fanouts per hop, seed-side first (e.g. [15, 10, 5] samples 15
+	// neighbors of each seed, then 10 of each of those, ...).
+	Fanouts []int
+	// Workers parallelizes hops across seed chunks ("graph partitions").
+	Workers int
+	// Seed makes sampling deterministic.
+	Seed int64
+}
+
+// Sampler draws multi-hop neighborhood samples through GRIN.
+type Sampler struct {
+	g     grin.Graph
+	feats [][]float32
+	labs  []int
+	opt   Options
+}
+
+// New builds a sampler over a graph with node features and labels.
+func New(g grin.Graph, feats [][]float32, labels []int, opt Options) *Sampler {
+	if opt.Workers <= 0 {
+		opt.Workers = 1
+	}
+	if len(opt.Fanouts) == 0 {
+		opt.Fanouts = []int{10, 5}
+	}
+	return &Sampler{g: g, feats: feats, labs: labels, opt: opt}
+}
+
+// Sample draws the multi-hop neighborhood of the seeds. Each hop's
+// destination set is the previous layer's node set; each destination samples
+// up to fanout neighbors (with replacement when the degree exceeds the
+// fanout, GraphSAGE-style). Hops run parallel across seed chunks.
+func (s *Sampler) Sample(seeds []graph.VID, rng *rand.Rand) *MiniBatch {
+	mb := &MiniBatch{Seeds: seeds}
+	layer := seeds
+	blocks := make([]Block, len(s.opt.Fanouts))
+	// Build from the seed side inward; Blocks are stored outermost-first.
+	for hop, fanout := range s.opt.Fanouts {
+		blk := s.sampleHop(layer, fanout, rng)
+		blocks[hop] = blk
+		layer = blk.Nodes
+	}
+	// Reverse: Blocks[0] must be the outermost hop.
+	for i, j := 0, len(blocks)-1; i < j; i, j = i+1, j-1 {
+		blocks[i], blocks[j] = blocks[j], blocks[i]
+	}
+	mb.Blocks = blocks
+
+	// Feature collection (the sink of the sampling dataflow).
+	input := blocks[0].Nodes
+	rows := make([][]float32, len(input))
+	for i, v := range input {
+		rows[i] = s.feats[v]
+	}
+	mb.Feats = tensor.FromRows(rows)
+	if s.labs != nil {
+		mb.Labels = make([]int, len(seeds))
+		for i, v := range seeds {
+			mb.Labels[i] = s.labs[v]
+		}
+	}
+	return mb
+}
+
+// sampleHop samples neighbors of each dst in parallel chunks.
+func (s *Sampler) sampleHop(dsts []graph.VID, fanout int, rng *rand.Rand) Block {
+	type task struct {
+		lo, hi int
+		seed   int64
+	}
+	chunk := (len(dsts) + s.opt.Workers - 1) / s.opt.Workers
+	if chunk == 0 {
+		chunk = 1
+	}
+	nbrVIDs := make([][]graph.VID, len(dsts))
+	var wg sync.WaitGroup
+	for lo := 0; lo < len(dsts); lo += chunk {
+		hi := lo + chunk
+		if hi > len(dsts) {
+			hi = len(dsts)
+		}
+		wg.Add(1)
+		go func(t task) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(t.seed))
+			for i := t.lo; i < t.hi; i++ {
+				nbrVIDs[i] = s.sampleNeighbors(dsts[i], fanout, r)
+			}
+		}(task{lo: lo, hi: hi, seed: rng.Int63()})
+	}
+	wg.Wait()
+
+	// Build the unified node list: dsts first (self indexes), then sampled
+	// neighbors deduplicated.
+	index := make(map[graph.VID]int32, len(dsts)*2)
+	var nodes []graph.VID
+	intern := func(v graph.VID) int32 {
+		if idx, ok := index[v]; ok {
+			return idx
+		}
+		idx := int32(len(nodes))
+		index[v] = idx
+		nodes = append(nodes, v)
+		return idx
+	}
+	blk := Block{SelfIdx: make([]int32, len(dsts)), Nbrs: make([][]int32, len(dsts))}
+	for i, d := range dsts {
+		blk.SelfIdx[i] = intern(d)
+	}
+	for i, ns := range nbrVIDs {
+		idxs := make([]int32, len(ns))
+		for j, v := range ns {
+			idxs[j] = intern(v)
+		}
+		blk.Nbrs[i] = idxs
+	}
+	blk.Nodes = nodes
+	return blk
+}
+
+// sampleNeighbors draws up to fanout out-neighbors of v.
+func (s *Sampler) sampleNeighbors(v graph.VID, fanout int, r *rand.Rand) []graph.VID {
+	adj := grin.CollectNeighbors(s.g, v, graph.Out)
+	if len(adj) == 0 {
+		return nil
+	}
+	if len(adj) <= fanout {
+		out := make([]graph.VID, len(adj))
+		for i, t := range adj {
+			out[i] = t.Nbr
+		}
+		return out
+	}
+	out := make([]graph.VID, fanout)
+	for i := range out {
+		out[i] = adj[r.Intn(len(adj))].Nbr
+	}
+	return out
+}
+
+// CommonNeighbors returns the first-order common out-neighbors of u and v —
+// the sampling primitive of the NCN link-prediction model (Fig 6c).
+func CommonNeighbors(g grin.Graph, u, v graph.VID) []graph.VID {
+	set := map[graph.VID]bool{}
+	grin.ForEachNeighbor(g, u, graph.Out, func(n graph.VID, _ graph.EID) bool {
+		set[n] = true
+		return true
+	})
+	var out []graph.VID
+	grin.ForEachNeighbor(g, v, graph.Out, func(n graph.VID, _ graph.EID) bool {
+		if set[n] {
+			out = append(out, n)
+			set[n] = false // dedup
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,238 @@
+// Package tensor provides the minimal dense float32 linear algebra the
+// learning stack trains with: matrices, matmul, bias, ReLU, softmax
+// cross-entropy. It stands in for the PyTorch/TensorFlow backends of §7 —
+// the training compute (matmuls, gradients) is real, only the framework is
+// simplified.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major float32 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// New allocates a zero matrix.
+func New(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// NewRandom initializes with scaled Gaussian entries (Xavier-ish).
+func NewRandom(rows, cols int, r *rand.Rand) *Matrix {
+	m := New(rows, cols)
+	scale := float32(math.Sqrt(2.0 / float64(rows+cols)))
+	for i := range m.Data {
+		m.Data[i] = float32(r.NormFloat64()) * scale
+	}
+	return m
+}
+
+// FromRows copies a slice-of-rows into a matrix.
+func FromRows(rows [][]float32) *Matrix {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	m := New(len(rows), len(rows[0]))
+	for i, r := range rows {
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+	return m
+}
+
+// Row returns row i as a slice view.
+func (m *Matrix) Row(i int) []float32 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone deep-copies.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// MatMul returns a·b.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmul %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		ar := a.Row(i)
+		or := out.Row(i)
+		for k, av := range ar {
+			if av == 0 {
+				continue
+			}
+			br := b.Row(k)
+			for j, bv := range br {
+				or[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulATB returns aᵀ·b (used for weight gradients).
+func MatMulATB(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic("tensor: matmulATB shape")
+	}
+	out := New(a.Cols, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		ar, br := a.Row(i), b.Row(i)
+		for k, av := range ar {
+			if av == 0 {
+				continue
+			}
+			or := out.Row(k)
+			for j, bv := range br {
+				or[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulABT returns a·bᵀ (used for input gradients).
+func MatMulABT(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic("tensor: matmulABT shape")
+	}
+	out := New(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		ar := a.Row(i)
+		or := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			br := b.Row(j)
+			var s float32
+			for k := range ar {
+				s += ar[k] * br[k]
+			}
+			or[j] = s
+		}
+	}
+	return out
+}
+
+// Add returns a + b elementwise.
+func Add(a, b *Matrix) *Matrix {
+	out := a.Clone()
+	for i := range out.Data {
+		out.Data[i] += b.Data[i]
+	}
+	return out
+}
+
+// AddBiasInPlace adds a 1×cols bias row to every row.
+func (m *Matrix) AddBiasInPlace(bias []float32) {
+	for i := 0; i < m.Rows; i++ {
+		r := m.Row(i)
+		for j := range r {
+			r[j] += bias[j]
+		}
+	}
+}
+
+// ReLUInPlace applies max(0, x), returning the activation mask.
+func (m *Matrix) ReLUInPlace() []bool {
+	mask := make([]bool, len(m.Data))
+	for i, v := range m.Data {
+		if v > 0 {
+			mask[i] = true
+		} else {
+			m.Data[i] = 0
+		}
+	}
+	return mask
+}
+
+// ApplyMaskInPlace zeroes entries where the mask is false (ReLU backward).
+func (m *Matrix) ApplyMaskInPlace(mask []bool) {
+	for i := range m.Data {
+		if !mask[i] {
+			m.Data[i] = 0
+		}
+	}
+}
+
+// Scale multiplies in place.
+func (m *Matrix) Scale(f float32) {
+	for i := range m.Data {
+		m.Data[i] *= f
+	}
+}
+
+// AXPYInPlace computes m += f·g.
+func (m *Matrix) AXPYInPlace(f float32, g *Matrix) {
+	for i := range m.Data {
+		m.Data[i] += f * g.Data[i]
+	}
+}
+
+// SoftmaxCrossEntropy computes softmax probabilities, the mean CE loss over
+// rows, and the loss gradient (probs - onehot)/n in place of the probs.
+func SoftmaxCrossEntropy(logits *Matrix, labels []int) (loss float64, grad *Matrix) {
+	grad = logits.Clone()
+	n := logits.Rows
+	for i := 0; i < n; i++ {
+		r := grad.Row(i)
+		maxv := r[0]
+		for _, v := range r {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for j, v := range r {
+			e := math.Exp(float64(v - maxv))
+			sum += e
+			r[j] = float32(e)
+		}
+		for j := range r {
+			r[j] /= float32(sum)
+		}
+		p := float64(r[labels[i]])
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(p)
+		r[labels[i]] -= 1
+	}
+	loss /= float64(n)
+	grad.Scale(1 / float32(n))
+	return loss, grad
+}
+
+// Argmax returns the per-row argmax (predictions).
+func (m *Matrix) Argmax() []int {
+	out := make([]int, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		r := m.Row(i)
+		best := 0
+		for j, v := range r {
+			if v > r[best] {
+				best = j
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// Dot returns the dot product of two equal-length vectors.
+func Dot(a, b []float32) float32 {
+	var s float32
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Sigmoid is the scalar logistic function.
+func Sigmoid(x float32) float32 {
+	return float32(1 / (1 + math.Exp(-float64(x))))
+}

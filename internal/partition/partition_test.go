@@ -1,0 +1,104 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestRangePartitionCoversAllVertices(t *testing.T) {
+	f := func(nRaw, partsRaw uint8) bool {
+		n := int(nRaw) + 1
+		parts := int(partsRaw)%8 + 1
+		r, err := NewRange(n, parts)
+		if err != nil {
+			return false
+		}
+		// Every vertex is owned by exactly one fragment, and Bounds agree
+		// with Owner.
+		counts := make([]int, parts)
+		for v := 0; v < n; v++ {
+			o := r.Owner(graph.VID(v))
+			if o < 0 || o >= parts {
+				return false
+			}
+			counts[o]++
+			lo, hi := r.Bounds(o)
+			if graph.VID(v) < lo || graph.VID(v) >= hi {
+				return false
+			}
+		}
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		return total == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeBoundsContiguous(t *testing.T) {
+	r, err := NewRange(100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Parts() != 7 {
+		t.Fatal("parts")
+	}
+	prev := graph.VID(0)
+	for f := 0; f < 7; f++ {
+		lo, hi := r.Bounds(f)
+		if lo != prev {
+			t.Fatalf("fragment %d not contiguous: lo=%d prev=%d", f, lo, prev)
+		}
+		if hi < lo {
+			t.Fatalf("fragment %d inverted", f)
+		}
+		prev = hi
+	}
+	if prev != 100 {
+		t.Fatalf("coverage ends at %d", prev)
+	}
+}
+
+func TestRangeErrors(t *testing.T) {
+	if _, err := NewRange(10, 0); err == nil {
+		t.Fatal("zero parts accepted")
+	}
+	if _, err := NewRange(-1, 2); err == nil {
+		t.Fatal("negative n accepted")
+	}
+}
+
+func TestHashPartitionStableAndInRange(t *testing.T) {
+	h, err := NewHash(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Parts() != 5 {
+		t.Fatal("parts")
+	}
+	counts := make([]int, 5)
+	for v := 0; v < 10000; v++ {
+		o := h.Owner(graph.VID(v))
+		if o < 0 || o >= 5 {
+			t.Fatalf("owner out of range: %d", o)
+		}
+		if o != h.Owner(graph.VID(v)) {
+			t.Fatal("owner not stable")
+		}
+		counts[o]++
+	}
+	// Multiplicative hashing should be roughly balanced.
+	for i, c := range counts {
+		if c < 1000 || c > 3000 {
+			t.Fatalf("hash imbalance at %d: %d", i, c)
+		}
+	}
+	if _, err := NewHash(0); err == nil {
+		t.Fatal("zero parts accepted")
+	}
+}

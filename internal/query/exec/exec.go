@@ -1,0 +1,459 @@
+// Package exec implements the shared operator runtime of the interactive
+// stack: logical/physical IR operators compiled to row-stream transformers
+// over a GRIN graph. The three engines differ only in *how* they drive these
+// operators — naive interprets serially without optimization, Gaia runs them
+// data-parallel over partitioned streams (OLAP), HiActor runs one compiled
+// plan per actor message at high concurrency (OLTP).
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/grin"
+	"repro/internal/query/expr"
+	"repro/internal/query/ir"
+)
+
+// Row is one binding tuple; columns are assigned at compile time.
+type Row []graph.Value
+
+// Columns maps aliases to row column indexes.
+type Columns map[string]int
+
+// rowBinding adapts (columns, row) to expr.Binding.
+type rowBinding struct {
+	g    grin.Graph
+	cols Columns
+	row  Row
+}
+
+// Resolve implements expr.Binding. After a projection or aggregation, rows
+// carry columns named like "f.lastName"; a reference that no longer resolves
+// as alias+property falls back to that literal output-column name (Cypher's
+// ORDER BY-over-RETURN semantics).
+func (rb *rowBinding) Resolve(alias, prop string) (graph.Value, error) {
+	idx, ok := rb.cols[alias]
+	if !ok {
+		if prop != "" {
+			if idx2, ok2 := rb.cols[alias+"."+prop]; ok2 {
+				return rb.row[idx2], nil
+			}
+		}
+		return graph.NullValue, fmt.Errorf("exec: unbound alias %q", alias)
+	}
+	v := rb.row[idx]
+	if prop == "" {
+		return v, nil
+	}
+	return expr.PropValue(rb.g, v, prop)
+}
+
+// Emit receives output rows from a stage.
+type Emit func(Row) error
+
+// Stage transforms one input row into zero or more output rows, or — when
+// Blocking — consumes all rows at a barrier.
+type Stage struct {
+	// Name for EXPLAIN and engine traces.
+	Name string
+	// Source produces rows from the graph; only the first stage has one.
+	Source func(env *Env, emit Emit) error
+	// FlatMap transforms one row (nil for source/blocking stages).
+	FlatMap func(env *Env, row Row, emit Emit) error
+	// Blocking consumes the gathered row set (sort, group, dedup, limit).
+	Blocking func(env *Env, rows []Row) ([]Row, error)
+}
+
+// Compiled is an executable plan: stages plus the output schema.
+type Compiled struct {
+	Stages  []Stage
+	Cols    Columns  // final alias -> column map
+	Out     []string // output column order (aliases)
+	numCols int
+}
+
+// Env carries per-execution state.
+type Env struct {
+	Graph  grin.Graph
+	Params map[string]graph.Value
+}
+
+func (env *Env) eval(cols Columns, row Row, e *expr.Expr) (graph.Value, error) {
+	return e.Eval(&expr.Env{Graph: env.Graph, Binding: &rowBinding{g: env.Graph, cols: cols, row: row}, Params: env.Params})
+}
+
+func (env *Env) evalBool(cols Columns, row Row, e *expr.Expr) (bool, error) {
+	if e == nil {
+		return true, nil
+	}
+	v, err := env.eval(cols, row, e)
+	if err != nil {
+		return false, err
+	}
+	return v.Bool(), nil
+}
+
+// Options tunes compilation.
+type Options struct {
+	// NoIndexLookup disables converting `id(a) = k` scans into index
+	// lookups; the naive baseline sets it.
+	NoIndexLookup bool
+}
+
+// Compile lowers a plan (already optimized, or raw for the naive engine)
+// into stages.
+func Compile(p *ir.Plan, opt Options) (*Compiled, error) {
+	c := &Compiled{Cols: Columns{}}
+	if len(p.Ops) == 0 {
+		return nil, fmt.Errorf("exec: empty plan")
+	}
+	for i, op := range p.Ops {
+		if err := c.compileOp(op, i == 0, opt); err != nil {
+			return nil, err
+		}
+	}
+	// Output order: deterministic by column index.
+	type ca struct {
+		alias string
+		idx   int
+	}
+	var cas []ca
+	for a, i := range c.Cols {
+		if len(a) > 0 && a[0] == '#' {
+			continue // hidden columns
+		}
+		cas = append(cas, ca{a, i})
+	}
+	sort.Slice(cas, func(i, j int) bool { return cas[i].idx < cas[j].idx })
+	for _, x := range cas {
+		c.Out = append(c.Out, x.alias)
+	}
+	return c, nil
+}
+
+// addCol assigns a column to an alias (reusing an existing binding).
+func (c *Compiled) addCol(alias string) int {
+	if idx, ok := c.Cols[alias]; ok {
+		return idx
+	}
+	idx := c.numCols
+	c.Cols[alias] = idx
+	c.numCols++
+	return idx
+}
+
+func (c *Compiled) compileOp(op *ir.Op, first bool, opt Options) error {
+	switch op.Kind {
+	case ir.OpScan:
+		if !first {
+			return fmt.Errorf("exec: SCAN must be the first operator")
+		}
+		return c.compileScan(op, opt)
+	case ir.OpExpandFused:
+		return c.compileExpandFused(op)
+	case ir.OpExpandEdge:
+		return c.compileExpandEdge(op)
+	case ir.OpGetVertex:
+		return c.compileGetVertex(op)
+	case ir.OpMatch:
+		return c.compileMatch(op, first)
+	case ir.OpSelect:
+		cols := c.snapshotCols()
+		pred := op.Pred
+		c.Stages = append(c.Stages, Stage{
+			Name: "SELECT",
+			FlatMap: func(env *Env, row Row, emit Emit) error {
+				ok, err := env.evalBool(cols, row, pred)
+				if err != nil {
+					return err
+				}
+				if ok {
+					return emit(row)
+				}
+				return nil
+			},
+		})
+		return nil
+	case ir.OpProject:
+		return c.compileProject(op)
+	case ir.OpOrderBy:
+		return c.compileOrderBy(op)
+	case ir.OpLimit:
+		n := op.Limit
+		c.Stages = append(c.Stages, Stage{
+			Name: "LIMIT",
+			Blocking: func(env *Env, rows []Row) ([]Row, error) {
+				if len(rows) > n {
+					rows = rows[:n]
+				}
+				return rows, nil
+			},
+		})
+		return nil
+	case ir.OpGroupBy:
+		return c.compileGroupBy(op)
+	case ir.OpDedup:
+		return c.compileDedup(op)
+	}
+	return fmt.Errorf("exec: cannot compile %v", op.Kind)
+}
+
+func (c *Compiled) snapshotCols() Columns {
+	cols := make(Columns, len(c.Cols))
+	for k, v := range c.Cols {
+		cols[k] = v
+	}
+	return cols
+}
+
+// compileScan produces the source stage. When the predicate contains an
+// `id(alias) = k` conjunct and the store has the index trait, the scan
+// becomes a point lookup (unless disabled for the naive baseline).
+func (c *Compiled) compileScan(op *ir.Op, opt Options) error {
+	idx := c.addCol(op.Alias)
+	width := c.numCols
+	cols := c.snapshotCols()
+	label := op.Label
+	pred := op.Pred
+	alias := op.Alias
+
+	// Detect id-equality for index lookups.
+	var idEq *expr.Expr
+	var rest *expr.Expr
+	if !opt.NoIndexLookup {
+		for _, conj := range pred.Conjuncts() {
+			if idEq == nil && isIDEquality(conj, alias) {
+				idEq = conj
+				continue
+			}
+			rest = expr.And(rest, conj)
+		}
+	} else {
+		rest = pred
+	}
+
+	c.Stages = append(c.Stages, Stage{
+		Name: "SCAN(" + alias + ")",
+		Source: func(env *Env, emit Emit) error {
+			tryEmit := func(v graph.VID) error {
+				row := make(Row, width)
+				row[idx] = graph.VertexValue(v)
+				ok, err := env.evalBool(cols, row, rest)
+				if err != nil {
+					return err
+				}
+				if ok {
+					return emit(row)
+				}
+				return nil
+			}
+			if idEq != nil {
+				if store, ok := env.Graph.(grin.Index); ok {
+					want, err := idEqValue(env, idEq)
+					if err != nil {
+						return err
+					}
+					if v, found := store.LookupVertex(label, want); found {
+						return tryEmit(v)
+					}
+					return nil
+				}
+			}
+			var scanErr error
+			grin.ScanLabel(env.Graph, label, func(v graph.VID) bool {
+				if idEq != nil {
+					// Index trait unavailable: evaluate the id equality as
+					// a normal predicate.
+					row := make(Row, width)
+					row[idx] = graph.VertexValue(v)
+					ok, err := env.evalBool(cols, row, idEq)
+					if err != nil {
+						scanErr = err
+						return false
+					}
+					if !ok {
+						return true
+					}
+				}
+				if err := tryEmit(v); err != nil {
+					scanErr = err
+					return false
+				}
+				return true
+			})
+			return scanErr
+		},
+	})
+	return nil
+}
+
+// isIDEquality matches `id(alias) = <const|param>` conjuncts.
+func isIDEquality(e *expr.Expr, alias string) bool {
+	if e.Kind != expr.KindBinary || e.Op != expr.OpEq {
+		return false
+	}
+	l, r := e.Left, e.Right
+	if isIDCall(r, alias) {
+		l, r = r, l
+	}
+	return isIDCall(l, alias) && (r.Kind == expr.KindLiteral || r.Kind == expr.KindParam)
+}
+
+func isIDCall(e *expr.Expr, alias string) bool {
+	return e.Kind == expr.KindCall && e.Fn == "id" && len(e.Args) == 1 &&
+		e.Args[0].Kind == expr.KindVar && e.Args[0].Alias == alias && e.Args[0].Prop == ""
+}
+
+func idEqValue(env *Env, e *expr.Expr) (int64, error) {
+	side := e.Right
+	if isIDCall(e.Right, "") || e.Right.Kind == expr.KindCall {
+		side = e.Left
+	}
+	v, err := side.Eval(&expr.Env{Graph: env.Graph, Params: env.Params})
+	if err != nil {
+		return 0, err
+	}
+	return v.Int(), nil
+}
+
+// compileExpandFused is the fused neighbor expansion: one adjacency pass
+// filters edge label, target label and pushed predicate.
+func (c *Compiled) compileExpandFused(op *ir.Op) error {
+	fromIdx, ok := c.Cols[op.FromAlias]
+	if !ok {
+		return fmt.Errorf("exec: EXPAND_FUSED from unbound alias %q", op.FromAlias)
+	}
+	vIdx := c.addCol(op.Alias)
+	eIdx := -1
+	if op.EdgeAlias != "" {
+		eIdx = c.addCol(op.EdgeAlias)
+	}
+	width := c.numCols
+	cols := c.snapshotCols()
+	elabel, vlabel, dir, pred := op.EdgeLabel, op.Label, op.Dir, op.Pred
+
+	c.Stages = append(c.Stages, Stage{
+		Name: "EXPAND_FUSED(" + op.FromAlias + "->" + op.Alias + ")",
+		FlatMap: func(env *Env, row Row, emit Emit) error {
+			src := row[fromIdx].Vertex()
+			if src == graph.NilVID {
+				return nil
+			}
+			pr, _ := env.Graph.(grin.PropertyReader)
+			var inner error
+			grin.ForEachNeighbor(env.Graph, src, dir, func(n graph.VID, e graph.EID) bool {
+				if pr != nil {
+					if elabel != graph.AnyLabel && pr.EdgeLabel(e) != elabel {
+						return true
+					}
+					if vlabel != graph.AnyLabel && pr.VertexLabel(n) != vlabel {
+						return true
+					}
+				}
+				out := make(Row, width)
+				copy(out, row)
+				out[vIdx] = graph.VertexValue(n)
+				if eIdx >= 0 {
+					out[eIdx] = graph.EdgeValue(e)
+				}
+				ok, err := env.evalBool(cols, out, pred)
+				if err != nil {
+					inner = err
+					return false
+				}
+				if ok {
+					if err := emit(out); err != nil {
+						inner = err
+						return false
+					}
+				}
+				return true
+			})
+			return inner
+		},
+	})
+	return nil
+}
+
+// compileExpandEdge materializes adjacent edges without retrieving the far
+// vertex (the unfused form; a hidden column carries the neighbor for the
+// subsequent GET_VERTEX).
+func (c *Compiled) compileExpandEdge(op *ir.Op) error {
+	fromIdx, ok := c.Cols[op.FromAlias]
+	if !ok {
+		return fmt.Errorf("exec: EXPAND_EDGE from unbound alias %q", op.FromAlias)
+	}
+	eIdx := c.addCol(op.EdgeAlias)
+	nIdx := c.addCol("#nbr:" + op.EdgeAlias)
+	width := c.numCols
+	elabel, dir := op.EdgeLabel, op.Dir
+
+	c.Stages = append(c.Stages, Stage{
+		Name: "EXPAND_EDGE(" + op.FromAlias + ")",
+		FlatMap: func(env *Env, row Row, emit Emit) error {
+			src := row[fromIdx].Vertex()
+			if src == graph.NilVID {
+				return nil
+			}
+			pr, _ := env.Graph.(grin.PropertyReader)
+			var inner error
+			grin.ForEachNeighbor(env.Graph, src, dir, func(n graph.VID, e graph.EID) bool {
+				if pr != nil && elabel != graph.AnyLabel && pr.EdgeLabel(e) != elabel {
+					return true
+				}
+				out := make(Row, width)
+				copy(out, row)
+				out[eIdx] = graph.EdgeValue(e)
+				out[nIdx] = graph.VertexValue(n)
+				if err := emit(out); err != nil {
+					inner = err
+					return false
+				}
+				return true
+			})
+			return inner
+		},
+	})
+	return nil
+}
+
+// compileGetVertex retrieves the far endpoint of a previously expanded edge.
+func (c *Compiled) compileGetVertex(op *ir.Op) error {
+	nIdx, ok := c.Cols["#nbr:"+op.EdgeAlias]
+	if !ok {
+		return fmt.Errorf("exec: GET_VERTEX on unexpanded edge %q", op.EdgeAlias)
+	}
+	vIdx := c.addCol(op.Alias)
+	width := c.numCols
+	cols := c.snapshotCols()
+	vlabel, pred := op.Label, op.Pred
+
+	c.Stages = append(c.Stages, Stage{
+		Name: "GET_VERTEX(" + op.Alias + ")",
+		FlatMap: func(env *Env, row Row, emit Emit) error {
+			n := row[nIdx].Vertex()
+			if n == graph.NilVID {
+				return nil
+			}
+			if pr, ok := env.Graph.(grin.PropertyReader); ok && vlabel != graph.AnyLabel {
+				if pr.VertexLabel(n) != vlabel {
+					return nil
+				}
+			}
+			out := make(Row, width)
+			copy(out, row)
+			out[vIdx] = graph.VertexValue(n)
+			okPred, err := env.evalBool(cols, out, pred)
+			if err != nil {
+				return err
+			}
+			if okPred {
+				return emit(out)
+			}
+			return nil
+		},
+	})
+	return nil
+}

@@ -1,0 +1,439 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/grin"
+	"repro/internal/query/ir"
+)
+
+// compileProject replaces the row with computed columns.
+func (c *Compiled) compileProject(op *ir.Op) error {
+	inCols := c.snapshotCols()
+	items := op.Items
+	// Reset the column space: PROJECT defines the new schema.
+	c.Cols = Columns{}
+	c.numCols = 0
+	outIdx := make([]int, len(items))
+	for i, it := range items {
+		outIdx[i] = c.addCol(it.Alias)
+	}
+	width := c.numCols
+	c.Stages = append(c.Stages, Stage{
+		Name: "PROJECT",
+		FlatMap: func(env *Env, row Row, emit Emit) error {
+			out := make(Row, width)
+			for i, it := range items {
+				v, err := env.eval(inCols, row, it.Expr)
+				if err != nil {
+					return err
+				}
+				out[outIdx[i]] = v
+			}
+			return emit(out)
+		},
+	})
+	return nil
+}
+
+// compileOrderBy sorts the gathered rows; Limit > 0 truncates after sorting.
+func (c *Compiled) compileOrderBy(op *ir.Op) error {
+	cols := c.snapshotCols()
+	keys := op.Keys
+	limit := op.Limit
+	c.Stages = append(c.Stages, Stage{
+		Name: "ORDER",
+		Blocking: func(env *Env, rows []Row) ([]Row, error) {
+			type keyed struct {
+				row  Row
+				keys []graph.Value
+			}
+			ks := make([]keyed, len(rows))
+			for i, r := range rows {
+				kv := make([]graph.Value, len(keys))
+				for j, k := range keys {
+					v, err := env.eval(cols, r, k.Expr)
+					if err != nil {
+						return nil, err
+					}
+					kv[j] = v
+				}
+				ks[i] = keyed{row: r, keys: kv}
+			}
+			sort.SliceStable(ks, func(a, b int) bool {
+				for j, k := range keys {
+					cmp := ks[a].keys[j].Compare(ks[b].keys[j])
+					if cmp == 0 {
+						continue
+					}
+					if k.Desc {
+						return cmp > 0
+					}
+					return cmp < 0
+				}
+				return false
+			})
+			out := make([]Row, len(ks))
+			for i := range ks {
+				out[i] = ks[i].row
+			}
+			if limit > 0 && len(out) > limit {
+				out = out[:limit]
+			}
+			return out, nil
+		},
+	})
+	return nil
+}
+
+// compileGroupBy hash-aggregates the gathered rows.
+func (c *Compiled) compileGroupBy(op *ir.Op) error {
+	inCols := c.snapshotCols()
+	gkeys := op.GroupKeys
+	aggs := op.Aggs
+	c.Cols = Columns{}
+	c.numCols = 0
+	keyIdx := make([]int, len(gkeys))
+	for i, k := range gkeys {
+		keyIdx[i] = c.addCol(k.Alias)
+	}
+	aggIdx := make([]int, len(aggs))
+	for i, a := range aggs {
+		aggIdx[i] = c.addCol(a.Alias)
+	}
+	width := c.numCols
+
+	c.Stages = append(c.Stages, Stage{
+		Name: "GROUP",
+		Blocking: func(env *Env, rows []Row) ([]Row, error) {
+			type accum struct {
+				keys   []graph.Value
+				key    string
+				count  []int64
+				sum    []float64
+				min    []graph.Value
+				max    []graph.Value
+				coll   [][]graph.Value
+				seenIn []bool
+				order  int
+			}
+			groups := map[string]*accum{}
+			var orderCounter int
+			for _, r := range rows {
+				kv := make([]graph.Value, len(gkeys))
+				var kb strings.Builder
+				for j, k := range gkeys {
+					v, err := env.eval(inCols, r, k.Expr)
+					if err != nil {
+						return nil, err
+					}
+					kv[j] = v
+					kb.WriteString(v.String())
+					kb.WriteByte(0)
+				}
+				g, ok := groups[kb.String()]
+				if !ok {
+					g = &accum{
+						keys:   kv,
+						key:    kb.String(),
+						count:  make([]int64, len(aggs)),
+						sum:    make([]float64, len(aggs)),
+						min:    make([]graph.Value, len(aggs)),
+						max:    make([]graph.Value, len(aggs)),
+						coll:   make([][]graph.Value, len(aggs)),
+						seenIn: make([]bool, len(aggs)),
+						order:  orderCounter,
+					}
+					orderCounter++
+					groups[kb.String()] = g
+				}
+				for j, a := range aggs {
+					var v graph.Value
+					if a.Arg != nil {
+						var err error
+						v, err = env.eval(inCols, r, a.Arg)
+						if err != nil {
+							return nil, err
+						}
+					}
+					switch a.Fn {
+					case "count":
+						if a.Arg == nil || !v.IsNull() {
+							g.count[j]++
+						}
+					case "sum", "avg":
+						g.count[j]++
+						g.sum[j] += v.Float()
+					case "min":
+						if !g.seenIn[j] || v.Compare(g.min[j]) < 0 {
+							g.min[j] = v
+						}
+					case "max":
+						if !g.seenIn[j] || v.Compare(g.max[j]) > 0 {
+							g.max[j] = v
+						}
+					case "collect":
+						g.coll[j] = append(g.coll[j], v)
+					default:
+						return nil, fmt.Errorf("exec: unknown aggregate %q", a.Fn)
+					}
+					g.seenIn[j] = true
+				}
+			}
+			// Deterministic output regardless of parallel arrival order:
+			// sort groups by their serialized key.
+			ordered := make([]*accum, 0, len(groups))
+			for _, g := range groups {
+				ordered = append(ordered, g)
+			}
+			sort.Slice(ordered, func(i, j int) bool { return ordered[i].key < ordered[j].key })
+			out := make([]Row, 0, len(groups))
+			for _, g := range ordered {
+				row := make(Row, width)
+				for j := range gkeys {
+					row[keyIdx[j]] = g.keys[j]
+				}
+				for j, a := range aggs {
+					switch a.Fn {
+					case "count":
+						row[aggIdx[j]] = graph.IntValue(g.count[j])
+					case "sum":
+						row[aggIdx[j]] = graph.FloatValue(g.sum[j])
+					case "avg":
+						if g.count[j] == 0 {
+							row[aggIdx[j]] = graph.NullValue
+						} else {
+							row[aggIdx[j]] = graph.FloatValue(g.sum[j] / float64(g.count[j]))
+						}
+					case "min":
+						row[aggIdx[j]] = g.min[j]
+					case "max":
+						row[aggIdx[j]] = g.max[j]
+					case "collect":
+						row[aggIdx[j]] = graph.ListValue(g.coll[j])
+					}
+				}
+				out = append(out, row)
+			}
+			return out, nil
+		},
+	})
+	return nil
+}
+
+// compileDedup removes duplicates over the key aliases.
+func (c *Compiled) compileDedup(op *ir.Op) error {
+	cols := c.snapshotCols()
+	aliases := op.DedupAliases
+	idxs := make([]int, len(aliases))
+	for i, a := range aliases {
+		idx, ok := cols[a]
+		if !ok {
+			return fmt.Errorf("exec: DEDUP on unbound alias %q", a)
+		}
+		idxs[i] = idx
+	}
+	c.Stages = append(c.Stages, Stage{
+		Name: "DEDUP",
+		Blocking: func(env *Env, rows []Row) ([]Row, error) {
+			seen := map[string]bool{}
+			var out []Row
+			for _, r := range rows {
+				var kb strings.Builder
+				for _, i := range idxs {
+					kb.WriteString(r[i].String())
+					kb.WriteByte(0)
+				}
+				if !seen[kb.String()] {
+					seen[kb.String()] = true
+					out = append(out, r)
+				}
+			}
+			return out, nil
+		},
+	})
+	return nil
+}
+
+// compileMatch interprets a declarative pattern without optimization: the
+// naive baseline's execution of MATCH in written order — full label scan of
+// the first source, nested-loop expansion per pattern edge, adjacency
+// verification when both endpoints are already bound. The optimizer never
+// emits OpMatch in physical plans; only the naive engine reaches this path.
+func (c *Compiled) compileMatch(op *ir.Op, first bool) error {
+	if !first {
+		// Pattern continuation on bound rows (e.g. the second MATCH of a
+		// multi-MATCH Cypher query): expand from the already-bound aliases.
+		return c.compileMatchContinuation(op)
+	}
+	pattern := op.Pattern
+	if len(pattern) == 0 {
+		return fmt.Errorf("exec: empty MATCH pattern")
+	}
+	// Bind the first source via full scan.
+	start := pattern[0].SrcAlias
+	c.addCol(start)
+	cols0 := c.snapshotCols()
+	width0 := c.numCols
+	label0 := pattern[0].SrcLabel
+	c.Stages = append(c.Stages, Stage{
+		Name: "MATCH_SCAN(" + start + ")",
+		Source: func(env *Env, emit Emit) error {
+			var inner error
+			grin.ScanLabel(env.Graph, label0, func(v graph.VID) bool {
+				row := make(Row, width0)
+				row[cols0[start]] = graph.VertexValue(v)
+				if err := emit(row); err != nil {
+					inner = err
+					return false
+				}
+				return true
+			})
+			return inner
+		},
+	})
+	return c.appendPatternEdges(pattern)
+}
+
+func (c *Compiled) compileMatchContinuation(op *ir.Op) error {
+	if len(op.Pattern) == 0 {
+		return fmt.Errorf("exec: empty MATCH pattern")
+	}
+	if _, ok := c.Cols[op.Pattern[0].SrcAlias]; !ok {
+		return fmt.Errorf("exec: MATCH continuation from unbound alias %q", op.Pattern[0].SrcAlias)
+	}
+	return c.appendPatternEdges(op.Pattern)
+}
+
+// appendPatternEdges lowers pattern edges in written order.
+func (c *Compiled) appendPatternEdges(pattern []ir.PatternEdge) error {
+	bound := map[string]bool{}
+	for a := range c.Cols {
+		bound[a] = true
+	}
+	for _, pe := range pattern {
+		srcBound, dstBound := bound[pe.SrcAlias], bound[pe.DstAlias]
+		switch {
+		case srcBound && !dstBound:
+			if err := c.compileExpandFused(&ir.Op{
+				Kind: ir.OpExpandFused, FromAlias: pe.SrcAlias, EdgeLabel: pe.EdgeLabel,
+				Dir: pe.Dir, Alias: pe.DstAlias, Label: pe.DstLabel, EdgeAlias: pe.EdgeAlias,
+			}); err != nil {
+				return err
+			}
+			bound[pe.DstAlias] = true
+		case !srcBound && dstBound:
+			if err := c.compileExpandFused(&ir.Op{
+				Kind: ir.OpExpandFused, FromAlias: pe.DstAlias, EdgeLabel: pe.EdgeLabel,
+				Dir: pe.Dir.Reverse(), Alias: pe.SrcAlias, Label: pe.SrcLabel, EdgeAlias: pe.EdgeAlias,
+			}); err != nil {
+				return err
+			}
+			bound[pe.SrcAlias] = true
+		case srcBound && dstBound:
+			if err := c.compileAdjacencyCheck(pe); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("exec: disconnected pattern edge %s-%s", pe.SrcAlias, pe.DstAlias)
+		}
+	}
+	return nil
+}
+
+// compileAdjacencyCheck verifies an edge between two bound vertices.
+func (c *Compiled) compileAdjacencyCheck(pe ir.PatternEdge) error {
+	srcIdx, ok := c.Cols[pe.SrcAlias]
+	if !ok {
+		return fmt.Errorf("exec: unbound %q", pe.SrcAlias)
+	}
+	dstIdx, ok := c.Cols[pe.DstAlias]
+	if !ok {
+		return fmt.Errorf("exec: unbound %q", pe.DstAlias)
+	}
+	eIdx := -1
+	if pe.EdgeAlias != "" {
+		eIdx = c.addCol(pe.EdgeAlias)
+	}
+	width := c.numCols
+	elabel, dir := pe.EdgeLabel, pe.Dir
+	c.Stages = append(c.Stages, Stage{
+		Name: "ADJ_CHECK(" + pe.SrcAlias + "," + pe.DstAlias + ")",
+		FlatMap: func(env *Env, row Row, emit Emit) error {
+			src, dst := row[srcIdx].Vertex(), row[dstIdx].Vertex()
+			pr, _ := env.Graph.(grin.PropertyReader)
+			var inner error
+			found := false
+			grin.ForEachNeighbor(env.Graph, src, dir, func(n graph.VID, e graph.EID) bool {
+				if n != dst {
+					return true
+				}
+				if pr != nil && elabel != graph.AnyLabel && pr.EdgeLabel(e) != elabel {
+					return true
+				}
+				found = true
+				out := make(Row, width)
+				copy(out, row)
+				if eIdx >= 0 {
+					out[eIdx] = graph.EdgeValue(e)
+					if err := emit(out); err != nil {
+						inner = err
+						return false
+					}
+					return true // emit every matching parallel edge
+				}
+				return false // existence is enough
+			})
+			if inner != nil {
+				return inner
+			}
+			if eIdx < 0 && found {
+				out := make(Row, width)
+				copy(out, row)
+				return emit(out)
+			}
+			return nil
+		},
+	})
+	return nil
+}
+
+// Run drives the compiled plan serially: the execution mode of the naive
+// engine and of one HiActor actor.
+func (c *Compiled) Run(env *Env) ([]Row, error) {
+	if len(c.Stages) == 0 || c.Stages[0].Source == nil {
+		return nil, fmt.Errorf("exec: plan has no source")
+	}
+	rows := []Row{}
+	if err := c.Stages[0].Source(env, func(r Row) error {
+		rows = append(rows, r)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for _, st := range c.Stages[1:] {
+		switch {
+		case st.FlatMap != nil:
+			var next []Row
+			for _, r := range rows {
+				if err := st.FlatMap(env, r, func(out Row) error {
+					next = append(next, out)
+					return nil
+				}); err != nil {
+					return nil, err
+				}
+			}
+			rows = next
+		case st.Blocking != nil:
+			var err error
+			rows, err = st.Blocking(env, rows)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,189 @@
+// Package expr implements the expression language shared by the query stack
+// (§5.1): property references, literals, comparisons, boolean and arithmetic
+// operators, parameters, and a small function library. Expressions appear in
+// SELECT/WHERE predicates and PROJECT lists of both Gremlin and Cypher
+// queries; both parsers lower to this one AST so the optimizer reasons about
+// a single form.
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Kind discriminates AST nodes.
+type Kind uint8
+
+const (
+	// KindLiteral is a constant value.
+	KindLiteral Kind = iota
+	// KindVar references an alias ("a") or alias property ("a.username").
+	KindVar
+	// KindParam references a query parameter ("$id").
+	KindParam
+	// KindBinary applies Op to Left and Right.
+	KindBinary
+	// KindUnary applies Op (NOT, NEG) to Left.
+	KindUnary
+	// KindCall applies a function (id, label, count-ish helpers) to Args.
+	KindCall
+	// KindList is a literal list of expressions.
+	KindList
+)
+
+// Op enumerates binary/unary operators.
+type Op uint8
+
+// Binary and unary operators.
+const (
+	OpEq Op = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+	OpNot
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpNeg
+	OpIn
+)
+
+var opNames = map[Op]string{
+	OpEq: "=", OpNe: "<>", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	OpAnd: "AND", OpOr: "OR", OpNot: "NOT", OpAdd: "+", OpSub: "-",
+	OpMul: "*", OpDiv: "/", OpMod: "%", OpNeg: "-", OpIn: "IN",
+}
+
+// Expr is one AST node.
+type Expr struct {
+	Kind  Kind
+	Val   graph.Value // KindLiteral
+	Alias string      // KindVar: alias part
+	Prop  string      // KindVar: property part ("" = the alias itself)
+	Param string      // KindParam
+	Op    Op          // KindBinary/KindUnary
+	Left  *Expr
+	Right *Expr
+	Fn    string  // KindCall
+	Args  []*Expr // KindCall / KindList
+}
+
+// Literal builds a constant node.
+func Literal(v graph.Value) *Expr { return &Expr{Kind: KindLiteral, Val: v} }
+
+// Var builds an alias or alias.property reference.
+func Var(alias, prop string) *Expr { return &Expr{Kind: KindVar, Alias: alias, Prop: prop} }
+
+// Param builds a parameter reference.
+func Param(name string) *Expr { return &Expr{Kind: KindParam, Param: name} }
+
+// Binary builds an operator application.
+func Binary(op Op, l, r *Expr) *Expr { return &Expr{Kind: KindBinary, Op: op, Left: l, Right: r} }
+
+// And conjoins; nil operands pass through.
+func And(l, r *Expr) *Expr {
+	if l == nil {
+		return r
+	}
+	if r == nil {
+		return l
+	}
+	return Binary(OpAnd, l, r)
+}
+
+// String renders the expression approximately in source form.
+func (e *Expr) String() string {
+	switch e.Kind {
+	case KindLiteral:
+		if e.Val.K == graph.KindString {
+			return "'" + e.Val.S + "'"
+		}
+		return e.Val.String()
+	case KindVar:
+		if e.Prop == "" {
+			return e.Alias
+		}
+		return e.Alias + "." + e.Prop
+	case KindParam:
+		return "$" + e.Param
+	case KindBinary:
+		return fmt.Sprintf("(%s %s %s)", e.Left, opNames[e.Op], e.Right)
+	case KindUnary:
+		return fmt.Sprintf("(%s %s)", opNames[e.Op], e.Left)
+	case KindCall:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = a.String()
+		}
+		return e.Fn + "(" + strings.Join(args, ", ") + ")"
+	case KindList:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = a.String()
+		}
+		return "[" + strings.Join(args, ", ") + "]"
+	}
+	return "?"
+}
+
+// Aliases collects the distinct aliases referenced by the expression.
+func (e *Expr) Aliases() []string {
+	seen := map[string]bool{}
+	var walk func(x *Expr)
+	walk = func(x *Expr) {
+		if x == nil {
+			return
+		}
+		if x.Kind == KindVar {
+			seen[x.Alias] = true
+		}
+		walk(x.Left)
+		walk(x.Right)
+		for _, a := range x.Args {
+			walk(a)
+		}
+	}
+	walk(e)
+	out := make([]string, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	return out
+}
+
+// Conjuncts splits a predicate on top-level ANDs.
+func (e *Expr) Conjuncts() []*Expr {
+	if e == nil {
+		return nil
+	}
+	if e.Kind == KindBinary && e.Op == OpAnd {
+		return append(e.Left.Conjuncts(), e.Right.Conjuncts()...)
+	}
+	return []*Expr{e}
+}
+
+// IsEqualityOn reports whether the expression is `alias.prop = <const|param>`
+// (either side), returning the property and the constant side. The optimizer
+// uses this for index-lookup planning and selectivity estimation.
+func (e *Expr) IsEqualityOn(alias string) (prop string, value *Expr, ok bool) {
+	if e.Kind != KindBinary || e.Op != OpEq {
+		return "", nil, false
+	}
+	l, r := e.Left, e.Right
+	if r.Kind == KindVar && r.Alias == alias {
+		l, r = r, l
+	}
+	if l.Kind == KindVar && l.Alias == alias && l.Prop != "" &&
+		(r.Kind == KindLiteral || r.Kind == KindParam) {
+		return l.Prop, r, true
+	}
+	return "", nil, false
+}

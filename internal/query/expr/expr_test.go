@@ -1,0 +1,178 @@
+package expr
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+type mapBinding map[string]graph.Value
+
+func (m mapBinding) Resolve(alias, prop string) (graph.Value, error) {
+	key := alias
+	if prop != "" {
+		key = alias + "." + prop
+	}
+	return m[key], nil
+}
+
+func eval(t *testing.T, src string, b mapBinding, params map[string]graph.Value) graph.Value {
+	t.Helper()
+	e, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	v, err := e.Eval(&Env{Binding: b, Params: params})
+	if err != nil {
+		t.Fatalf("eval %q: %v", src, err)
+	}
+	return v
+}
+
+func TestParseEvalArithmetic(t *testing.T) {
+	cases := map[string]graph.Value{
+		"1 + 2 * 3":       graph.IntValue(7),
+		"(1 + 2) * 3":     graph.IntValue(9),
+		"10 / 4":          graph.IntValue(2),
+		"10.0 / 4":        graph.FloatValue(2.5),
+		"7 % 3":           graph.IntValue(1),
+		"-5 + 2":          graph.IntValue(-3),
+		"'a' + 'b'":       graph.StringValue("ab"),
+		"abs(-4)":         graph.IntValue(4),
+		"abs(-2.5)":       graph.FloatValue(2.5),
+		"size('hello')":   graph.IntValue(5),
+		"size([1, 2, 3])": graph.IntValue(3),
+	}
+	for src, want := range cases {
+		if got := eval(t, src, nil, nil); !got.Equal(want) {
+			t.Errorf("%q = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestParseEvalComparisonsAndBooleans(t *testing.T) {
+	cases := map[string]bool{
+		"1 < 2":                      true,
+		"2 <= 2":                     true,
+		"3 > 4":                      false,
+		"3 >= 3":                     true,
+		"1 = 1":                      true,
+		"1 <> 1":                     false,
+		"1 != 2":                     true,
+		"true AND false":             false,
+		"true OR false":              true,
+		"NOT false":                  true,
+		"1 < 2 AND 2 < 3":            true,
+		"1 > 2 OR 3 > 2":             true,
+		"2 IN [1, 2, 3]":             true,
+		"5 IN [1, 2, 3]":             false,
+		"'b' IN ['a', 'b']":          true,
+		"1 = 1 AND (2 = 3 OR 4 = 4)": true,
+		"coalesce(null, 5) = 5":      true,
+	}
+	for src, want := range cases {
+		if got := eval(t, src, nil, nil).Bool(); got != want {
+			t.Errorf("%q = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestVariablesAndParams(t *testing.T) {
+	b := mapBinding{
+		"a.username": graph.StringValue("A1"),
+		"a.credits":  graph.IntValue(8),
+		"b":          graph.VertexValue(3),
+	}
+	params := map[string]graph.Value{"min": graph.IntValue(5)}
+	if !eval(t, "a.username = 'A1'", b, nil).Bool() {
+		t.Fatal("property comparison failed")
+	}
+	if !eval(t, "a.credits > $min", b, params).Bool() {
+		t.Fatal("parameter comparison failed")
+	}
+	e := MustParse("a.credits > $min")
+	if _, err := e.Eval(&Env{Binding: b}); err == nil {
+		t.Fatal("unbound parameter accepted")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{"", "1 +", "(1", "'unterminated", "$", "1 ~ 2", "foo(", "[1, 2"}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted", src)
+		}
+	}
+}
+
+func TestAliasesAndConjuncts(t *testing.T) {
+	e := MustParse("a.x = 1 AND b.y > 2 AND c.z < 3")
+	cs := e.Conjuncts()
+	if len(cs) != 3 {
+		t.Fatalf("conjuncts %d", len(cs))
+	}
+	as := e.Aliases()
+	if len(as) != 3 {
+		t.Fatalf("aliases %v", as)
+	}
+	single := MustParse("a.x = 1")
+	if len(single.Conjuncts()) != 1 {
+		t.Fatal("single conjunct")
+	}
+}
+
+func TestIsEqualityOn(t *testing.T) {
+	e := MustParse("a.name = 'x'")
+	prop, val, ok := e.IsEqualityOn("a")
+	if !ok || prop != "name" || val.Kind != KindLiteral {
+		t.Fatalf("equality detection failed: %v %v %v", prop, val, ok)
+	}
+	// Reversed sides.
+	e2 := MustParse("'x' = a.name")
+	if _, _, ok := e2.IsEqualityOn("a"); !ok {
+		t.Fatal("reversed equality not detected")
+	}
+	// Wrong alias.
+	if _, _, ok := e.IsEqualityOn("b"); ok {
+		t.Fatal("wrong alias matched")
+	}
+	// Not an equality.
+	if _, _, ok := MustParse("a.name > 'x'").IsEqualityOn("a"); ok {
+		t.Fatal("inequality matched")
+	}
+	// Parameterized.
+	if _, _, ok := MustParse("a.id = $p").IsEqualityOn("a"); !ok {
+		t.Fatal("param equality not detected")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	for _, src := range []string{"(a.x = 1)", "(NOT b)", "count(x)", "[1, 2]", "$p"} {
+		e := MustParse(src)
+		if e.String() == "" {
+			t.Errorf("empty render for %q", src)
+		}
+	}
+}
+
+func TestAndHelper(t *testing.T) {
+	a := MustParse("x = 1")
+	if And(nil, a) != a || And(a, nil) != a {
+		t.Fatal("nil passthrough broken")
+	}
+	both := And(a, MustParse("y = 2"))
+	if both.Op != OpAnd {
+		t.Fatal("And did not conjoin")
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	e := MustParse("1 / 0")
+	if _, err := e.Eval(&Env{}); err == nil {
+		t.Fatal("int division by zero accepted")
+	}
+	e2 := MustParse("1 % 0")
+	if _, err := e2.Eval(&Env{}); err == nil {
+		t.Fatal("modulo by zero accepted")
+	}
+}

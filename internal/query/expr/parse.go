@@ -1,0 +1,365 @@
+package expr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse parses an expression string (the syntax accepted inside Gremlin's
+// expr("...") and Cypher's WHERE/RETURN clauses) into an AST.
+func Parse(src string) (*Expr, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.lex.next(); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.lex.tok != tokEOF {
+		return nil, fmt.Errorf("expr: unexpected trailing %q in %q", p.lex.text, src)
+	}
+	return e, nil
+}
+
+// MustParse parses or panics; for tests and static query definitions.
+func MustParse(src string) *Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokParam
+	tokOp
+	tokLParen
+	tokRParen
+	tokLBracket
+	tokRBracket
+	tokComma
+	tokDot
+)
+
+type lexer struct {
+	src  string
+	pos  int
+	tok  tokKind
+	text string
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src} }
+
+func (l *lexer) next() error {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		l.tok, l.text = tokEOF, ""
+		return nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case c == '(':
+		l.pos++
+		l.tok, l.text = tokLParen, "("
+	case c == ')':
+		l.pos++
+		l.tok, l.text = tokRParen, ")"
+	case c == '[':
+		l.pos++
+		l.tok, l.text = tokLBracket, "["
+	case c == ']':
+		l.pos++
+		l.tok, l.text = tokRBracket, "]"
+	case c == ',':
+		l.pos++
+		l.tok, l.text = tokComma, ","
+	case c == '.':
+		l.pos++
+		l.tok, l.text = tokDot, "."
+	case c == '\'' || c == '"':
+		quote := c
+		end := l.pos + 1
+		for end < len(l.src) && l.src[end] != quote {
+			end++
+		}
+		if end >= len(l.src) {
+			return fmt.Errorf("expr: unterminated string at %d", l.pos)
+		}
+		l.tok, l.text = tokString, l.src[l.pos+1:end]
+		l.pos = end + 1
+	case c == '$':
+		end := l.pos + 1
+		for end < len(l.src) && (isIdentChar(l.src[end])) {
+			end++
+		}
+		if end == l.pos+1 {
+			return fmt.Errorf("expr: empty parameter name at %d", l.pos)
+		}
+		l.tok, l.text = tokParam, l.src[l.pos+1:end]
+		l.pos = end
+	case strings.ContainsRune("=<>!+-*/%", rune(c)):
+		// Multi-char operators first.
+		two := ""
+		if l.pos+1 < len(l.src) {
+			two = l.src[l.pos : l.pos+2]
+		}
+		switch two {
+		case "<>", "<=", ">=", "!=":
+			l.tok, l.text = tokOp, two
+			l.pos += 2
+		default:
+			l.tok, l.text = tokOp, string(c)
+			l.pos++
+		}
+	case unicode.IsDigit(rune(c)):
+		end := l.pos
+		dots := 0
+		for end < len(l.src) && (unicode.IsDigit(rune(l.src[end])) || (l.src[end] == '.' && dots == 0 && end+1 < len(l.src) && unicode.IsDigit(rune(l.src[end+1])))) {
+			if l.src[end] == '.' {
+				dots++
+			}
+			end++
+		}
+		l.tok, l.text = tokNumber, l.src[l.pos:end]
+		l.pos = end
+	case isIdentChar(c):
+		end := l.pos
+		for end < len(l.src) && isIdentChar(l.src[end]) {
+			end++
+		}
+		l.tok, l.text = tokIdent, l.src[l.pos:end]
+		l.pos = end
+	default:
+		return fmt.Errorf("expr: unexpected character %q at %d", c, l.pos)
+	}
+	return nil
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+type parser struct {
+	lex *lexer
+}
+
+// binding powers for precedence climbing.
+func bindingPower(text string) (int, Op, bool) {
+	switch strings.ToUpper(text) {
+	case "OR":
+		return 1, OpOr, true
+	case "AND":
+		return 2, OpAnd, true
+	case "=":
+		return 3, OpEq, true
+	case "<>", "!=":
+		return 3, OpNe, true
+	case "<":
+		return 3, OpLt, true
+	case "<=":
+		return 3, OpLe, true
+	case ">":
+		return 3, OpGt, true
+	case ">=":
+		return 3, OpGe, true
+	case "IN":
+		return 3, OpIn, true
+	case "+":
+		return 4, OpAdd, true
+	case "-":
+		return 4, OpSub, true
+	case "*":
+		return 5, OpMul, true
+	case "/":
+		return 5, OpDiv, true
+	case "%":
+		return 5, OpMod, true
+	}
+	return 0, 0, false
+}
+
+func (p *parser) parseExpr(minBP int) (*Expr, error) {
+	left, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var opText string
+		switch p.lex.tok {
+		case tokOp:
+			opText = p.lex.text
+		case tokIdent:
+			up := strings.ToUpper(p.lex.text)
+			if up != "AND" && up != "OR" && up != "IN" {
+				return left, nil
+			}
+			opText = up
+		default:
+			return left, nil
+		}
+		bp, op, ok := bindingPower(opText)
+		if !ok || bp < minBP {
+			return left, nil
+		}
+		if err := p.lex.next(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseExpr(bp + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = Binary(op, left, right)
+	}
+}
+
+func (p *parser) parsePrimary() (*Expr, error) {
+	switch p.lex.tok {
+	case tokNumber:
+		text := p.lex.text
+		if err := p.lex.next(); err != nil {
+			return nil, err
+		}
+		if strings.Contains(text, ".") {
+			f, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return nil, err
+			}
+			return Literal(floatVal(f)), nil
+		}
+		n, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		return Literal(intVal(n)), nil
+	case tokString:
+		text := p.lex.text
+		if err := p.lex.next(); err != nil {
+			return nil, err
+		}
+		return Literal(strVal(text)), nil
+	case tokParam:
+		name := p.lex.text
+		if err := p.lex.next(); err != nil {
+			return nil, err
+		}
+		return Param(name), nil
+	case tokLParen:
+		if err := p.lex.next(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		if p.lex.tok != tokRParen {
+			return nil, fmt.Errorf("expr: expected ')', got %q", p.lex.text)
+		}
+		if err := p.lex.next(); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokLBracket:
+		if err := p.lex.next(); err != nil {
+			return nil, err
+		}
+		var items []*Expr
+		for p.lex.tok != tokRBracket {
+			it, err := p.parseExpr(0)
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, it)
+			if p.lex.tok == tokComma {
+				if err := p.lex.next(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if err := p.lex.next(); err != nil {
+			return nil, err
+		}
+		return &Expr{Kind: KindList, Args: items}, nil
+	case tokOp:
+		if p.lex.text == "-" {
+			if err := p.lex.next(); err != nil {
+				return nil, err
+			}
+			inner, err := p.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			return &Expr{Kind: KindUnary, Op: OpNeg, Left: inner}, nil
+		}
+		return nil, fmt.Errorf("expr: unexpected operator %q", p.lex.text)
+	case tokIdent:
+		name := p.lex.text
+		up := strings.ToUpper(name)
+		if err := p.lex.next(); err != nil {
+			return nil, err
+		}
+		switch up {
+		case "NOT":
+			inner, err := p.parseExpr(3)
+			if err != nil {
+				return nil, err
+			}
+			return &Expr{Kind: KindUnary, Op: OpNot, Left: inner}, nil
+		case "TRUE":
+			return Literal(boolVal(true)), nil
+		case "FALSE":
+			return Literal(boolVal(false)), nil
+		case "NULL":
+			return Literal(nullVal()), nil
+		}
+		// Function call?
+		if p.lex.tok == tokLParen {
+			if err := p.lex.next(); err != nil {
+				return nil, err
+			}
+			var args []*Expr
+			for p.lex.tok != tokRParen {
+				a, err := p.parseExpr(0)
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if p.lex.tok == tokComma {
+					if err := p.lex.next(); err != nil {
+						return nil, err
+					}
+				}
+			}
+			if err := p.lex.next(); err != nil {
+				return nil, err
+			}
+			return &Expr{Kind: KindCall, Fn: strings.ToLower(name), Args: args}, nil
+		}
+		// alias or alias.prop
+		if p.lex.tok == tokDot {
+			if err := p.lex.next(); err != nil {
+				return nil, err
+			}
+			if p.lex.tok != tokIdent {
+				return nil, fmt.Errorf("expr: expected property after %q.", name)
+			}
+			prop := p.lex.text
+			if err := p.lex.next(); err != nil {
+				return nil, err
+			}
+			return Var(name, prop), nil
+		}
+		return Var(name, ""), nil
+	}
+	return nil, fmt.Errorf("expr: unexpected token %q", p.lex.text)
+}

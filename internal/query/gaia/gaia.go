@@ -1,0 +1,183 @@
+// Package gaia implements the dataflow execution engine of §5.3 for OLAP
+// queries: the physical plan's stages run data-parallel over partitioned row
+// streams, with barriers at blocking operators (ORDER/GROUP/DEDUP/LIMIT) —
+// the MAP/FLATMAP pipeline of Fig 5(e).
+package gaia
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/grin"
+	"repro/internal/query/exec"
+	"repro/internal/query/ir"
+	"repro/internal/query/optimizer"
+)
+
+// Options configures the engine.
+type Options struct {
+	// Parallelism is the worker count per pipeline segment (0: GOMAXPROCS).
+	Parallelism int
+}
+
+// Engine executes optimized plans data-parallel.
+type Engine struct {
+	g   grin.Graph
+	cat *optimizer.Catalog
+	opt Options
+}
+
+// NewEngine builds a Gaia engine with a catalog for the CBO.
+func NewEngine(g grin.Graph, opt Options) *Engine {
+	if opt.Parallelism <= 0 {
+		opt.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{g: g, cat: optimizer.BuildCatalog(g), opt: opt}
+}
+
+// Catalog exposes the engine's statistics catalog.
+func (e *Engine) Catalog() *optimizer.Catalog { return e.cat }
+
+// Submit optimizes and executes a logical plan, returning rows and output
+// column names.
+func (e *Engine) Submit(p *ir.Plan, params map[string]graph.Value) ([]exec.Row, []string, error) {
+	return e.SubmitWith(p, params, optimizer.All())
+}
+
+// SubmitWith executes with explicit optimizer options (used by the Fig 7e
+// rule ablation).
+func (e *Engine) SubmitWith(p *ir.Plan, params map[string]graph.Value, opt optimizer.Options) ([]exec.Row, []string, error) {
+	phys, err := optimizer.Optimize(p, e.cat, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	c, err := exec.Compile(phys, exec.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	rows, err := e.RunCompiled(c, params)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rows, c.Out, nil
+}
+
+// RunCompiled executes a compiled plan data-parallel.
+func (e *Engine) RunCompiled(c *exec.Compiled, params map[string]graph.Value) ([]exec.Row, error) {
+	env := &exec.Env{Graph: e.g, Params: params}
+	stages := c.Stages
+
+	// The source stage feeds the first parallel segment through a channel.
+	var rows []exec.Row
+	i := 0
+	if stages[0].Source != nil {
+		srcOut := make(chan exec.Row, 1024)
+		var srcErr error
+		go func() {
+			defer close(srcOut)
+			srcErr = stages[0].Source(env, func(r exec.Row) error {
+				srcOut <- r
+				return nil
+			})
+		}()
+		// Find the run of flatmap stages after the source.
+		j := 1
+		for j < len(stages) && stages[j].FlatMap != nil {
+			j++
+		}
+		var err error
+		rows, err = e.parallelSegment(env, stages[1:j], srcOut)
+		if err != nil {
+			return nil, err
+		}
+		if srcErr != nil {
+			return nil, srcErr
+		}
+		i = j
+	}
+
+	for i < len(stages) {
+		st := stages[i]
+		if st.Blocking != nil {
+			var err error
+			rows, err = st.Blocking(env, rows)
+			if err != nil {
+				return nil, err
+			}
+			i++
+			continue
+		}
+		// Run the next flatmap segment in parallel.
+		j := i
+		for j < len(stages) && stages[j].FlatMap != nil {
+			j++
+		}
+		in := make(chan exec.Row, 1024)
+		go func(batch []exec.Row) {
+			defer close(in)
+			for _, r := range batch {
+				in <- r
+			}
+		}(rows)
+		var err error
+		rows, err = e.parallelSegment(env, stages[i:j], in)
+		if err != nil {
+			return nil, err
+		}
+		i = j
+	}
+	return rows, nil
+}
+
+// parallelSegment drains the input channel through a run of flatmap stages
+// with P workers, gathering output rows.
+func (e *Engine) parallelSegment(env *exec.Env, seg []exec.Stage, in <-chan exec.Row) ([]exec.Row, error) {
+	if len(seg) == 0 {
+		var out []exec.Row
+		for r := range in {
+			out = append(out, r)
+		}
+		return out, nil
+	}
+	var mu sync.Mutex
+	var out []exec.Row
+	var firstErr error
+	var errOnce sync.Once
+	var wg sync.WaitGroup
+	for w := 0; w < e.opt.Parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local []exec.Row
+			sink := func(r exec.Row) error {
+				local = append(local, r)
+				return nil
+			}
+			// Compose the segment: stage k feeds stage k+1.
+			var feed func(depth int, r exec.Row) error
+			feed = func(depth int, r exec.Row) error {
+				if depth == len(seg) {
+					return sink(r)
+				}
+				return seg[depth].FlatMap(env, r, func(next exec.Row) error {
+					return feed(depth+1, next)
+				})
+			}
+			for r := range in {
+				if err := feed(0, r); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					break
+				}
+			}
+			mu.Lock()
+			out = append(out, local...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

@@ -1,0 +1,172 @@
+// Package hiactor implements the high-concurrency actor engine of §5.3 for
+// OLTP queries: a pool of shard actors, each owning a mailbox and executing
+// one (typically parameterized, precompiled) query at a time. Throughput
+// comes from many small queries in flight across shards — the design point
+// of the fraud-detection deployment (Exp-5, Table 2).
+package hiactor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/grin"
+	"repro/internal/query/exec"
+	"repro/internal/query/ir"
+	"repro/internal/query/optimizer"
+)
+
+// GraphProvider returns the store view a query should run against. Dynamic
+// stores (GART) return their latest snapshot, so every query sees a
+// consistent version while writers proceed.
+type GraphProvider func() grin.Graph
+
+// Options configures the engine.
+type Options struct {
+	// Shards is the actor count (0: GOMAXPROCS).
+	Shards int
+	// MailboxDepth bounds each actor's queue.
+	MailboxDepth int
+}
+
+// Engine is the actor pool plus the stored-procedure registry.
+type Engine struct {
+	provider GraphProvider
+	cat      *optimizer.Catalog
+	opt      Options
+
+	mu    sync.RWMutex
+	procs map[string]*exec.Compiled
+
+	mailboxes []chan task
+	rr        atomic.Uint64
+	wg        sync.WaitGroup
+	closed    atomic.Bool
+}
+
+type task struct {
+	c      *exec.Compiled
+	params map[string]graph.Value
+	reply  chan result
+}
+
+type result struct {
+	rows []exec.Row
+	err  error
+}
+
+// NewEngine starts the actor pool. The catalog is built once from the
+// provider's current view.
+func NewEngine(provider GraphProvider, opt Options) *Engine {
+	if opt.Shards <= 0 {
+		opt.Shards = runtime.GOMAXPROCS(0)
+	}
+	if opt.MailboxDepth <= 0 {
+		opt.MailboxDepth = 128
+	}
+	e := &Engine{
+		provider: provider,
+		cat:      optimizer.BuildCatalog(provider()),
+		opt:      opt,
+		procs:    map[string]*exec.Compiled{},
+	}
+	e.mailboxes = make([]chan task, opt.Shards)
+	for i := range e.mailboxes {
+		e.mailboxes[i] = make(chan task, opt.MailboxDepth)
+		e.wg.Add(1)
+		go e.actor(e.mailboxes[i])
+	}
+	return e
+}
+
+// actor executes tasks serially from one mailbox.
+func (e *Engine) actor(mailbox <-chan task) {
+	defer e.wg.Done()
+	for t := range mailbox {
+		env := &exec.Env{Graph: e.provider(), Params: t.params}
+		rows, err := t.c.Run(env)
+		t.reply <- result{rows: rows, err: err}
+	}
+}
+
+// Close drains the pool. Pending calls complete; new calls fail.
+func (e *Engine) Close() {
+	if e.closed.Swap(true) {
+		return
+	}
+	for _, mb := range e.mailboxes {
+		close(mb)
+	}
+	e.wg.Wait()
+}
+
+// Install compiles and registers a stored procedure under a name. The plan
+// is optimized once; Call then binds parameters per invocation — the
+// parameterized-query pattern of §2.3.
+func (e *Engine) Install(name string, p *ir.Plan) error {
+	phys, err := optimizer.Optimize(p, e.cat, optimizer.All())
+	if err != nil {
+		return err
+	}
+	c, err := exec.Compile(phys, exec.Options{})
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	e.procs[name] = c
+	e.mu.Unlock()
+	return nil
+}
+
+// OutputOf reports a stored procedure's output columns.
+func (e *Engine) OutputOf(name string) ([]string, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	c, ok := e.procs[name]
+	if !ok {
+		return nil, fmt.Errorf("hiactor: unknown procedure %q", name)
+	}
+	return c.Out, nil
+}
+
+// Call invokes a stored procedure, routing it to a shard round-robin, and
+// waits for the result.
+func (e *Engine) Call(name string, params map[string]graph.Value) ([]exec.Row, error) {
+	e.mu.RLock()
+	c, ok := e.procs[name]
+	e.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("hiactor: unknown procedure %q", name)
+	}
+	return e.submit(c, params)
+}
+
+// Submit optimizes, compiles and executes an ad-hoc plan on one actor.
+func (e *Engine) Submit(p *ir.Plan, params map[string]graph.Value) ([]exec.Row, []string, error) {
+	phys, err := optimizer.Optimize(p, e.cat, optimizer.All())
+	if err != nil {
+		return nil, nil, err
+	}
+	c, err := exec.Compile(phys, exec.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	rows, err := e.submit(c, params)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rows, c.Out, nil
+}
+
+func (e *Engine) submit(c *exec.Compiled, params map[string]graph.Value) ([]exec.Row, error) {
+	if e.closed.Load() {
+		return nil, fmt.Errorf("hiactor: engine closed")
+	}
+	shard := int(e.rr.Add(1)) % len(e.mailboxes)
+	reply := make(chan result, 1)
+	e.mailboxes[shard] <- task{c: c, params: params, reply: reply}
+	res := <-reply
+	return res.rows, res.err
+}

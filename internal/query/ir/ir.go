@@ -1,0 +1,286 @@
+// Package ir defines GraphIR (§5.1): the unified intermediate representation
+// both Gremlin and Cypher lower to. A logical plan is a chain of operators
+// over a stream of rows; each row binds aliases to graph-associated values
+// (vertices, edges) or computed values. The MATCH operator holds a declarative
+// pattern that the optimizer (package optimizer) orders and lowers into
+// scans and expansions.
+package ir
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/query/expr"
+)
+
+// OpKind enumerates the logical operators Ω.
+type OpKind uint8
+
+const (
+	// OpScan is GET_VERTEX as a source: scan vertices of a label.
+	OpScan OpKind = iota
+	// OpExpandEdge expands adjacent edges from a bound vertex.
+	OpExpandEdge
+	// OpGetVertex retrieves an endpoint of a bound edge.
+	OpGetVertex
+	// OpExpandFused is the physical fusion of ExpandEdge+GetVertex
+	// (EdgeVertexFusion, §5.2).
+	OpExpandFused
+	// OpMatch is declarative pattern matching (MATCH_START..MATCH_END).
+	OpMatch
+	// OpSelect filters rows by a predicate.
+	OpSelect
+	// OpProject computes output columns.
+	OpProject
+	// OpOrderBy sorts rows (optionally with a limit).
+	OpOrderBy
+	// OpLimit truncates the stream.
+	OpLimit
+	// OpGroupBy groups rows and computes aggregates.
+	OpGroupBy
+	// OpDedup removes duplicate rows over key aliases.
+	OpDedup
+)
+
+// String names the operator kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpScan:
+		return "SCAN"
+	case OpExpandEdge:
+		return "EXPAND_EDGE"
+	case OpGetVertex:
+		return "GET_VERTEX"
+	case OpExpandFused:
+		return "EXPAND_FUSED"
+	case OpMatch:
+		return "MATCH"
+	case OpSelect:
+		return "SELECT"
+	case OpProject:
+		return "PROJECT"
+	case OpOrderBy:
+		return "ORDER"
+	case OpLimit:
+		return "LIMIT"
+	case OpGroupBy:
+		return "GROUP"
+	case OpDedup:
+		return "DEDUP"
+	}
+	return fmt.Sprintf("OP(%d)", uint8(k))
+}
+
+// EndOpt selects which endpoint GetVertex retrieves.
+type EndOpt uint8
+
+const (
+	// EndDst is the edge's head (for Out expansion: the neighbor).
+	EndDst EndOpt = iota
+	// EndSrc is the edge's tail.
+	EndSrc
+)
+
+// PatternEdge is one pattern-graph edge in a MATCH: (Src)-[:Label]->(Dst).
+type PatternEdge struct {
+	SrcAlias  string
+	SrcLabel  graph.LabelID
+	EdgeLabel graph.LabelID
+	Dir       graph.Direction // Out: Src->Dst; In: Dst->Src; Both: either
+	DstAlias  string
+	DstLabel  graph.LabelID
+	EdgeAlias string // "" if the edge itself is not referenced
+}
+
+// Aggregate describes one aggregation in GROUP BY.
+type Aggregate struct {
+	Fn    string // count, sum, avg, min, max, collect
+	Arg   *expr.Expr
+	Alias string
+}
+
+// ProjItem is one output column of PROJECT.
+type ProjItem struct {
+	Expr  *expr.Expr
+	Alias string
+}
+
+// SortKey is one ORDER BY key.
+type SortKey struct {
+	Expr *expr.Expr
+	Desc bool
+}
+
+// Op is one logical operator node.
+type Op struct {
+	Kind OpKind
+
+	// Scan / GetVertex / ExpandFused
+	Alias string
+	Label graph.LabelID
+	Pred  *expr.Expr
+
+	// ExpandEdge / ExpandFused
+	FromAlias string
+	EdgeLabel graph.LabelID
+	Dir       graph.Direction
+	EdgeAlias string
+
+	// GetVertex
+	End EndOpt
+
+	// Match
+	Pattern []PatternEdge
+
+	// Project
+	Items []ProjItem
+
+	// OrderBy
+	Keys  []SortKey
+	Limit int // OrderBy top-k; OpLimit count
+
+	// GroupBy
+	GroupKeys []ProjItem
+	Aggs      []Aggregate
+
+	// Dedup
+	DedupAliases []string
+}
+
+// Plan is a logical (or physical, after optimization) operator chain.
+type Plan struct {
+	Ops []*Op
+}
+
+// String renders the plan one operator per line (used by tests, EXPLAIN and
+// the flexbuild docs).
+func (p *Plan) String() string {
+	var b strings.Builder
+	for i, op := range p.Ops {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		b.WriteString(op.String())
+	}
+	return b.String()
+}
+
+// String renders one operator.
+func (o *Op) String() string {
+	switch o.Kind {
+	case OpScan:
+		s := fmt.Sprintf("SCAN label=%d alias=%s", o.Label, o.Alias)
+		if o.Pred != nil {
+			s += " pred=" + o.Pred.String()
+		}
+		return s
+	case OpExpandEdge:
+		return fmt.Sprintf("EXPAND_EDGE from=%s label=%d dir=%s alias=%s", o.FromAlias, o.EdgeLabel, o.Dir, o.EdgeAlias)
+	case OpGetVertex:
+		s := fmt.Sprintf("GET_VERTEX edge=%s end=%d alias=%s label=%d", o.EdgeAlias, o.End, o.Alias, o.Label)
+		if o.Pred != nil {
+			s += " pred=" + o.Pred.String()
+		}
+		return s
+	case OpExpandFused:
+		s := fmt.Sprintf("EXPAND_FUSED from=%s elabel=%d dir=%s alias=%s vlabel=%d", o.FromAlias, o.EdgeLabel, o.Dir, o.Alias, o.Label)
+		if o.EdgeAlias != "" {
+			s += " ealias=" + o.EdgeAlias
+		}
+		if o.Pred != nil {
+			s += " pred=" + o.Pred.String()
+		}
+		return s
+	case OpMatch:
+		parts := make([]string, len(o.Pattern))
+		for i, pe := range o.Pattern {
+			arrow := "->"
+			if pe.Dir == graph.In {
+				arrow = "<-"
+			} else if pe.Dir == graph.Both {
+				arrow = "--"
+			}
+			parts[i] = fmt.Sprintf("(%s:%d)-[%d]%s(%s:%d)", pe.SrcAlias, pe.SrcLabel, pe.EdgeLabel, arrow, pe.DstAlias, pe.DstLabel)
+		}
+		return "MATCH " + strings.Join(parts, ", ")
+	case OpSelect:
+		return "SELECT " + o.Pred.String()
+	case OpProject:
+		parts := make([]string, len(o.Items))
+		for i, it := range o.Items {
+			parts[i] = fmt.Sprintf("%s AS %s", it.Expr, it.Alias)
+		}
+		return "PROJECT " + strings.Join(parts, ", ")
+	case OpOrderBy:
+		parts := make([]string, len(o.Keys))
+		for i, k := range o.Keys {
+			d := "asc"
+			if k.Desc {
+				d = "desc"
+			}
+			parts[i] = k.Expr.String() + " " + d
+		}
+		s := "ORDER " + strings.Join(parts, ", ")
+		if o.Limit > 0 {
+			s += fmt.Sprintf(" limit=%d", o.Limit)
+		}
+		return s
+	case OpLimit:
+		return fmt.Sprintf("LIMIT %d", o.Limit)
+	case OpGroupBy:
+		var keys []string
+		for _, k := range o.GroupKeys {
+			keys = append(keys, k.Alias)
+		}
+		var aggs []string
+		for _, a := range o.Aggs {
+			aggs = append(aggs, fmt.Sprintf("%s(%s) AS %s", a.Fn, a.Arg, a.Alias))
+		}
+		return fmt.Sprintf("GROUP keys=[%s] aggs=[%s]", strings.Join(keys, ","), strings.Join(aggs, ","))
+	case OpDedup:
+		return "DEDUP " + strings.Join(o.DedupAliases, ",")
+	}
+	return o.Kind.String()
+}
+
+// OutputAliases computes the alias set visible after the plan runs; used by
+// validation and projection checking.
+func (p *Plan) OutputAliases() map[string]bool {
+	out := map[string]bool{}
+	for _, op := range p.Ops {
+		switch op.Kind {
+		case OpScan, OpGetVertex:
+			out[op.Alias] = true
+		case OpExpandEdge:
+			out[op.EdgeAlias] = true
+		case OpExpandFused:
+			out[op.Alias] = true
+			if op.EdgeAlias != "" {
+				out[op.EdgeAlias] = true
+			}
+		case OpMatch:
+			for _, pe := range op.Pattern {
+				out[pe.SrcAlias] = true
+				out[pe.DstAlias] = true
+				if pe.EdgeAlias != "" {
+					out[pe.EdgeAlias] = true
+				}
+			}
+		case OpProject:
+			out = map[string]bool{}
+			for _, it := range op.Items {
+				out[it.Alias] = true
+			}
+		case OpGroupBy:
+			out = map[string]bool{}
+			for _, k := range op.GroupKeys {
+				out[k.Alias] = true
+			}
+			for _, a := range op.Aggs {
+				out[a.Alias] = true
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,26 @@
+// Package naive is the unoptimized query baseline: it interprets the
+// *logical* plan directly — MATCH in written order, no EdgeVertexFusion, no
+// predicate pushdown, no index lookups, single-threaded. It stands in for
+// the unoptimized comparators of Exp-2 (the "Without OPT" arm of Fig 7e and
+// the TuGraph-like baseline of Fig 7f).
+package naive
+
+import (
+	"repro/internal/graph"
+	"repro/internal/grin"
+	"repro/internal/query/exec"
+	"repro/internal/query/ir"
+)
+
+// Run interprets a logical plan serially.
+func Run(p *ir.Plan, g grin.Graph, params map[string]graph.Value) ([]exec.Row, []string, error) {
+	c, err := exec.Compile(p, exec.Options{NoIndexLookup: true})
+	if err != nil {
+		return nil, nil, err
+	}
+	rows, err := c.Run(&exec.Env{Graph: g, Params: params})
+	if err != nil {
+		return nil, nil, err
+	}
+	return rows, c.Out, nil
+}

@@ -1,0 +1,134 @@
+// Package optimizer implements the IR-based optimizer of §5.2: rule-based
+// optimization (EdgeVertexFusion, FilterPushIntoMatch) and cost-based pattern
+// ordering backed by a GLogue-style catalog of pattern frequencies.
+package optimizer
+
+import (
+	"repro/internal/graph"
+	"repro/internal/grin"
+)
+
+// Catalog holds the statistics the CBO consults: label cardinalities and
+// per-(edge label, direction) average degrees — the 1- and 2-vertex pattern
+// frequencies of GLogue, which compose into cost estimates for larger
+// patterns.
+type Catalog struct {
+	VertexCount map[graph.LabelID]float64
+	EdgeCount   map[graph.LabelID]float64
+	// AvgOutDeg[e] = |E_e| / |V_src(e)|; AvgInDeg[e] = |E_e| / |V_dst(e)|.
+	AvgOutDeg map[graph.LabelID]float64
+	AvgInDeg  map[graph.LabelID]float64
+	Total     float64
+}
+
+// BuildCatalog scans store statistics. It requires the property and index
+// traits; stores without them get a flat default catalog.
+func BuildCatalog(g grin.Graph) *Catalog {
+	c := &Catalog{
+		VertexCount: map[graph.LabelID]float64{},
+		EdgeCount:   map[graph.LabelID]float64{},
+		AvgOutDeg:   map[graph.LabelID]float64{},
+		AvgInDeg:    map[graph.LabelID]float64{},
+		Total:       float64(g.NumVertices()),
+	}
+	pr, ok := g.(grin.PropertyReader)
+	if !ok {
+		return c
+	}
+	schema := pr.Schema()
+	for l := 0; l < schema.NumVertexLabels(); l++ {
+		count := 0.0
+		grin.ScanLabel(g, graph.LabelID(l), func(graph.VID) bool {
+			count++
+			return true
+		})
+		c.VertexCount[graph.LabelID(l)] = count
+	}
+	// Edge counts per label via one pass over out-adjacencies.
+	n := g.NumVertices()
+	for v := 0; v < n; v++ {
+		grin.ForEachNeighbor(g, graph.VID(v), graph.Out, func(_ graph.VID, e graph.EID) bool {
+			c.EdgeCount[pr.EdgeLabel(e)]++
+			return true
+		})
+	}
+	for l := 0; l < schema.NumEdgeLabels(); l++ {
+		el := schema.Edges[l]
+		ec := c.EdgeCount[graph.LabelID(l)]
+		srcCount := c.labelCount(el.Src)
+		dstCount := c.labelCount(el.Dst)
+		if srcCount > 0 {
+			c.AvgOutDeg[graph.LabelID(l)] = ec / srcCount
+		}
+		if dstCount > 0 {
+			c.AvgInDeg[graph.LabelID(l)] = ec / dstCount
+		}
+	}
+	return c
+}
+
+func (c *Catalog) labelCount(l graph.LabelID) float64 {
+	if l == graph.AnyLabel {
+		return c.Total
+	}
+	return c.VertexCount[l]
+}
+
+// scanCard estimates the cardinality of scanning a vertex label.
+func (c *Catalog) scanCard(l graph.LabelID) float64 {
+	n := c.labelCount(l)
+	if n == 0 {
+		return 1
+	}
+	return n
+}
+
+// expandFactor estimates the fan-out of expanding an edge label in a
+// direction.
+func (c *Catalog) expandFactor(e graph.LabelID, dir graph.Direction) float64 {
+	var f float64
+	switch dir {
+	case graph.Out:
+		f = c.AvgOutDeg[e]
+	case graph.In:
+		f = c.AvgInDeg[e]
+	default:
+		f = c.AvgOutDeg[e] + c.AvgInDeg[e]
+	}
+	if f == 0 {
+		f = 1
+	}
+	return f
+}
+
+// checkFactor estimates the selectivity of verifying an edge between two
+// bound endpoints.
+func (c *Catalog) checkFactor(e graph.LabelID, dstLabel graph.LabelID) float64 {
+	n := c.labelCount(dstLabel)
+	if n == 0 {
+		return 1
+	}
+	f := c.expandFactor(e, graph.Out) / n
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// predSelectivity is the heuristic selectivity of a pushed predicate:
+// id-equality pins one vertex; other equalities take a fixed factor; other
+// predicates a weaker one.
+func (c *Catalog) predSelectivity(label graph.LabelID, hasIDEq, hasEq, hasOther bool) float64 {
+	s := 1.0
+	n := c.labelCount(label)
+	if hasIDEq && n > 0 {
+		s *= 1 / n
+	}
+	if hasEq {
+		s *= 0.05
+	}
+	if hasOther {
+		s *= 0.5
+	}
+	return s
+}

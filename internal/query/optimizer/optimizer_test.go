@@ -1,0 +1,150 @@
+package optimizer
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/query/cypher"
+	"repro/internal/query/expr"
+	"repro/internal/query/ir"
+	"repro/internal/storage/vineyard"
+)
+
+func snbCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	b := dataset.SNB(dataset.SNBOptions{Persons: 150, Seed: 2})
+	st, err := vineyard.Load(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return BuildCatalog(st)
+}
+
+func TestCatalogStatistics(t *testing.T) {
+	cat := snbCatalog(t)
+	if cat.VertexCount[dataset.SNBPerson] != 150 {
+		t.Fatalf("person count %v", cat.VertexCount[dataset.SNBPerson])
+	}
+	if cat.VertexCount[dataset.SNBPost] != 450 {
+		t.Fatalf("post count %v", cat.VertexCount[dataset.SNBPost])
+	}
+	// HAS_CREATOR: every post has exactly one creator.
+	if got := cat.AvgOutDeg[dataset.SNBHasCreator]; got < 0.99 || got > 1.01 {
+		t.Fatalf("avg out deg HAS_CREATOR = %v", got)
+	}
+	// Expansion factors default to 1 for unknown labels.
+	if cat.expandFactor(99, graph.Out) != 1 {
+		t.Fatal("unknown expand factor should be 1")
+	}
+}
+
+func TestCBOStartsAtSelectiveVertex(t *testing.T) {
+	cat := snbCatalog(t)
+	schema := dataset.SNBSchema()
+	// Written badly: starts from all posts; the predicate pins one person.
+	q := `MATCH (m:Post)-[:HAS_CREATOR]->(p:Person)
+WHERE id(p) = 5
+RETURN COUNT(m) AS c`
+	plan, err := cypher.Parse(q, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCBO, err := Optimize(plan, cat, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := withCBO.String()
+	if !strings.Contains(s, "SCAN label=0 alias=p") {
+		t.Fatalf("CBO should scan the pinned person first:\n%s", s)
+	}
+	without, err := Optimize(plan, cat, Options{EdgeVertexFusion: true, FilterPushIntoMatch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(without.String(), "SCAN label=2 alias=m") {
+		t.Fatalf("without CBO the written order (posts) should stay:\n%s", without)
+	}
+}
+
+func TestPushdownRespectsSegments(t *testing.T) {
+	cat := snbCatalog(t)
+	schema := dataset.SNBSchema()
+	// The post-aggregation filter (cnt > 1) must NOT be pushed into the scan.
+	q := `MATCH (p:Person)-[:KNOWS]->(f:Person)
+WITH p, COUNT(f) AS cnt
+WHERE cnt > 1
+RETURN id(p)`
+	plan, err := cypher.Parse(q, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := Optimize(plan, cat, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := opt.String()
+	if !strings.Contains(s, "SELECT (cnt > 1)") {
+		t.Fatalf("aggregate filter lost or wrongly pushed:\n%s", s)
+	}
+}
+
+func TestFusionToggle(t *testing.T) {
+	pattern := []ir.PatternEdge{{
+		SrcAlias: "a", SrcLabel: dataset.SNBPerson,
+		EdgeLabel: dataset.SNBKnows, Dir: graph.Out,
+		DstAlias: "b", DstLabel: dataset.SNBPerson,
+	}}
+	plan := &ir.Plan{Ops: []*ir.Op{{Kind: ir.OpMatch, Pattern: pattern}}}
+	fused, err := Optimize(plan, nil, Options{EdgeVertexFusion: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fused.String(), "EXPAND_FUSED") {
+		t.Fatal("fusion missing")
+	}
+	unfused, err := Optimize(plan, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := unfused.String()
+	if !strings.Contains(s, "EXPAND_EDGE") || !strings.Contains(s, "GET_VERTEX") {
+		t.Fatalf("unfused plan should keep the operator pair:\n%s", s)
+	}
+}
+
+func TestMultiConjunctPushdown(t *testing.T) {
+	pattern := []ir.PatternEdge{{
+		SrcAlias: "a", SrcLabel: dataset.SNBPerson,
+		EdgeLabel: dataset.SNBKnows, Dir: graph.Out,
+		DstAlias: "b", DstLabel: dataset.SNBPerson,
+	}}
+	plan := &ir.Plan{Ops: []*ir.Op{
+		{Kind: ir.OpMatch, Pattern: pattern},
+		{Kind: ir.OpSelect, Pred: expr.MustParse("a.firstName = 'Wei' AND b.firstName = 'Ana' AND a.creationDate < b.creationDate")},
+	}}
+	opt, err := Optimize(plan, nil, Options{EdgeVertexFusion: true, FilterPushIntoMatch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := opt.String()
+	// Single-alias conjuncts pushed into the scan/expansion; the cross-alias
+	// one stays as a SELECT.
+	if !strings.Contains(s, `SCAN label=0 alias=a pred=(a.firstName = 'Wei')`) {
+		t.Fatalf("a-predicate not pushed:\n%s", s)
+	}
+	if !strings.Contains(s, `pred=(b.firstName = 'Ana')`) {
+		t.Fatalf("b-predicate not pushed:\n%s", s)
+	}
+	if !strings.Contains(s, "SELECT (a.creationDate < b.creationDate)") {
+		t.Fatalf("cross-alias predicate lost:\n%s", s)
+	}
+}
+
+func TestEmptyMatchRejected(t *testing.T) {
+	plan := &ir.Plan{Ops: []*ir.Op{{Kind: ir.OpMatch}}}
+	if _, err := Optimize(plan, nil, All()); err == nil {
+		t.Fatal("empty MATCH accepted")
+	}
+}

@@ -1,0 +1,103 @@
+package procedures
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// BI returns the business-intelligence workload BI1–BI20: global analytical
+// queries over the whole graph (Fig 7g), run on the Gaia dataflow engine.
+func BI() []Query {
+	tagParam := func(name string) func(*rand.Rand, Scale) map[string]graph.Value {
+		return func(r *rand.Rand, s Scale) map[string]graph.Value {
+			return map[string]graph.Value{"tag": graph.StringValue(name)}
+		}
+	}
+	noParams := func(*rand.Rand, Scale) map[string]graph.Value { return nil }
+	return []Query{
+		{Name: "BI1", Cypher: `MATCH (m:Post)
+RETURN COUNT(m) AS messages, avg(m.length) AS avgLength`, Params: noParams},
+		{Name: "BI2", Cypher: `MATCH (m:Post)-[:HAS_TAG]->(t:Tag)
+WITH t, COUNT(m) AS cnt
+RETURN t.name, cnt
+ORDER BY cnt DESC, t.name LIMIT 20`, Params: noParams},
+		{Name: "BI3", Cypher: `MATCH (f:Forum)-[:CONTAINER_OF]->(m:Post)-[:HAS_TAG]->(t:Tag)
+WHERE t.name = $tag
+WITH f, COUNT(m) AS cnt
+RETURN f.title, cnt
+ORDER BY cnt DESC, f.title LIMIT 20`, Params: tagParam("travel")},
+		{Name: "BI4", Cypher: `MATCH (f:Forum)-[:HAS_MEMBER]->(p:Person)
+WITH f, COUNT(p) AS members
+RETURN f.title, members
+ORDER BY members DESC, f.title LIMIT 20`, Params: noParams},
+		{Name: "BI5", Cypher: `MATCH (p:Person)<-[:HAS_CREATOR]-(m:Post)<-[:LIKES]-(liker:Person)
+WITH p, COUNT(liker) AS likes
+RETURN id(p), likes
+ORDER BY likes DESC, id(p) LIMIT 20`, Params: noParams},
+		{Name: "BI6", Cypher: `MATCH (t:Tag)<-[:HAS_TAG]-(m:Post)-[:HAS_CREATOR]->(p:Person)
+WHERE t.name = $tag
+WITH p, COUNT(m) AS score
+RETURN id(p), score
+ORDER BY score DESC, id(p) LIMIT 20`, Params: tagParam("tech")},
+		{Name: "BI7", Cypher: `MATCH (t:Tag)<-[:HAS_TAG]-(m:Post)<-[:REPLY_OF]-(c:Comment)
+WHERE t.name = $tag
+RETURN COUNT(c) AS replies`, Params: tagParam("music")},
+		{Name: "BI8", Cypher: `MATCH (p:Person)-[:HAS_INTEREST]->(t:Tag)
+WITH t, COUNT(p) AS fans
+RETURN t.name, fans
+ORDER BY fans DESC, t.name`, Params: noParams},
+		{Name: "BI9", Cypher: `MATCH (f:Forum)-[:CONTAINER_OF]->(m:Post)-[:HAS_CREATOR]->(p:Person)
+WITH p, COUNT(m) AS posts
+RETURN id(p), posts
+ORDER BY posts DESC, id(p) LIMIT 20`, Params: noParams},
+		{Name: "BI10", Cypher: `MATCH (p:Person)-[:HAS_INTEREST]->(t:Tag)<-[:HAS_TAG]-(m:Post)
+WHERE t.name = $tag
+WITH p, COUNT(m) AS score
+RETURN id(p), score
+ORDER BY score DESC, id(p) LIMIT 20`, Params: tagParam("art")},
+		{Name: "BI11", Cypher: `MATCH (p:Person)-[:IS_LOCATED_IN]->(pl:Place)
+WITH pl, COUNT(p) AS population
+RETURN pl.name, population
+ORDER BY population DESC, pl.name`, Params: noParams},
+		{Name: "BI12", Cypher: `MATCH (m:Post)
+WHERE m.length > 100
+RETURN COUNT(m) AS longMessages`, Params: noParams},
+		{Name: "BI13", Cypher: `MATCH (pl:Place)<-[:IS_LOCATED_IN]-(p:Person)<-[:HAS_CREATOR]-(m:Post)
+WITH pl, COUNT(m) AS msgs
+RETURN pl.name, msgs
+ORDER BY msgs DESC, pl.name LIMIT 10`, Params: noParams},
+		{Name: "BI14", Cypher: `MATCH (p1:Person)-[:KNOWS]->(p2:Person)<-[:HAS_CREATOR]-(m:Post)
+WITH p1, COUNT(m) AS friendActivity
+RETURN id(p1), friendActivity
+ORDER BY friendActivity DESC, id(p1) LIMIT 20`, Params: noParams},
+		{Name: "BI15", Cypher: `MATCH (f:Forum)-[:HAS_MEMBER]->(p:Person)-[:IS_LOCATED_IN]->(pl:Place)
+WHERE pl.name = $place
+WITH f, COUNT(p) AS localMembers
+RETURN f.title, localMembers
+ORDER BY localMembers DESC, f.title LIMIT 20`,
+			Params: func(r *rand.Rand, s Scale) map[string]graph.Value {
+				return map[string]graph.Value{"place": graph.StringValue("Shanghai")}
+			}},
+		{Name: "BI16", Cypher: `MATCH (p:Person)<-[:COMMENT_HAS_CREATOR]-(c:Comment)
+WITH p, COUNT(c) AS comments
+RETURN id(p), comments
+ORDER BY comments DESC, id(p) LIMIT 20`, Params: noParams},
+		{Name: "BI17", Cypher: `MATCH (t:Tag)<-[:HAS_TAG]-(m:Post)<-[:LIKES]-(p:Person)
+WITH t, COUNT(p) AS likes
+RETURN t.name, likes
+ORDER BY likes DESC, t.name LIMIT 10`, Params: noParams},
+		{Name: "BI18", Cypher: `MATCH (p:Person)<-[:HAS_CREATOR]-(m:Post)<-[:REPLY_OF]-(c:Comment)-[:COMMENT_HAS_CREATOR]->(replier:Person)
+WITH p, COUNT(replier) AS engagement
+RETURN id(p), engagement
+ORDER BY engagement DESC, id(p) LIMIT 20`, Params: noParams},
+		{Name: "BI19", Cypher: `MATCH (pl:Place)<-[:IS_LOCATED_IN]-(p1:Person)-[:KNOWS]->(p2:Person)
+WITH pl, COUNT(p2) AS friendships
+RETURN pl.name, friendships
+ORDER BY friendships DESC, pl.name`, Params: noParams},
+		{Name: "BI20", Cypher: `MATCH (f:Forum)-[:CONTAINER_OF]->(m:Post)<-[:REPLY_OF]-(c:Comment)
+WITH f, COUNT(c) AS discussion
+RETURN f.title, discussion
+ORDER BY discussion DESC, f.title LIMIT 20`, Params: noParams},
+	}
+}

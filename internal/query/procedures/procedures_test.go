@@ -1,0 +1,150 @@
+package procedures
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/grin"
+	"repro/internal/query/cypher"
+	"repro/internal/query/gaia"
+	"repro/internal/query/hiactor"
+	"repro/internal/storage/gart"
+	"repro/internal/storage/vineyard"
+)
+
+// TestAllQueriesParseAndRun: every interactive/short/BI query parses against
+// the SNB schema, installs as a stored procedure, and executes on both
+// engines without error.
+func TestAllQueriesParseAndRun(t *testing.T) {
+	persons := 120
+	b := dataset.SNB(dataset.SNBOptions{Persons: persons, Seed: 3})
+	st, err := vineyard.Load(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := ScaleOf(persons)
+	schema := dataset.SNBSchema()
+	ge := gaia.NewEngine(st, gaia.Options{Parallelism: 4})
+	he := hiactor.NewEngine(func() grin.Graph { return st }, hiactor.Options{Shards: 2})
+	defer he.Close()
+
+	r := rand.New(rand.NewSource(9))
+	all := append(append(Interactive(), Short()...), BI()...)
+	if len(all) != 14+7+20 {
+		t.Fatalf("query count %d", len(all))
+	}
+	seen := map[string]bool{}
+	for _, q := range all {
+		if seen[q.Name] {
+			t.Fatalf("duplicate query name %s", q.Name)
+		}
+		seen[q.Name] = true
+		plan, err := cypher.Parse(q.Cypher, schema)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", q.Name, err)
+		}
+		params := q.Params(r, sc)
+		if _, _, err := ge.Submit(plan, params); err != nil {
+			t.Fatalf("%s: gaia: %v", q.Name, err)
+		}
+		if err := he.Install(q.Name, plan); err != nil {
+			t.Fatalf("%s: install: %v", q.Name, err)
+		}
+		if _, err := he.Call(q.Name, params); err != nil {
+			t.Fatalf("%s: hiactor: %v", q.Name, err)
+		}
+	}
+}
+
+// TestQueriesReturnPlausibleResults spot-checks that key queries return
+// non-empty, schema-shaped results on a populated graph.
+func TestQueriesReturnPlausibleResults(t *testing.T) {
+	persons := 200
+	b := dataset.SNB(dataset.SNBOptions{Persons: persons, Seed: 5})
+	st, err := vineyard.Load(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := dataset.SNBSchema()
+	ge := gaia.NewEngine(st, gaia.Options{Parallelism: 4})
+
+	// BI2 (top tags) must cover tags and respect the limit.
+	var bi2 Query
+	for _, q := range BI() {
+		if q.Name == "BI2" {
+			bi2 = q
+		}
+	}
+	plan, err := cypher.Parse(bi2.Cypher, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _, err := ge.Submit(plan, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 || len(rows) > 20 {
+		t.Fatalf("BI2 rows %d", len(rows))
+	}
+	// Counts descend.
+	for i := 1; i < len(rows); i++ {
+		if rows[i][1].Int() > rows[i-1][1].Int() {
+			t.Fatal("BI2 not sorted by count desc")
+		}
+	}
+
+	// S3 (friends) returns rows for a well-connected person.
+	s3 := Short()[2]
+	plan3, err := cypher.Parse(s3.Cypher, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for pid := int64(0); pid < 50 && !found; pid++ {
+		rows, _, err := ge.Submit(plan3, map[string]graph.Value{"pid": graph.IntValue(pid)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no person with friends in first 50")
+	}
+}
+
+// TestUpdatesApplyToGART runs every update against a dynamic store and
+// verifies the store grows.
+func TestUpdatesApplyToGART(t *testing.T) {
+	persons := 80
+	b := dataset.SNB(dataset.SNBOptions{Persons: persons, Seed: 7})
+	s := gart.NewStore(dataset.SNBSchema(), 0)
+	if err := s.LoadBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	sc := ScaleOf(persons)
+	ids := NewIDAllocator(sc)
+	r := rand.New(rand.NewSource(11))
+	before := s.NumEdges()
+	ups := Updates()
+	if len(ups) != 8 {
+		t.Fatalf("update count %d", len(ups))
+	}
+	for round := 0; round < 3; round++ {
+		for _, u := range ups {
+			if err := u.Apply(s, r, sc, ids); err != nil {
+				t.Fatalf("%s: %v", u.Name, err)
+			}
+		}
+	}
+	if s.NumEdges() <= before {
+		t.Fatal("updates did not grow the graph")
+	}
+	// New person from U1 is visible.
+	if _, ok := s.Latest().LookupVertex(dataset.SNBPerson, int64(persons)); !ok {
+		t.Fatal("U1 person missing")
+	}
+}

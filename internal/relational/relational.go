@@ -1,0 +1,152 @@
+// Package relational implements a small SQL-like table engine — the baseline
+// the paper's case studies compare against (Exp-6's SQL equity baseline,
+// Exp-8's SQL join-based Trojan detection). It stores graphs as edge tables
+// and answers multi-hop questions with hash joins, which is precisely the
+// cost the graph-native engines avoid.
+package relational
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Table is a named column set with rows.
+type Table struct {
+	Name string
+	Cols []string
+	Rows [][]graph.Value
+
+	colIdx map[string]int
+}
+
+// NewTable creates an empty table.
+func NewTable(name string, cols ...string) *Table {
+	t := &Table{Name: name, Cols: cols, colIdx: map[string]int{}}
+	for i, c := range cols {
+		t.colIdx[c] = i
+	}
+	return t
+}
+
+// Append adds a row (arity-checked).
+func (t *Table) Append(vals ...graph.Value) error {
+	if len(vals) != len(t.Cols) {
+		return fmt.Errorf("relational: %s: %d values, want %d", t.Name, len(vals), len(t.Cols))
+	}
+	t.Rows = append(t.Rows, vals)
+	return nil
+}
+
+// Col returns a column's index.
+func (t *Table) Col(name string) (int, error) {
+	i, ok := t.colIdx[name]
+	if !ok {
+		return 0, fmt.Errorf("relational: %s has no column %q", t.Name, name)
+	}
+	return i, nil
+}
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int { return len(t.Rows) }
+
+// Filter returns rows satisfying pred.
+func (t *Table) Filter(pred func(row []graph.Value) bool) *Table {
+	out := NewTable(t.Name+"_f", t.Cols...)
+	for _, r := range t.Rows {
+		if pred(r) {
+			out.Rows = append(out.Rows, r)
+		}
+	}
+	return out
+}
+
+// HashJoin joins t (on leftCol) with right (on rightCol), producing the
+// concatenation of both row sets with the right join key column prefixed by
+// the right table name to avoid collisions.
+func (t *Table) HashJoin(leftCol string, right *Table, rightCol string) (*Table, error) {
+	li, err := t.Col(leftCol)
+	if err != nil {
+		return nil, err
+	}
+	ri, err := right.Col(rightCol)
+	if err != nil {
+		return nil, err
+	}
+	cols := append([]string{}, t.Cols...)
+	for _, c := range right.Cols {
+		cols = append(cols, right.Name+"."+c)
+	}
+	out := NewTable(t.Name+"⋈"+right.Name, cols...)
+	// Build side: the smaller table.
+	build := map[string][]int{}
+	for i, r := range right.Rows {
+		build[r[ri].String()] = append(build[r[ri].String()], i)
+	}
+	for _, lr := range t.Rows {
+		for _, i := range build[lr[li].String()] {
+			row := append(append([]graph.Value{}, lr...), right.Rows[i]...)
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// GroupSum aggregates sum(valCol) grouped by keyCols.
+func (t *Table) GroupSum(keyCols []string, valCol string) (*Table, error) {
+	keyIdx := make([]int, len(keyCols))
+	for i, c := range keyCols {
+		var err error
+		keyIdx[i], err = t.Col(c)
+		if err != nil {
+			return nil, err
+		}
+	}
+	vi, err := t.Col(valCol)
+	if err != nil {
+		return nil, err
+	}
+	out := NewTable(t.Name+"_g", append(append([]string{}, keyCols...), "sum")...)
+	sums := map[string]float64{}
+	keys := map[string][]graph.Value{}
+	var order []string
+	for _, r := range t.Rows {
+		var kb strings.Builder
+		kv := make([]graph.Value, len(keyIdx))
+		for i, ki := range keyIdx {
+			kv[i] = r[ki]
+			kb.WriteString(r[ki].String())
+			kb.WriteByte(0)
+		}
+		k := kb.String()
+		if _, ok := sums[k]; !ok {
+			order = append(order, k)
+			keys[k] = kv
+		}
+		sums[k] += r[vi].Float()
+	}
+	for _, k := range order {
+		row := append(append([]graph.Value{}, keys[k]...), graph.FloatValue(sums[k]))
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Distinct deduplicates full rows.
+func (t *Table) Distinct() *Table {
+	out := NewTable(t.Name+"_d", t.Cols...)
+	seen := map[string]bool{}
+	for _, r := range t.Rows {
+		var kb strings.Builder
+		for _, v := range r {
+			kb.WriteString(v.String())
+			kb.WriteByte(0)
+		}
+		if !seen[kb.String()] {
+			seen[kb.String()] = true
+			out.Rows = append(out.Rows, r)
+		}
+	}
+	return out
+}

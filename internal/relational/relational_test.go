@@ -1,0 +1,100 @@
+package relational
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func iv(i int64) graph.Value   { return graph.IntValue(i) }
+func fv(f float64) graph.Value { return graph.FloatValue(f) }
+
+func TestAppendAndArity(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	if err := tb.Append(iv(1), iv(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Append(iv(1)); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	if tb.NumRows() != 1 {
+		t.Fatal("rows")
+	}
+	if _, err := tb.Col("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Col("zzz"); err == nil {
+		t.Fatal("missing column resolved")
+	}
+}
+
+func TestFilterJoinDistinct(t *testing.T) {
+	knows := NewTable("knows", "src", "dst")
+	_ = knows.Append(iv(1), iv(2))
+	_ = knows.Append(iv(2), iv(3))
+	_ = knows.Append(iv(2), iv(4))
+	_ = knows.Append(iv(5), iv(6))
+
+	from1 := knows.Filter(func(r []graph.Value) bool { return r[0].Int() == 1 })
+	if from1.NumRows() != 1 {
+		t.Fatalf("filter rows %d", from1.NumRows())
+	}
+	two, err := from1.HashJoin("dst", knows, "src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1->2 joined with 2->3 and 2->4.
+	if two.NumRows() != 2 {
+		t.Fatalf("join rows %d", two.NumRows())
+	}
+	ci, err := two.Col("knows.dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int64]bool{}
+	for _, r := range two.Rows {
+		got[r[ci].Int()] = true
+	}
+	if !got[3] || !got[4] {
+		t.Fatalf("2-hop endpoints wrong: %v", got)
+	}
+	// Distinct removes duplicated rows.
+	dup := NewTable("d", "x")
+	_ = dup.Append(iv(1))
+	_ = dup.Append(iv(1))
+	_ = dup.Append(iv(2))
+	if dup.Distinct().NumRows() != 2 {
+		t.Fatal("distinct failed")
+	}
+	// Join on a missing column errors.
+	if _, err := knows.HashJoin("zzz", knows, "src"); err == nil {
+		t.Fatal("bad join column accepted")
+	}
+}
+
+func TestGroupSum(t *testing.T) {
+	tb := NewTable("owns", "owner", "share")
+	_ = tb.Append(iv(1), fv(0.25))
+	_ = tb.Append(iv(1), fv(0.35))
+	_ = tb.Append(iv(2), fv(0.40))
+	agg, err := tb.GroupSum([]string{"owner"}, "share")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.NumRows() != 2 {
+		t.Fatalf("groups %d", agg.NumRows())
+	}
+	sums := map[int64]float64{}
+	for _, r := range agg.Rows {
+		sums[r[0].Int()] = r[1].Float()
+	}
+	if sums[1] != 0.6 || sums[2] != 0.4 {
+		t.Fatalf("sums wrong: %v", sums)
+	}
+	if _, err := tb.GroupSum([]string{"zzz"}, "share"); err == nil {
+		t.Fatal("bad group key accepted")
+	}
+	if _, err := tb.GroupSum([]string{"owner"}, "zzz"); err == nil {
+		t.Fatal("bad value column accepted")
+	}
+}

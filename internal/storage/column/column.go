@@ -1,0 +1,190 @@
+// Package column implements typed property columns shared by the storage
+// backends (Vineyard, GART, GraphAr). A column stores one property of one
+// label in a dense, cache-friendly array keyed by row index, with an optional
+// null bitmap.
+package column
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Column is a typed dense array of property values. The zero Column is not
+// usable; construct with New.
+type Column struct {
+	kind graph.Kind
+
+	ints    []int64
+	floats  []float64
+	strs    []string
+	bools   []bool
+	nulls   []bool // parallel; nil until first null appended
+	numRows int
+}
+
+// New returns an empty column of the kind.
+func New(kind graph.Kind) *Column {
+	return &Column{kind: kind}
+}
+
+// Kind returns the column's value kind.
+func (c *Column) Kind() graph.Kind { return c.kind }
+
+// Len returns the number of rows.
+func (c *Column) Len() int { return c.numRows }
+
+// Append adds a value; NULL values of any kind are accepted, others must
+// match the column kind.
+func (c *Column) Append(v graph.Value) error {
+	if v.IsNull() {
+		c.appendZero()
+		c.markNull(c.numRows - 1)
+		return nil
+	}
+	if v.K != c.kind {
+		return fmt.Errorf("column: append %v into %v column", v.K, c.kind)
+	}
+	switch c.kind {
+	case graph.KindInt:
+		c.ints = append(c.ints, v.I)
+	case graph.KindFloat:
+		c.floats = append(c.floats, v.F)
+	case graph.KindString:
+		c.strs = append(c.strs, v.S)
+	case graph.KindBool:
+		c.bools = append(c.bools, v.I != 0)
+	default:
+		return fmt.Errorf("column: unsupported kind %v", c.kind)
+	}
+	if c.nulls != nil {
+		c.nulls = append(c.nulls, false)
+	}
+	c.numRows++
+	return nil
+}
+
+func (c *Column) appendZero() {
+	switch c.kind {
+	case graph.KindInt:
+		c.ints = append(c.ints, 0)
+	case graph.KindFloat:
+		c.floats = append(c.floats, 0)
+	case graph.KindString:
+		c.strs = append(c.strs, "")
+	case graph.KindBool:
+		c.bools = append(c.bools, false)
+	}
+	if c.nulls != nil {
+		c.nulls = append(c.nulls, false)
+	}
+	c.numRows++
+}
+
+func (c *Column) markNull(row int) {
+	if c.nulls == nil {
+		c.nulls = make([]bool, c.numRows)
+	}
+	for len(c.nulls) < c.numRows {
+		c.nulls = append(c.nulls, false)
+	}
+	c.nulls[row] = true
+}
+
+// Get returns the value at row; ok is false for NULL or out-of-range rows.
+func (c *Column) Get(row int) (graph.Value, bool) {
+	if row < 0 || row >= c.numRows {
+		return graph.NullValue, false
+	}
+	if c.nulls != nil && c.nulls[row] {
+		return graph.NullValue, false
+	}
+	switch c.kind {
+	case graph.KindInt:
+		return graph.IntValue(c.ints[row]), true
+	case graph.KindFloat:
+		return graph.FloatValue(c.floats[row]), true
+	case graph.KindString:
+		return graph.StringValue(c.strs[row]), true
+	case graph.KindBool:
+		return graph.BoolValue(c.bools[row]), true
+	}
+	return graph.NullValue, false
+}
+
+// Set overwrites the value at row (used by mutable stores). The row must
+// already exist.
+func (c *Column) Set(row int, v graph.Value) error {
+	if row < 0 || row >= c.numRows {
+		return fmt.Errorf("column: set row %d out of range %d", row, c.numRows)
+	}
+	if v.IsNull() {
+		c.markNull(row)
+		return nil
+	}
+	if v.K != c.kind {
+		return fmt.Errorf("column: set %v into %v column", v.K, c.kind)
+	}
+	switch c.kind {
+	case graph.KindInt:
+		c.ints[row] = v.I
+	case graph.KindFloat:
+		c.floats[row] = v.F
+	case graph.KindString:
+		c.strs[row] = v.S
+	case graph.KindBool:
+		c.bools[row] = v.I != 0
+	}
+	if c.nulls != nil {
+		c.nulls[row] = false
+	}
+	return nil
+}
+
+// Floats exposes the raw float payload for zero-copy fast paths (edge weight
+// columns); nil for non-float columns.
+func (c *Column) Floats() []float64 {
+	if c.kind != graph.KindFloat {
+		return nil
+	}
+	return c.floats
+}
+
+// Ints exposes the raw int payload; nil for non-int columns.
+func (c *Column) Ints() []int64 {
+	if c.kind != graph.KindInt {
+		return nil
+	}
+	return c.ints
+}
+
+// Strings exposes the raw string payload; nil for non-string columns.
+func (c *Column) Strings() []string {
+	if c.kind != graph.KindString {
+		return nil
+	}
+	return c.strs
+}
+
+// Set builds a column set from property definitions.
+func Set(defs []graph.PropDef) []*Column {
+	cols := make([]*Column, len(defs))
+	for i, d := range defs {
+		cols[i] = New(d.Kind)
+	}
+	return cols
+}
+
+// AppendRow appends one positional property row across a column set.
+func AppendRow(cols []*Column, props []graph.Value) error {
+	for i, c := range cols {
+		var v graph.Value
+		if i < len(props) {
+			v = props[i]
+		}
+		if err := c.Append(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}

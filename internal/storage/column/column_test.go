@@ -1,0 +1,135 @@
+package column
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestAppendGetAllKinds(t *testing.T) {
+	cases := []struct {
+		kind graph.Kind
+		val  graph.Value
+	}{
+		{graph.KindInt, graph.IntValue(42)},
+		{graph.KindFloat, graph.FloatValue(2.5)},
+		{graph.KindString, graph.StringValue("hi")},
+		{graph.KindBool, graph.BoolValue(true)},
+	}
+	for _, c := range cases {
+		col := New(c.kind)
+		if col.Kind() != c.kind {
+			t.Fatal("kind")
+		}
+		if err := col.Append(c.val); err != nil {
+			t.Fatal(err)
+		}
+		got, ok := col.Get(0)
+		if !ok || !got.Equal(c.val) {
+			t.Fatalf("%v: got %v ok=%v", c.kind, got, ok)
+		}
+		if col.Len() != 1 {
+			t.Fatal("len")
+		}
+	}
+}
+
+func TestNullsAndKindMismatch(t *testing.T) {
+	col := New(graph.KindInt)
+	_ = col.Append(graph.IntValue(1))
+	_ = col.Append(graph.NullValue)
+	_ = col.Append(graph.IntValue(3))
+	if _, ok := col.Get(1); ok {
+		t.Fatal("null row resolved")
+	}
+	if v, ok := col.Get(0); !ok || v.Int() != 1 {
+		t.Fatal("pre-null row corrupted")
+	}
+	if v, ok := col.Get(2); !ok || v.Int() != 3 {
+		t.Fatal("post-null row corrupted")
+	}
+	if err := col.Append(graph.StringValue("x")); err == nil {
+		t.Fatal("kind mismatch accepted")
+	}
+	if _, ok := col.Get(99); ok {
+		t.Fatal("out of range resolved")
+	}
+	if _, ok := col.Get(-1); ok {
+		t.Fatal("negative row resolved")
+	}
+}
+
+func TestSet(t *testing.T) {
+	col := New(graph.KindString)
+	_ = col.Append(graph.StringValue("a"))
+	if err := col.Set(0, graph.StringValue("b")); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := col.Get(0); v.Str() != "b" {
+		t.Fatal("set lost")
+	}
+	if err := col.Set(0, graph.NullValue); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := col.Get(0); ok {
+		t.Fatal("set-null ignored")
+	}
+	// Un-null by setting a value again.
+	if err := col.Set(0, graph.StringValue("c")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := col.Get(0); !ok || v.Str() != "c" {
+		t.Fatal("un-null failed")
+	}
+	if err := col.Set(5, graph.StringValue("x")); err == nil {
+		t.Fatal("out-of-range set accepted")
+	}
+	if err := col.Set(0, graph.IntValue(1)); err == nil {
+		t.Fatal("kind mismatch set accepted")
+	}
+}
+
+func TestRawAccessors(t *testing.T) {
+	fc := New(graph.KindFloat)
+	_ = fc.Append(graph.FloatValue(1.5))
+	if fs := fc.Floats(); len(fs) != 1 || fs[0] != 1.5 {
+		t.Fatal("Floats")
+	}
+	if fc.Ints() != nil || fc.Strings() != nil {
+		t.Fatal("wrong-kind raw access should be nil")
+	}
+	ic := New(graph.KindInt)
+	_ = ic.Append(graph.IntValue(7))
+	if is := ic.Ints(); len(is) != 1 || is[0] != 7 {
+		t.Fatal("Ints")
+	}
+	sc := New(graph.KindString)
+	_ = sc.Append(graph.StringValue("z"))
+	if ss := sc.Strings(); len(ss) != 1 || ss[0] != "z" {
+		t.Fatal("Strings")
+	}
+}
+
+func TestSetAndAppendRow(t *testing.T) {
+	defs := []graph.PropDef{
+		{Name: "a", Kind: graph.KindInt},
+		{Name: "b", Kind: graph.KindString},
+	}
+	cols := Set(defs)
+	if len(cols) != 2 {
+		t.Fatal("Set size")
+	}
+	if err := AppendRow(cols, []graph.Value{graph.IntValue(1), graph.StringValue("x")}); err != nil {
+		t.Fatal(err)
+	}
+	// Short rows pad with nulls.
+	if err := AppendRow(cols, []graph.Value{graph.IntValue(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cols[1].Get(1); ok {
+		t.Fatal("padded row should be null")
+	}
+	if err := AppendRow(cols, []graph.Value{graph.StringValue("bad")}); err == nil {
+		t.Fatal("kind mismatch row accepted")
+	}
+}

@@ -1,0 +1,222 @@
+// Package csr implements a plain static Compressed Sparse Row graph. It is
+// both the internal adjacency building block reused by richer stores and the
+// immutable upper-bound baseline of Exp-1c (Fig 7c): a dynamic store's scan
+// throughput is measured against this.
+package csr
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/grin"
+)
+
+// Graph is an immutable CSR (+ optional CSC) adjacency with optional edge
+// weights. It implements the GRIN topology, array, weight and predicate
+// traits; it has no labels or properties (simple/weighted graph model).
+type Graph struct {
+	n int
+	m int
+
+	outOff []uint64
+	out    []grin.Target
+	inOff  []uint64
+	in     []grin.Target // nil unless built with CSC
+
+	weights []float64 // indexed by EID; nil for unweighted
+}
+
+var (
+	_ grin.Graph         = (*Graph)(nil)
+	_ grin.AdjArray      = (*Graph)(nil)
+	_ grin.WeightReader  = (*Graph)(nil)
+	_ grin.PredicatePush = (*Graph)(nil)
+	_ grin.Named         = (*Graph)(nil)
+)
+
+// Edge is one input edge for the builder.
+type Edge struct {
+	Src, Dst graph.VID
+	Weight   float64
+}
+
+// Options configures Build.
+type Options struct {
+	// BuildCSC also materializes the in-adjacency. Analytics that pull along
+	// in-edges (PageRank pull mode, BFS from destinations) need it.
+	BuildCSC bool
+	// Weighted stores per-edge weights.
+	Weighted bool
+	// SortAdjacency orders each adjacency list by neighbor ID, enabling
+	// binary-searched edge existence checks.
+	SortAdjacency bool
+}
+
+// Build constructs a CSR graph over n vertices from an edge list. Edge IDs
+// are assigned in out-CSR order: the EID of the k-th slot of the out
+// adjacency is k, and the CSC mirrors reference the same IDs.
+func Build(n int, edges []Edge, opt Options) (*Graph, error) {
+	g := &Graph{n: n, m: len(edges)}
+	for i, e := range edges {
+		if int(e.Src) >= n || int(e.Dst) >= n {
+			return nil, fmt.Errorf("csr: edge %d (%d->%d) out of range n=%d", i, e.Src, e.Dst, n)
+		}
+	}
+
+	// Counting pass for out-degrees.
+	g.outOff = make([]uint64, n+1)
+	for _, e := range edges {
+		g.outOff[e.Src+1]++
+	}
+	for i := 0; i < n; i++ {
+		g.outOff[i+1] += g.outOff[i]
+	}
+	g.out = make([]grin.Target, len(edges))
+	if opt.Weighted {
+		g.weights = make([]float64, len(edges))
+	}
+	cursor := make([]uint64, n)
+	copy(cursor, g.outOff[:n])
+	for _, e := range edges {
+		slot := cursor[e.Src]
+		cursor[e.Src]++
+		g.out[slot] = grin.Target{Nbr: e.Dst, Edge: graph.EID(slot)}
+		if opt.Weighted {
+			g.weights[slot] = e.Weight
+		}
+	}
+	if opt.SortAdjacency {
+		for v := 0; v < n; v++ {
+			lo, hi := g.outOff[v], g.outOff[v+1]
+			seg := g.out[lo:hi]
+			sort.Slice(seg, func(i, j int) bool { return seg[i].Nbr < seg[j].Nbr })
+			// Re-key edge IDs and weights to the sorted order so that the
+			// EID of slot k stays k (weights move with their edge).
+			if opt.Weighted {
+				ws := make([]float64, len(seg))
+				for i, t := range seg {
+					ws[i] = g.weights[t.Edge]
+				}
+				copy(g.weights[lo:hi], ws)
+			}
+			for i := range seg {
+				seg[i].Edge = graph.EID(lo + uint64(i))
+			}
+		}
+	}
+
+	if opt.BuildCSC {
+		g.inOff = make([]uint64, n+1)
+		for _, t := range g.out {
+			g.inOff[t.Nbr+1]++
+		}
+		for i := 0; i < n; i++ {
+			g.inOff[i+1] += g.inOff[i]
+		}
+		g.in = make([]grin.Target, len(edges))
+		copy(cursor, g.inOff[:n])
+		for v := 0; v < n; v++ {
+			for _, t := range g.out[g.outOff[v]:g.outOff[v+1]] {
+				slot := cursor[t.Nbr]
+				cursor[t.Nbr]++
+				g.in[slot] = grin.Target{Nbr: graph.VID(v), Edge: t.Edge}
+			}
+		}
+	}
+	return g, nil
+}
+
+// BackendName implements grin.Named.
+func (g *Graph) BackendName() string { return "csr" }
+
+// NumVertices implements grin.Graph.
+func (g *Graph) NumVertices() int { return g.n }
+
+// NumEdges implements grin.Graph.
+func (g *Graph) NumEdges() int { return g.m }
+
+// Degree implements grin.Graph.
+func (g *Graph) Degree(v graph.VID, dir graph.Direction) int {
+	switch dir {
+	case graph.Out:
+		return int(g.outOff[v+1] - g.outOff[v])
+	case graph.In:
+		if g.in == nil {
+			return 0
+		}
+		return int(g.inOff[v+1] - g.inOff[v])
+	default:
+		return g.Degree(v, graph.Out) + g.Degree(v, graph.In)
+	}
+}
+
+// AdjSlice implements grin.AdjArray. For Both it returns only the out
+// adjacency; callers needing both directions iterate each separately.
+func (g *Graph) AdjSlice(v graph.VID, dir graph.Direction) []grin.Target {
+	switch dir {
+	case graph.Out:
+		return g.out[g.outOff[v]:g.outOff[v+1]]
+	case graph.In:
+		if g.in == nil {
+			return nil
+		}
+		return g.in[g.inOff[v]:g.inOff[v+1]]
+	default:
+		return g.out[g.outOff[v]:g.outOff[v+1]]
+	}
+}
+
+// Neighbors implements grin.Graph.
+func (g *Graph) Neighbors(v graph.VID, dir graph.Direction, yield func(graph.VID, graph.EID) bool) {
+	if dir == graph.Both {
+		g.Neighbors(v, graph.Out, yield)
+		g.Neighbors(v, graph.In, yield)
+		return
+	}
+	for _, t := range g.AdjSlice(v, dir) {
+		if !yield(t.Nbr, t.Edge) {
+			return
+		}
+	}
+}
+
+// EdgeWeight implements grin.WeightReader.
+func (g *Graph) EdgeWeight(e graph.EID) float64 {
+	if g.weights == nil {
+		return 1.0
+	}
+	return g.weights[e]
+}
+
+// HasEdge reports whether (src, dst) exists. O(log d) when built with
+// SortAdjacency, O(d) otherwise.
+func (g *Graph) HasEdge(src, dst graph.VID) bool {
+	adj := g.AdjSlice(src, graph.Out)
+	i := sort.Search(len(adj), func(i int) bool { return adj[i].Nbr >= dst })
+	if i < len(adj) && adj[i].Nbr == dst {
+		return true
+	}
+	// Fall back to linear scan for unsorted adjacency.
+	for _, t := range adj {
+		if t.Nbr == dst {
+			return true
+		}
+	}
+	return false
+}
+
+// ScanVertices implements grin.PredicatePush; simple graphs ignore label.
+func (g *Graph) ScanVertices(_ graph.LabelID, pred func(graph.VID) bool, yield func(graph.VID) bool) {
+	for v := graph.VID(0); int(v) < g.n; v++ {
+		if pred != nil && !pred(v) {
+			continue
+		}
+		if !yield(v) {
+			return
+		}
+	}
+}
+
+// HasCSC reports whether the in-adjacency was materialized.
+func (g *Graph) HasCSC() bool { return g.in != nil }

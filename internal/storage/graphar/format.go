@@ -1,0 +1,400 @@
+// Package graphar implements the Graph Archive storage backend of §4.2: a
+// standardized chunked columnar file format for graph data at rest. Like the
+// paper's GraphAr (built on ORC/Parquet), it
+//
+//   - partitions every column into fixed-size chunks with an offset index,
+//     so readers fetch only relevant chunks, in parallel;
+//   - applies lightweight encodings (zigzag-varint deltas for integers,
+//     dictionary-free length-prefixed strings, raw little-endian floats);
+//   - keeps per-chunk first-key statistics on sorted columns, enabling
+//     storage-level operations (vertex lookup by external ID, neighbor
+//     retrieval) without loading the whole graph;
+//   - can serve as a GRIN data source directly (see Store), trading latency
+//     for footprint — the slowest backend of Fig 7(a), by design.
+package graphar
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"repro/internal/graph"
+)
+
+// DefaultChunkSize is the number of rows per chunk.
+const DefaultChunkSize = 1024
+
+const colMagic = "GARC"
+
+// Meta is the archive manifest persisted as meta.json.
+type Meta struct {
+	FormatVersion int         `json:"format_version"`
+	ChunkSize     int         `json:"chunk_size"`
+	VertexLabels  []LabelMeta `json:"vertex_labels"`
+	EdgeLabels    []EdgeMeta  `json:"edge_labels"`
+}
+
+// LabelMeta describes one vertex label's persisted columns.
+type LabelMeta struct {
+	Name  string     `json:"name"`
+	Count int        `json:"count"`
+	Props []PropMeta `json:"props"`
+}
+
+// EdgeMeta describes one edge label's persisted columns.
+type EdgeMeta struct {
+	Name  string     `json:"name"`
+	Src   string     `json:"src"`
+	Dst   string     `json:"dst"`
+	Count int        `json:"count"`
+	Props []PropMeta `json:"props"`
+}
+
+// PropMeta is one property definition in the manifest.
+type PropMeta struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+}
+
+func kindName(k graph.Kind) string {
+	switch k {
+	case graph.KindBool:
+		return "bool"
+	case graph.KindInt:
+		return "int"
+	case graph.KindFloat:
+		return "float"
+	case graph.KindString:
+		return "string"
+	}
+	return "unsupported"
+}
+
+func kindFromName(s string) (graph.Kind, error) {
+	switch s {
+	case "bool":
+		return graph.KindBool, nil
+	case "int":
+		return graph.KindInt, nil
+	case "float":
+		return graph.KindFloat, nil
+	case "string":
+		return graph.KindString, nil
+	}
+	return graph.KindNil, fmt.Errorf("graphar: unknown kind %q", s)
+}
+
+// SchemaOf reconstructs the graph schema from a manifest.
+func (m *Meta) SchemaOf() (*graph.Schema, error) {
+	vls := make([]graph.VertexLabel, len(m.VertexLabels))
+	nameToID := map[string]graph.LabelID{}
+	for i, vl := range m.VertexLabels {
+		props, err := propDefs(vl.Props)
+		if err != nil {
+			return nil, err
+		}
+		vls[i] = graph.VertexLabel{Name: vl.Name, Props: props}
+		nameToID[vl.Name] = graph.LabelID(i)
+	}
+	els := make([]graph.EdgeLabel, len(m.EdgeLabels))
+	for i, el := range m.EdgeLabels {
+		props, err := propDefs(el.Props)
+		if err != nil {
+			return nil, err
+		}
+		src, ok := nameToID[el.Src]
+		if !ok {
+			return nil, fmt.Errorf("graphar: edge label %s references unknown vertex label %s", el.Name, el.Src)
+		}
+		dst, ok := nameToID[el.Dst]
+		if !ok {
+			return nil, fmt.Errorf("graphar: edge label %s references unknown vertex label %s", el.Name, el.Dst)
+		}
+		els[i] = graph.EdgeLabel{Name: el.Name, Src: src, Dst: dst, Props: props}
+	}
+	return graph.NewSchema(vls, els), nil
+}
+
+func propDefs(ps []PropMeta) ([]graph.PropDef, error) {
+	defs := make([]graph.PropDef, len(ps))
+	for i, p := range ps {
+		k, err := kindFromName(p.Kind)
+		if err != nil {
+			return nil, err
+		}
+		defs[i] = graph.PropDef{Name: p.Name, Kind: k}
+	}
+	return defs, nil
+}
+
+func writeMeta(dir string, m *Meta) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "meta.json"), data, 0o644)
+}
+
+// ReadMeta loads and validates the manifest of an archive directory.
+func ReadMeta(dir string) (*Meta, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "meta.json"))
+	if err != nil {
+		return nil, fmt.Errorf("graphar: %w", err)
+	}
+	var m Meta
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("graphar: corrupt meta.json: %w", err)
+	}
+	if m.FormatVersion != 1 {
+		return nil, fmt.Errorf("graphar: unsupported format version %d", m.FormatVersion)
+	}
+	if m.ChunkSize <= 0 {
+		return nil, fmt.Errorf("graphar: invalid chunk size %d", m.ChunkSize)
+	}
+	return &m, nil
+}
+
+// ---- column file format ----
+//
+//   magic "GARC" | u8 kind | uvarint totalRows | uvarint chunkSize |
+//   uvarint numChunks | numChunks × (uvarint byteLen, varint firstKey) |
+//   chunk payloads…
+//
+// firstKey is the chunk's first integer value for int columns (chunk-skip
+// statistics on sorted columns); 0 for other kinds.
+
+type colFile struct {
+	kind      graph.Kind
+	totalRows int
+	chunkSize int
+	offsets   []int64 // byte offset of each chunk payload within data
+	lengths   []int
+	firstKeys []int64
+	data      []byte // whole payload region
+}
+
+func encodeColumn(kind graph.Kind, rows int, chunkSize int, encodeChunk func(lo, hi int, buf []byte) []byte, firstKey func(lo int) int64) []byte {
+	numChunks := (rows + chunkSize - 1) / chunkSize
+	header := make([]byte, 0, 64+numChunks*6)
+	header = append(header, colMagic...)
+	header = append(header, byte(kind))
+	header = binary.AppendUvarint(header, uint64(rows))
+	header = binary.AppendUvarint(header, uint64(chunkSize))
+	header = binary.AppendUvarint(header, uint64(numChunks))
+	payloads := make([][]byte, numChunks)
+	for c := 0; c < numChunks; c++ {
+		lo := c * chunkSize
+		hi := lo + chunkSize
+		if hi > rows {
+			hi = rows
+		}
+		payloads[c] = encodeChunk(lo, hi, nil)
+	}
+	for c := 0; c < numChunks; c++ {
+		header = binary.AppendUvarint(header, uint64(len(payloads[c])))
+		var fk int64
+		if firstKey != nil {
+			fk = firstKey(c * chunkSize)
+		}
+		header = binary.AppendVarint(header, fk)
+	}
+	out := header
+	for _, p := range payloads {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// errShortHeader signals that more bytes are needed to finish header parsing
+// (incremental reads by diskCol).
+var errShortHeader = fmt.Errorf("graphar: short header")
+
+// parseColHeader parses the header prefix of a column file, returning the
+// header byte length. Returns errShortHeader when data is a truncated prefix.
+func parseColHeader(data []byte, path string) (*colFile, int, error) {
+	if len(data) < 5 {
+		return nil, 0, errShortHeader
+	}
+	if string(data[:4]) != colMagic {
+		return nil, 0, fmt.Errorf("graphar: %s: bad magic", path)
+	}
+	cf := &colFile{kind: graph.Kind(data[4])}
+	pos := 5
+	readU := func() (uint64, error) {
+		v, n := binary.Uvarint(data[pos:])
+		if n == 0 {
+			return 0, errShortHeader
+		}
+		if n < 0 {
+			return 0, fmt.Errorf("graphar: %s: corrupt header varint", path)
+		}
+		pos += n
+		return v, nil
+	}
+	rows, err := readU()
+	if err != nil {
+		return nil, 0, err
+	}
+	cs, err := readU()
+	if err != nil {
+		return nil, 0, err
+	}
+	nc, err := readU()
+	if err != nil {
+		return nil, 0, err
+	}
+	cf.totalRows = int(rows)
+	cf.chunkSize = int(cs)
+	if cf.chunkSize <= 0 {
+		return nil, 0, fmt.Errorf("graphar: %s: invalid chunk size", path)
+	}
+	cf.offsets = make([]int64, nc)
+	cf.lengths = make([]int, nc)
+	cf.firstKeys = make([]int64, nc)
+	var off int64
+	for c := range cf.offsets {
+		l, err := readU()
+		if err != nil {
+			return nil, 0, err
+		}
+		fk, n := binary.Varint(data[pos:])
+		if n == 0 {
+			return nil, 0, errShortHeader
+		}
+		if n < 0 {
+			return nil, 0, fmt.Errorf("graphar: %s: corrupt header varint", path)
+		}
+		pos += n
+		cf.offsets[c] = off
+		cf.lengths[c] = int(l)
+		cf.firstKeys[c] = fk
+		off += int64(l)
+	}
+	return cf, pos, nil
+}
+
+func parseColFile(data []byte, path string) (*colFile, error) {
+	cf, hdrLen, err := parseColHeader(data, path)
+	if err != nil {
+		if err == errShortHeader {
+			return nil, fmt.Errorf("graphar: %s: truncated header", path)
+		}
+		return nil, err
+	}
+	rest := data[hdrLen:]
+	var need int64
+	for c := range cf.offsets {
+		need = cf.offsets[c] + int64(cf.lengths[c])
+	}
+	if int64(len(rest)) < need {
+		return nil, fmt.Errorf("graphar: %s: truncated payload", path)
+	}
+	cf.data = rest
+	return cf, nil
+}
+
+func (cf *colFile) numChunks() int { return len(cf.offsets) }
+
+func (cf *colFile) chunkRows(c int) int {
+	lo := c * cf.chunkSize
+	hi := lo + cf.chunkSize
+	if hi > cf.totalRows {
+		hi = cf.totalRows
+	}
+	return hi - lo
+}
+
+func (cf *colFile) chunkPayload(c int) []byte {
+	return cf.data[cf.offsets[c] : cf.offsets[c]+int64(cf.lengths[c])]
+}
+
+// ---- chunk encodings ----
+
+// encodeInts: zigzag varint deltas; first value is a raw zigzag varint.
+func encodeInts(vals []int64, buf []byte) []byte {
+	prev := int64(0)
+	for _, v := range vals {
+		buf = binary.AppendVarint(buf, v-prev)
+		prev = v
+	}
+	return buf
+}
+
+func decodeInts(payload []byte, n int) ([]int64, error) {
+	out := make([]int64, n)
+	prev := int64(0)
+	for i := 0; i < n; i++ {
+		d, sz := binary.Varint(payload)
+		if sz <= 0 {
+			return nil, fmt.Errorf("graphar: truncated int chunk at row %d", i)
+		}
+		payload = payload[sz:]
+		prev += d
+		out[i] = prev
+	}
+	return out, nil
+}
+
+func encodeFloats(vals []float64, buf []byte) []byte {
+	for _, v := range vals {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf
+}
+
+func decodeFloats(payload []byte, n int) ([]float64, error) {
+	if len(payload) < 8*n {
+		return nil, fmt.Errorf("graphar: truncated float chunk")
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
+	}
+	return out, nil
+}
+
+func encodeStrings(vals []string, buf []byte) []byte {
+	for _, v := range vals {
+		buf = binary.AppendUvarint(buf, uint64(len(v)))
+		buf = append(buf, v...)
+	}
+	return buf
+}
+
+func decodeStrings(payload []byte, n int) ([]string, error) {
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		l, sz := binary.Uvarint(payload)
+		if sz <= 0 || uint64(len(payload)-sz) < l {
+			return nil, fmt.Errorf("graphar: truncated string chunk at row %d", i)
+		}
+		out[i] = string(payload[sz : sz+int(l)])
+		payload = payload[sz+int(l):]
+	}
+	return out, nil
+}
+
+func encodeBools(vals []bool, buf []byte) []byte {
+	for _, v := range vals {
+		b := byte(0)
+		if v {
+			b = 1
+		}
+		buf = append(buf, b)
+	}
+	return buf
+}
+
+func decodeBools(payload []byte, n int) ([]bool, error) {
+	if len(payload) < n {
+		return nil, fmt.Errorf("graphar: truncated bool chunk")
+	}
+	out := make([]bool, n)
+	for i := 0; i < n; i++ {
+		out[i] = payload[i] != 0
+	}
+	return out, nil
+}

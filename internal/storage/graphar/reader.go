@@ -1,0 +1,214 @@
+package graphar
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// LoadBatch reads a whole archive into a Batch, decoding column files in
+// parallel. parallelism <= 0 selects GOMAXPROCS. This is the bulk-load path
+// measured in Exp-1d (Fig 7d) against the CSV baseline.
+func LoadBatch(dir string, parallelism int) (*graph.Batch, error) {
+	m, err := ReadMeta(dir)
+	if err != nil {
+		return nil, err
+	}
+	schema, err := m.SchemaOf()
+	if err != nil {
+		return nil, err
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+
+	// Plan one decode task per column file.
+	type task func() error
+	var tasks []task
+	var mu sync.Mutex // guards result slices during assembly
+
+	vertexExt := make([][]int64, len(m.VertexLabels))
+	vertexProps := make([][][]graph.Value, len(m.VertexLabels))
+	for l := range m.VertexLabels {
+		l := l
+		vertexProps[l] = make([][]graph.Value, len(m.VertexLabels[l].Props))
+		tasks = append(tasks, func() error {
+			vals, err := readIntFile(filepath.Join(dir, vertexExtFile(l)), m.VertexLabels[l].Count)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			vertexExt[l] = vals
+			mu.Unlock()
+			return nil
+		})
+		for pi := range m.VertexLabels[l].Props {
+			pi := pi
+			kind, err := kindFromName(m.VertexLabels[l].Props[pi].Kind)
+			if err != nil {
+				return nil, err
+			}
+			tasks = append(tasks, func() error {
+				vals, err := readValueFile(filepath.Join(dir, vertexPropFile(l, pi)), kind, m.VertexLabels[l].Count)
+				if err != nil {
+					return err
+				}
+				mu.Lock()
+				vertexProps[l][pi] = vals
+				mu.Unlock()
+				return nil
+			})
+		}
+	}
+
+	edgeSrc := make([][]int64, len(m.EdgeLabels))
+	edgeDst := make([][]int64, len(m.EdgeLabels))
+	edgeProps := make([][][]graph.Value, len(m.EdgeLabels))
+	for l := range m.EdgeLabels {
+		l := l
+		edgeProps[l] = make([][]graph.Value, len(m.EdgeLabels[l].Props))
+		tasks = append(tasks, func() error {
+			vals, err := readIntFile(filepath.Join(dir, edgeSrcFile(l)), m.EdgeLabels[l].Count)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			edgeSrc[l] = vals
+			mu.Unlock()
+			return nil
+		})
+		tasks = append(tasks, func() error {
+			vals, err := readIntFile(filepath.Join(dir, edgeDstFile(l)), m.EdgeLabels[l].Count)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			edgeDst[l] = vals
+			mu.Unlock()
+			return nil
+		})
+		for pi := range m.EdgeLabels[l].Props {
+			pi := pi
+			kind, err := kindFromName(m.EdgeLabels[l].Props[pi].Kind)
+			if err != nil {
+				return nil, err
+			}
+			tasks = append(tasks, func() error {
+				vals, err := readValueFile(filepath.Join(dir, edgePropFile(l, pi)), kind, m.EdgeLabels[l].Count)
+				if err != nil {
+					return err
+				}
+				mu.Lock()
+				edgeProps[l][pi] = vals
+				mu.Unlock()
+				return nil
+			})
+		}
+	}
+
+	// Run tasks on a bounded worker pool, capturing the first error.
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	var errOnce sync.Once
+	var firstErr error
+	for _, tk := range tasks {
+		tk := tk
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := tk(); err != nil {
+				errOnce.Do(func() { firstErr = err })
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	// Assemble the batch.
+	b := graph.NewBatch(schema)
+	for l := range m.VertexLabels {
+		for i, ext := range vertexExt[l] {
+			var props []graph.Value
+			if np := len(vertexProps[l]); np > 0 {
+				props = make([]graph.Value, np)
+				for pi := range props {
+					props[pi] = vertexProps[l][pi][i]
+				}
+			}
+			b.Vertices = append(b.Vertices, graph.VertexRecord{
+				Label: graph.LabelID(l), ExtID: ext, Props: props,
+			})
+		}
+	}
+	for l := range m.EdgeLabels {
+		for i := range edgeSrc[l] {
+			var props []graph.Value
+			if np := len(edgeProps[l]); np > 0 {
+				props = make([]graph.Value, np)
+				for pi := range props {
+					props[pi] = edgeProps[l][pi][i]
+				}
+			}
+			b.Edges = append(b.Edges, graph.EdgeRecord{
+				Label: graph.LabelID(l), Src: edgeSrc[l][i], Dst: edgeDst[l][i], Props: props,
+			})
+		}
+	}
+	return b, nil
+}
+
+// readIntFile decodes a whole structural int column and checks row count.
+func readIntFile(path string, wantRows int) ([]int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("graphar: %w", err)
+	}
+	cf, err := parseColFile(data, path)
+	if err != nil {
+		return nil, err
+	}
+	if cf.totalRows != wantRows {
+		return nil, fmt.Errorf("graphar: %s: %d rows, manifest says %d", path, cf.totalRows, wantRows)
+	}
+	out := make([]int64, 0, cf.totalRows)
+	for c := 0; c < cf.numChunks(); c++ {
+		vals, err := decodeInts(cf.chunkPayload(c), cf.chunkRows(c))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		out = append(out, vals...)
+	}
+	return out, nil
+}
+
+// readValueFile decodes a whole property column.
+func readValueFile(path string, kind graph.Kind, wantRows int) ([]graph.Value, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("graphar: %w", err)
+	}
+	cf, err := parseColFile(data, path)
+	if err != nil {
+		return nil, err
+	}
+	if cf.totalRows != wantRows {
+		return nil, fmt.Errorf("graphar: %s: %d rows, manifest says %d", path, cf.totalRows, wantRows)
+	}
+	out := make([]graph.Value, 0, cf.totalRows)
+	for c := 0; c < cf.numChunks(); c++ {
+		vals, err := decodeValueChunk(kind, cf.chunkPayload(c), cf.chunkRows(c))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		out = append(out, vals...)
+	}
+	return out, nil
+}

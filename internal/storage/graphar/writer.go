@@ -1,0 +1,300 @@
+package graphar
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Options configures Write.
+type Options struct {
+	// ChunkSize is the number of rows per chunk; 0 selects the default.
+	ChunkSize int
+}
+
+// Write persists a batch as a GraphAr archive directory. Vertices are sorted
+// by external ID per label and edges by (src, dst) per label, so structural
+// columns carry monotone keys and chunk-skip statistics are effective. A
+// reverse-sorted edge index is written alongside to serve in-neighbor
+// retrieval directly from storage.
+func Write(dir string, b *graph.Batch, opt Options) error {
+	chunk := opt.ChunkSize
+	if chunk <= 0 {
+		chunk = DefaultChunkSize
+	}
+	s := b.Schema
+	if s == nil {
+		return fmt.Errorf("graphar: batch has no schema")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+
+	meta := &Meta{FormatVersion: 1, ChunkSize: chunk}
+
+	// Group vertices per label, sorted by external ID.
+	perLabelV := make([][]graph.VertexRecord, s.NumVertexLabels())
+	for _, v := range b.Vertices {
+		if int(v.Label) < 0 || int(v.Label) >= len(perLabelV) {
+			return fmt.Errorf("graphar: vertex label %d out of range", v.Label)
+		}
+		perLabelV[v.Label] = append(perLabelV[v.Label], v)
+	}
+	for l, vs := range perLabelV {
+		sort.Slice(vs, func(i, j int) bool { return vs[i].ExtID < vs[j].ExtID })
+		lm := LabelMeta{Name: s.Vertices[l].Name, Count: len(vs)}
+		for _, p := range s.Vertices[l].Props {
+			lm.Props = append(lm.Props, PropMeta{Name: p.Name, Kind: kindName(p.Kind)})
+		}
+		meta.VertexLabels = append(meta.VertexLabels, lm)
+
+		exts := make([]int64, len(vs))
+		for i, v := range vs {
+			exts[i] = v.ExtID
+		}
+		if err := writeIntFile(filepath.Join(dir, vertexExtFile(l)), exts, chunk, true); err != nil {
+			return err
+		}
+		for pi, pd := range s.Vertices[l].Props {
+			vals := make([]graph.Value, len(vs))
+			for i, v := range vs {
+				if pi < len(v.Props) {
+					vals[i] = v.Props[pi]
+				}
+			}
+			if err := writeValueFile(filepath.Join(dir, vertexPropFile(l, pi)), pd.Kind, vals, chunk); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Group edges per label.
+	perLabelE := make([][]graph.EdgeRecord, s.NumEdgeLabels())
+	for _, e := range b.Edges {
+		if int(e.Label) < 0 || int(e.Label) >= len(perLabelE) {
+			return fmt.Errorf("graphar: edge label %d out of range", e.Label)
+		}
+		perLabelE[e.Label] = append(perLabelE[e.Label], e)
+	}
+	for l, es := range perLabelE {
+		sort.Slice(es, func(i, j int) bool {
+			if es[i].Src != es[j].Src {
+				return es[i].Src < es[j].Src
+			}
+			return es[i].Dst < es[j].Dst
+		})
+		el := s.Edges[l]
+		em := EdgeMeta{
+			Name:  el.Name,
+			Src:   s.VertexLabelName(el.Src),
+			Dst:   s.VertexLabelName(el.Dst),
+			Count: len(es),
+		}
+		for _, p := range el.Props {
+			em.Props = append(em.Props, PropMeta{Name: p.Name, Kind: kindName(p.Kind)})
+		}
+		meta.EdgeLabels = append(meta.EdgeLabels, em)
+
+		srcs := make([]int64, len(es))
+		dsts := make([]int64, len(es))
+		for i, e := range es {
+			srcs[i], dsts[i] = e.Src, e.Dst
+		}
+		if err := writeIntFile(filepath.Join(dir, edgeSrcFile(l)), srcs, chunk, true); err != nil {
+			return err
+		}
+		if err := writeIntFile(filepath.Join(dir, edgeDstFile(l)), dsts, chunk, false); err != nil {
+			return err
+		}
+		for pi, pd := range el.Props {
+			vals := make([]graph.Value, len(es))
+			for i, e := range es {
+				if pi < len(e.Props) {
+					vals[i] = e.Props[pi]
+				}
+			}
+			if err := writeValueFile(filepath.Join(dir, edgePropFile(l, pi)), pd.Kind, vals, chunk); err != nil {
+				return err
+			}
+		}
+
+		// Reverse index sorted by (dst, src): columns rdst, rsrc, rrow where
+		// rrow is the forward row (the edge's identity in this label).
+		order := make([]int, len(es))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			i, j := order[a], order[b]
+			if es[i].Dst != es[j].Dst {
+				return es[i].Dst < es[j].Dst
+			}
+			return es[i].Src < es[j].Src
+		})
+		rdst := make([]int64, len(es))
+		rsrc := make([]int64, len(es))
+		rrow := make([]int64, len(es))
+		for i, fwd := range order {
+			rdst[i] = es[fwd].Dst
+			rsrc[i] = es[fwd].Src
+			rrow[i] = int64(fwd)
+		}
+		if err := writeIntFile(filepath.Join(dir, edgeRevDstFile(l)), rdst, chunk, true); err != nil {
+			return err
+		}
+		if err := writeIntFile(filepath.Join(dir, edgeRevSrcFile(l)), rsrc, chunk, false); err != nil {
+			return err
+		}
+		if err := writeIntFile(filepath.Join(dir, edgeRevRowFile(l)), rrow, chunk, false); err != nil {
+			return err
+		}
+	}
+
+	return writeMeta(dir, meta)
+}
+
+func vertexExtFile(l int) string     { return fmt.Sprintf("v_%d_ext.dat", l) }
+func vertexPropFile(l, p int) string { return fmt.Sprintf("v_%d_p%d.dat", l, p) }
+func edgeSrcFile(l int) string       { return fmt.Sprintf("e_%d_src.dat", l) }
+func edgeDstFile(l int) string       { return fmt.Sprintf("e_%d_dst.dat", l) }
+func edgePropFile(l, p int) string   { return fmt.Sprintf("e_%d_p%d.dat", l, p) }
+func edgeRevDstFile(l int) string    { return fmt.Sprintf("e_%d_rdst.dat", l) }
+func edgeRevSrcFile(l int) string    { return fmt.Sprintf("e_%d_rsrc.dat", l) }
+func edgeRevRowFile(l int) string    { return fmt.Sprintf("e_%d_rrow.dat", l) }
+
+// writeIntFile encodes a structural (non-null) int64 column. withStats
+// records per-chunk first keys for chunk skipping on sorted columns.
+func writeIntFile(path string, vals []int64, chunk int, withStats bool) error {
+	var fk func(lo int) int64
+	if withStats {
+		fk = func(lo int) int64 { return vals[lo] }
+	}
+	data := encodeColumn(graph.KindInt, len(vals), chunk, func(lo, hi int, buf []byte) []byte {
+		return encodeInts(vals[lo:hi], buf)
+	}, fk)
+	return os.WriteFile(path, data, 0o644)
+}
+
+// writeValueFile encodes a property column with a per-chunk null bitmap.
+func writeValueFile(path string, kind graph.Kind, vals []graph.Value, chunk int) error {
+	data := encodeColumn(kind, len(vals), chunk, func(lo, hi int, buf []byte) []byte {
+		return encodeValueChunk(kind, vals[lo:hi], buf)
+	}, nil)
+	return os.WriteFile(path, data, 0o644)
+}
+
+// encodeValueChunk: u8 hasNulls | [bitmap] | payload (nulls as zero values).
+func encodeValueChunk(kind graph.Kind, vals []graph.Value, buf []byte) []byte {
+	hasNulls := false
+	for _, v := range vals {
+		if v.IsNull() {
+			hasNulls = true
+			break
+		}
+	}
+	if hasNulls {
+		buf = append(buf, 1)
+		bitmap := make([]byte, (len(vals)+7)/8)
+		for i, v := range vals {
+			if v.IsNull() {
+				bitmap[i/8] |= 1 << (i % 8)
+			}
+		}
+		buf = append(buf, bitmap...)
+	} else {
+		buf = append(buf, 0)
+	}
+	switch kind {
+	case graph.KindInt:
+		ints := make([]int64, len(vals))
+		for i, v := range vals {
+			ints[i] = v.I
+		}
+		buf = encodeInts(ints, buf)
+	case graph.KindFloat:
+		fs := make([]float64, len(vals))
+		for i, v := range vals {
+			fs[i] = v.F
+		}
+		buf = encodeFloats(fs, buf)
+	case graph.KindString:
+		ss := make([]string, len(vals))
+		for i, v := range vals {
+			ss[i] = v.S
+		}
+		buf = encodeStrings(ss, buf)
+	case graph.KindBool:
+		bs := make([]bool, len(vals))
+		for i, v := range vals {
+			bs[i] = v.I != 0
+		}
+		buf = encodeBools(bs, buf)
+	}
+	return buf
+}
+
+// decodeValueChunk reverses encodeValueChunk.
+func decodeValueChunk(kind graph.Kind, payload []byte, n int) ([]graph.Value, error) {
+	if len(payload) < 1 {
+		return nil, fmt.Errorf("graphar: empty value chunk")
+	}
+	hasNulls := payload[0] == 1
+	payload = payload[1:]
+	var bitmap []byte
+	if hasNulls {
+		bl := (n + 7) / 8
+		if len(payload) < bl {
+			return nil, fmt.Errorf("graphar: truncated null bitmap")
+		}
+		bitmap = payload[:bl]
+		payload = payload[bl:]
+	}
+	out := make([]graph.Value, n)
+	switch kind {
+	case graph.KindInt:
+		ints, err := decodeInts(payload, n)
+		if err != nil {
+			return nil, err
+		}
+		for i, v := range ints {
+			out[i] = graph.IntValue(v)
+		}
+	case graph.KindFloat:
+		fs, err := decodeFloats(payload, n)
+		if err != nil {
+			return nil, err
+		}
+		for i, v := range fs {
+			out[i] = graph.FloatValue(v)
+		}
+	case graph.KindString:
+		ss, err := decodeStrings(payload, n)
+		if err != nil {
+			return nil, err
+		}
+		for i, v := range ss {
+			out[i] = graph.StringValue(v)
+		}
+	case graph.KindBool:
+		bs, err := decodeBools(payload, n)
+		if err != nil {
+			return nil, err
+		}
+		for i, v := range bs {
+			out[i] = graph.BoolValue(v)
+		}
+	default:
+		return nil, fmt.Errorf("graphar: unsupported value kind %v", kind)
+	}
+	if hasNulls {
+		for i := range out {
+			if bitmap[i/8]&(1<<(i%8)) != 0 {
+				out[i] = graph.NullValue
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,105 @@
+package livegraph
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestAddAndScan(t *testing.T) {
+	s := NewStore(10)
+	if s.BackendName() != "livegraph" {
+		t.Fatal("name")
+	}
+	for i := graph.VID(1); i <= 9; i++ {
+		if err := s.AddEdge(0, i, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.NumVertices() != 10 || s.NumEdges() != 9 {
+		t.Fatalf("sizes %d %d", s.NumVertices(), s.NumEdges())
+	}
+	if s.Degree(0, graph.Out) != 9 {
+		t.Fatalf("deg out %d", s.Degree(0, graph.Out))
+	}
+	// Blocks hold 4 entries: 9 edges span 3 blocks, order preserved.
+	var ns []graph.VID
+	s.Neighbors(0, graph.Out, func(n graph.VID, _ graph.EID) bool {
+		ns = append(ns, n)
+		return true
+	})
+	for i, n := range ns {
+		if n != graph.VID(i+1) {
+			t.Fatalf("order broken: %v", ns)
+		}
+	}
+	if s.Degree(5, graph.In) != 1 || s.Degree(5, graph.Both) != 1 {
+		t.Fatal("in degree wrong")
+	}
+	if s.EdgeWeight(0) != 1.0 {
+		t.Fatalf("weight(0) = %v", s.EdgeWeight(0))
+	}
+	if s.EdgeWeight(4) != 5.0 {
+		t.Fatalf("weight(4) = %v", s.EdgeWeight(4))
+	}
+	if s.EdgeWeight(999) != 1.0 {
+		t.Fatal("out-of-range weight should be 1")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := NewStore(4)
+	_ = s.AddEdge(0, 1, 1)
+	_ = s.AddEdge(0, 2, 1)
+	_ = s.AddEdge(0, 1, 1) // parallel edge
+	if !s.DeleteEdge(0, 1) {
+		t.Fatal("delete failed")
+	}
+	if s.Degree(0, graph.Out) != 2 {
+		t.Fatalf("degree after delete %d", s.Degree(0, graph.Out))
+	}
+	// Only the first live copy was removed; the parallel edge survives.
+	live := 0
+	s.Neighbors(0, graph.Out, func(n graph.VID, _ graph.EID) bool {
+		if n == 1 {
+			live++
+		}
+		return true
+	})
+	if live != 1 {
+		t.Fatalf("parallel edge handling wrong: %d", live)
+	}
+	// In-side invalidated in step.
+	if s.Degree(1, graph.In) != 1 {
+		t.Fatalf("in degree after delete %d", s.Degree(1, graph.In))
+	}
+	if s.DeleteEdge(2, 3) {
+		t.Fatal("phantom delete succeeded")
+	}
+	if s.NumEdges() != 2 {
+		t.Fatalf("NumEdges after delete %d", s.NumEdges())
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	s := NewStore(2)
+	if err := s.AddEdge(0, 9, 1); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	s := NewStore(3)
+	_ = s.AddEdge(0, 1, 1)
+	_ = s.AddEdge(0, 2, 1)
+	n := 0
+	s.Neighbors(0, graph.Out, func(graph.VID, graph.EID) bool { n++; return false })
+	if n != 1 {
+		t.Fatal("early stop ignored")
+	}
+	n = 0
+	s.Neighbors(0, graph.Both, func(graph.VID, graph.EID) bool { n++; return false })
+	if n != 1 {
+		t.Fatal("early stop ignored in Both")
+	}
+}

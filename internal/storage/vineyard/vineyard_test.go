@@ -1,0 +1,294 @@
+package vineyard
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/grin"
+)
+
+// shopSchema mirrors the Fig 2(e) LPG: Buyer/Item/Seller with Knows/Buy/Sell.
+func shopSchema() *graph.Schema {
+	return graph.NewSchema(
+		[]graph.VertexLabel{
+			{Name: "Buyer", Props: []graph.PropDef{{Name: "username", Kind: graph.KindString}, {Name: "credits", Kind: graph.KindInt}}},
+			{Name: "Item", Props: []graph.PropDef{{Name: "price", Kind: graph.KindFloat}}},
+			{Name: "Seller", Props: []graph.PropDef{{Name: "rating", Kind: graph.KindFloat}}},
+		},
+		[]graph.EdgeLabel{
+			{Name: "Knows", Src: 0, Dst: 0},
+			{Name: "Buy", Src: 0, Dst: 1, Props: []graph.PropDef{{Name: "date", Kind: graph.KindInt}}},
+			{Name: "Sell", Src: 2, Dst: 1, Props: []graph.PropDef{{Name: "weight", Kind: graph.KindFloat}}},
+		},
+	)
+}
+
+func shopBatch() *graph.Batch {
+	s := shopSchema()
+	b := graph.NewBatch(s)
+	b.AddVertex(0, 100, graph.StringValue("A1"), graph.IntValue(8))
+	b.AddVertex(0, 200, graph.StringValue("B2"), graph.IntValue(3))
+	b.AddVertex(1, 10, graph.FloatValue(29.9))
+	b.AddVertex(1, 20, graph.FloatValue(5.0))
+	b.AddVertex(2, 7, graph.FloatValue(4.0))
+	b.AddEdge(0, 100, 200)                          // A1 knows B2
+	b.AddEdge(1, 100, 10, graph.IntValue(20231021)) // A1 buys item 10
+	b.AddEdge(1, 200, 10, graph.IntValue(20231022)) // B2 buys item 10
+	b.AddEdge(1, 200, 20, graph.IntValue(20231023)) // B2 buys item 20
+	b.AddEdge(2, 7, 10, graph.FloatValue(0.5))      // seller sells item 10
+	return b
+}
+
+func mustLoad(t *testing.T) *Store {
+	t.Helper()
+	st, err := Load(shopBatch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestLoadSizesAndLabelRanges(t *testing.T) {
+	st := mustLoad(t)
+	if st.NumVertices() != 5 || st.NumEdges() != 5 {
+		t.Fatalf("sizes %d %d", st.NumVertices(), st.NumEdges())
+	}
+	lo, hi, ok := st.LabelRange(0)
+	if !ok || lo != 0 || hi != 2 {
+		t.Fatalf("Buyer range [%d,%d) ok=%v", lo, hi, ok)
+	}
+	lo, hi, _ = st.LabelRange(1)
+	if lo != 2 || hi != 4 {
+		t.Fatalf("Item range [%d,%d)", lo, hi)
+	}
+	lo, hi, _ = st.LabelRange(2)
+	if lo != 4 || hi != 5 {
+		t.Fatalf("Seller range [%d,%d)", lo, hi)
+	}
+	lo, hi, _ = st.LabelRange(graph.AnyLabel)
+	if lo != 0 || hi != 5 {
+		t.Fatalf("Any range [%d,%d)", lo, hi)
+	}
+	if _, _, ok := st.LabelRange(99); ok {
+		t.Fatal("out-of-range label should not resolve")
+	}
+}
+
+func TestVertexLabelAndProps(t *testing.T) {
+	st := mustLoad(t)
+	a1, ok := st.LookupVertex(0, 100)
+	if !ok {
+		t.Fatal("A1 not found")
+	}
+	if st.VertexLabel(a1) != 0 {
+		t.Fatal("A1 should be a Buyer")
+	}
+	if st.ExternalID(a1) != 100 {
+		t.Fatal("external ID mismatch")
+	}
+	if v, ok := st.VertexProp(a1, 0); !ok || v.Str() != "A1" {
+		t.Fatalf("username prop: %v %v", v, ok)
+	}
+	if v, ok := st.VertexProp(a1, 1); !ok || v.Int() != 8 {
+		t.Fatalf("credits prop: %v %v", v, ok)
+	}
+	if _, ok := st.VertexProp(a1, 9); ok {
+		t.Fatal("missing prop resolved")
+	}
+	seller, _ := st.LookupVertex(2, 7)
+	if st.VertexLabel(seller) != 2 {
+		t.Fatal("seller label wrong")
+	}
+	if v, ok := st.VertexProp(seller, 0); !ok || v.Float() != 4.0 {
+		t.Fatalf("rating prop: %v", v)
+	}
+}
+
+func TestEdgeTraversalAndProps(t *testing.T) {
+	st := mustLoad(t)
+	a1, _ := st.LookupVertex(0, 100)
+	b2, _ := st.LookupVertex(0, 200)
+	item10, _ := st.LookupVertex(1, 10)
+
+	// A1 has out-edges: Knows->B2, Buy->item10.
+	if st.Degree(a1, graph.Out) != 2 {
+		t.Fatalf("deg out A1 = %d", st.Degree(a1, graph.Out))
+	}
+	foundKnows, foundBuy := false, false
+	for _, tg := range st.AdjSlice(a1, graph.Out) {
+		switch st.EdgeLabel(tg.Edge) {
+		case 0:
+			foundKnows = tg.Nbr == b2
+		case 1:
+			foundBuy = tg.Nbr == item10
+			if v, ok := st.EdgeProp(tg.Edge, 0); !ok || v.Int() != 20231021 {
+				t.Fatalf("Buy.date = %v", v)
+			}
+		}
+	}
+	if !foundKnows || !foundBuy {
+		t.Fatal("A1 adjacency incomplete")
+	}
+
+	// item10 in-degree: bought twice + sold once.
+	if st.Degree(item10, graph.In) != 3 {
+		t.Fatalf("deg in item10 = %d", st.Degree(item10, graph.In))
+	}
+	// In edges share EIDs with out edges: check a Buy date via the in side.
+	dates := map[int64]bool{}
+	for _, tg := range st.AdjSlice(item10, graph.In) {
+		if st.EdgeLabel(tg.Edge) == 1 {
+			v, _ := st.EdgeProp(tg.Edge, 0)
+			dates[v.Int()] = true
+		}
+	}
+	if !dates[20231021] || !dates[20231022] {
+		t.Fatalf("in-side Buy dates wrong: %v", dates)
+	}
+
+	// Both direction covers out then in.
+	n := 0
+	st.Neighbors(item10, graph.Both, func(graph.VID, graph.EID) bool { n++; return true })
+	if n != 3 {
+		t.Fatalf("Both neighbors = %d", n)
+	}
+}
+
+func TestEdgeWeightFastPath(t *testing.T) {
+	st := mustLoad(t)
+	seller, _ := st.LookupVertex(2, 7)
+	adj := st.AdjSlice(seller, graph.Out)
+	if len(adj) != 1 {
+		t.Fatalf("seller out deg = %d", len(adj))
+	}
+	if w := st.EdgeWeight(adj[0].Edge); w != 0.5 {
+		t.Fatalf("Sell weight = %v", w)
+	}
+	// Unweighted labels default to 1.
+	a1, _ := st.LookupVertex(0, 100)
+	for _, tg := range st.AdjSlice(a1, graph.Out) {
+		if st.EdgeLabel(tg.Edge) == 0 && st.EdgeWeight(tg.Edge) != 1.0 {
+			t.Fatal("Knows weight should default to 1")
+		}
+	}
+}
+
+func TestScanVerticesWithPredicate(t *testing.T) {
+	st := mustLoad(t)
+	var buyers []graph.VID
+	st.ScanVertices(0, nil, func(v graph.VID) bool {
+		buyers = append(buyers, v)
+		return true
+	})
+	if len(buyers) != 2 {
+		t.Fatalf("buyers scan got %v", buyers)
+	}
+	// Predicate pushdown: credits > 5.
+	var rich []graph.VID
+	st.ScanVertices(0, func(v graph.VID) bool {
+		c, _ := st.VertexProp(v, 1)
+		return c.Int() > 5
+	}, func(v graph.VID) bool {
+		rich = append(rich, v)
+		return true
+	})
+	if len(rich) != 1 || st.ExternalID(rich[0]) != 100 {
+		t.Fatalf("predicate scan got %v", rich)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	s := shopSchema()
+	b := graph.NewBatch(s)
+	b.AddVertex(0, 1, graph.StringValue("x"), graph.IntValue(0))
+	b.AddEdge(0, 1, 999) // dangling
+	if _, err := Load(b); err == nil {
+		t.Fatal("dangling edge accepted")
+	}
+
+	b2 := graph.NewBatch(s)
+	b2.AddVertex(0, 1, graph.StringValue("x"), graph.IntValue(0))
+	b2.AddVertex(0, 1, graph.StringValue("y"), graph.IntValue(0))
+	if _, err := Load(b2); err == nil {
+		t.Fatal("duplicate vertex accepted")
+	}
+
+	if _, err := Load(&graph.Batch{}); err == nil {
+		t.Fatal("schemaless batch accepted")
+	}
+}
+
+func TestGRINTraitSurface(t *testing.T) {
+	st := mustLoad(t)
+	want := []grin.Trait{
+		grin.TraitTopology, grin.TraitAdjArray, grin.TraitProperty,
+		grin.TraitWeight, grin.TraitIndex, grin.TraitPredicate,
+	}
+	for _, tr := range want {
+		if !grin.Has(st, tr) {
+			t.Errorf("vineyard should provide %v", tr)
+		}
+	}
+	if grin.Has(st, grin.TraitVersioned) || grin.Has(st, grin.TraitPartition) {
+		t.Error("vineyard should not claim versioned/partition traits")
+	}
+	if st.BackendName() != "vineyard" {
+		t.Error("backend name")
+	}
+}
+
+func TestScanLabelHelperUsesRanges(t *testing.T) {
+	st := mustLoad(t)
+	count := 0
+	grin.ScanLabel(st, 1, func(v graph.VID) bool {
+		if st.VertexLabel(v) != 1 {
+			t.Fatalf("ScanLabel yielded wrong label for %d", v)
+		}
+		count++
+		return true
+	})
+	if count != 2 {
+		t.Fatalf("ScanLabel(Item) count = %d", count)
+	}
+}
+
+// TestRandomizedRoundTrip loads a random simple graph and verifies degrees
+// and external-ID round trips.
+func TestRandomizedRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	s := graph.SimpleSchema(true)
+	b := graph.NewBatch(s)
+	n := 200
+	for i := 0; i < n; i++ {
+		b.AddVertex(0, int64(i*3)) // sparse external IDs
+	}
+	type pair struct{ u, v int64 }
+	outDeg := map[int64]int{}
+	m := 1500
+	for i := 0; i < m; i++ {
+		u, v := int64(r.Intn(n)*3), int64(r.Intn(n)*3)
+		b.AddEdge(0, u, v, graph.FloatValue(r.Float64()))
+		outDeg[u]++
+	}
+	st, err := Load(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumEdges() != m {
+		t.Fatalf("edges %d", st.NumEdges())
+	}
+	for ext, d := range outDeg {
+		vid, ok := st.LookupVertex(0, ext)
+		if !ok {
+			t.Fatalf("vertex %d missing", ext)
+		}
+		if st.Degree(vid, graph.Out) != d {
+			t.Fatalf("degree mismatch for %d: %d != %d", ext, st.Degree(vid, graph.Out), d)
+		}
+		if st.ExternalID(vid) != ext {
+			t.Fatal("ext id round trip")
+		}
+	}
+	_ = pair{}
+}
