@@ -5,10 +5,23 @@
 package repro
 
 import (
+	"flag"
+	"os"
 	"testing"
 
 	"repro/internal/bench"
 )
+
+// TestMain maps -short onto bench quick mode, so
+// `go test -short -bench . -run xxx ./` regenerates every table from
+// scaled-down workloads in seconds.
+func TestMain(m *testing.M) {
+	flag.Parse()
+	if testing.Short() {
+		bench.SetQuick(true)
+	}
+	os.Exit(m.Run())
+}
 
 func runExperiment(b *testing.B, id string) {
 	b.Helper()

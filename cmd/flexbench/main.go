@@ -5,6 +5,7 @@
 //
 //	flexbench            # all experiments
 //	flexbench fig7c exp8
+//	flexbench -quick     # scaled-down workloads (seconds, not minutes)
 //	flexbench -list
 package main
 
@@ -20,11 +21,13 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list experiment IDs")
+	quickFlag := flag.Bool("quick", false, "run scaled-down workloads (same code paths, smaller data)")
 	flag.Parse()
 	if *list {
 		fmt.Println(strings.Join(bench.IDs(), "\n"))
 		return
 	}
+	bench.SetQuick(*quickFlag)
 	ids := flag.Args()
 	if len(ids) == 0 {
 		ids = bench.IDs()

@@ -4,8 +4,8 @@
 // backends, interactive query engines, a distributed-style analytics engine,
 // and a decoupled GNN learning stack.
 //
-// See README.md for the architecture overview, DESIGN.md for the system
-// inventory and experiment index, and EXPERIMENTS.md for paper-vs-measured
-// results. bench_test.go regenerates every table and figure of the paper's
+// See README.md for the architecture overview, the command reference
+// (cmd/flexbench, cmd/flexbuild, cmd/flexquery) and the experiment index.
+// bench_test.go regenerates every table and figure of the paper's
 // evaluation.
 package repro

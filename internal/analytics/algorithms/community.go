@@ -1,13 +1,12 @@
 package algorithms
 
 import (
-	"runtime"
 	"sort"
-	"sync"
 
 	"repro/internal/analytics/grape"
 	"repro/internal/graph"
 	"repro/internal/grin"
+	"repro/internal/parallel"
 )
 
 // CDLP runs community detection by synchronous label propagation (the
@@ -38,17 +37,18 @@ type cdlpPIE struct {
 // PEval self-labels and broadcasts round 0.
 func (p *cdlpPIE) PEval(f *grape.Fragment, ctx *grape.Context) {
 	lo, hi := f.Bounds()
-	for v := lo; v < hi; v++ {
+	ctx.ParallelFor(lo, hi, func(_ *grape.Sender, v graph.VID) {
 		p.label[v] = float64(v)
-	}
-	for v := lo; v < hi; v++ {
-		p.sendLabel(ctx, v)
-	}
+	})
+	ctx.ParallelFor(lo, hi, func(s *grape.Sender, v graph.VID) {
+		p.sendLabel(s, v)
+	})
 }
 
 // IncEval adopts the mode label among received messages per target.
 func (p *cdlpPIE) IncEval(f *grape.Fragment, ctx *grape.Context, msgs []grape.Message) {
-	// Group per target: messages carry raw neighbor labels (no combiner).
+	// Group per target: messages carry raw neighbor labels (no combiner), so
+	// targets repeat and the grouping stays sequential.
 	byTarget := make(map[graph.VID][]float64)
 	for _, m := range msgs {
 		byTarget[m.Target] = append(byTarget[m.Target], m.Value)
@@ -58,20 +58,20 @@ func (p *cdlpPIE) IncEval(f *grape.Fragment, ctx *grape.Context, msgs []grape.Me
 	}
 	if ctx.Superstep() < p.rounds {
 		lo, hi := f.Bounds()
-		for v := lo; v < hi; v++ {
-			p.sendLabel(ctx, v)
-		}
+		ctx.ParallelFor(lo, hi, func(s *grape.Sender, v graph.VID) {
+			p.sendLabel(s, v)
+		})
 	}
 }
 
-func (p *cdlpPIE) sendLabel(ctx *grape.Context, v graph.VID) {
+func (p *cdlpPIE) sendLabel(sink grape.Sink, v graph.VID) {
 	l := p.label[v]
 	grin.ForEachNeighbor(p.g, v, graph.Out, func(n graph.VID, _ graph.EID) bool {
-		ctx.Send(n, l)
+		sink.Send(n, l)
 		return true
 	})
 	grin.ForEachNeighbor(p.g, v, graph.In, func(n graph.VID, _ graph.EID) bool {
-		ctx.Send(n, l)
+		sink.Send(n, l)
 		return true
 	})
 }
@@ -126,98 +126,86 @@ type kcorePIE struct {
 // PEval computes undirected degrees and peels the first layer.
 func (p *kcorePIE) PEval(f *grape.Fragment, ctx *grape.Context) {
 	lo, hi := f.Bounds()
-	for v := lo; v < hi; v++ {
+	ctx.ParallelFor(lo, hi, func(_ *grape.Sender, v graph.VID) {
 		p.deg[v] = p.g.Degree(v, graph.Both)
-	}
-	for v := lo; v < hi; v++ {
+	})
+	ctx.ParallelFor(lo, hi, func(s *grape.Sender, v graph.VID) {
 		if p.deg[v] < p.k {
-			p.peel(ctx, v)
+			p.peel(s, v)
 		}
-	}
+	})
 }
 
-// IncEval decrements degrees by the combined removal counts and cascades.
+// IncEval decrements degrees by the combined removal counts and cascades
+// (sum-combined messages have distinct targets, so the loop is parallel).
 func (p *kcorePIE) IncEval(f *grape.Fragment, ctx *grape.Context, msgs []grape.Message) {
-	for _, m := range msgs {
+	ctx.ParallelForMessages(msgs, func(s *grape.Sender, m grape.Message) {
 		v := m.Target
 		if p.removed[v] {
-			continue
+			return
 		}
 		p.deg[v] -= int(m.Value)
 		if p.deg[v] < p.k {
-			p.peel(ctx, v)
+			p.peel(s, v)
 		}
-	}
+	})
 }
 
-func (p *kcorePIE) peel(ctx *grape.Context, v graph.VID) {
+func (p *kcorePIE) peel(sink grape.Sink, v graph.VID) {
 	p.removed[v] = true
 	grin.ForEachNeighbor(p.g, v, graph.Out, func(n graph.VID, _ graph.EID) bool {
-		ctx.Send(n, 1)
+		sink.Send(n, 1)
 		return true
 	})
 	grin.ForEachNeighbor(p.g, v, graph.In, func(n graph.VID, _ graph.EID) bool {
-		ctx.Send(n, 1)
+		sink.Send(n, 1)
 		return true
 	})
 }
 
 // TriangleCount counts triangles in the undirected view by parallel sorted
 // adjacency intersection (a FLASH-style non-message computation). Each
-// triangle is counted once.
+// triangle is counted once. workers <= 0 selects GOMAXPROCS; both phases run
+// on the shared parallel runtime with dynamic chunking, since power-law
+// degree skew load-imbalances static chunks.
 func TriangleCount(g grin.Graph, workers int) int64 {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers = parallel.Workers(workers, g.NumVertices())
 	n := g.NumVertices()
 	// Build deduplicated undirected adjacency restricted to higher IDs:
 	// counting (u < v < w) orientations counts each triangle once.
 	adj := make([][]graph.VID, n)
-	for v := 0; v < n; v++ {
-		set := map[graph.VID]bool{}
-		grin.ForEachNeighbor(g, graph.VID(v), graph.Both, func(u graph.VID, _ graph.EID) bool {
-			if u > graph.VID(v) {
-				set[u] = true
+	parallel.ForDynamic(n, workers, 0, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			var lst []graph.VID
+			grin.ForEachNeighbor(g, graph.VID(v), graph.Both, func(u graph.VID, _ graph.EID) bool {
+				if u > graph.VID(v) {
+					lst = append(lst, u)
+				}
+				return true
+			})
+			sort.Slice(lst, func(i, j int) bool { return lst[i] < lst[j] })
+			// In-place dedup of the sorted list (parallel Both edges repeat).
+			k := 0
+			for i, u := range lst {
+				if i == 0 || u != lst[k-1] {
+					lst[k] = u
+					k++
+				}
 			}
-			return true
-		})
-		lst := make([]graph.VID, 0, len(set))
-		for u := range set {
-			lst = append(lst, u)
+			adj[v] = lst[:k]
 		}
-		sort.Slice(lst, func(i, j int) bool { return lst[i] < lst[j] })
-		adj[v] = lst
-	}
+	})
 
-	var total int64
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			var local int64
+	return parallel.ReduceDynamic(n, workers, 0, int64(0),
+		func(lo, hi int, acc int64) int64 {
 			for v := lo; v < hi; v++ {
 				av := adj[v]
 				for _, u := range av {
-					local += int64(intersectCount(av, adj[u]))
+					acc += int64(intersectCount(av, adj[u]))
 				}
 			}
-			mu.Lock()
-			total += local
-			mu.Unlock()
-		}(lo, hi)
-	}
-	wg.Wait()
-	return total
+			return acc
+		}, func(a, b int64) int64 { return a + b })
 }
 
 // intersectCount counts common elements of two sorted slices.

@@ -62,23 +62,24 @@ type pageRankPIE struct {
 func (p *pageRankPIE) PEval(f *grape.Fragment, ctx *grape.Context) {
 	lo, hi := f.Bounds()
 	init := 1.0 / p.n
-	for v := lo; v < hi; v++ {
+	ctx.ParallelFor(lo, hi, func(_ *grape.Sender, v graph.VID) {
 		p.ranks[v] = init
-	}
+	})
 	p.scatter(f, ctx)
 }
 
 // IncEval applies the combined contribution sums and, while iterations
-// remain, scatters the next round.
+// remain, scatters the next round. The sum combiner guarantees one message
+// per target, so the message loop can update ranks in parallel.
 func (p *pageRankPIE) IncEval(f *grape.Fragment, ctx *grape.Context, msgs []grape.Message) {
 	lo, hi := f.Bounds()
 	base := (1 - p.opt.Damping) / p.n
-	for v := lo; v < hi; v++ {
+	ctx.ParallelFor(lo, hi, func(_ *grape.Sender, v graph.VID) {
 		p.ranks[v] = base
-	}
-	for _, m := range msgs {
+	})
+	ctx.ParallelForMessages(msgs, func(_ *grape.Sender, m grape.Message) {
 		p.ranks[m.Target] += p.opt.Damping * m.Value
-	}
+	})
 	if ctx.Superstep() < p.opt.Iterations {
 		p.scatter(f, ctx)
 	}
@@ -88,17 +89,17 @@ func (p *pageRankPIE) IncEval(f *grape.Fragment, ctx *grape.Context, msgs []grap
 func (p *pageRankPIE) scatter(f *grape.Fragment, ctx *grape.Context) {
 	lo, hi := f.Bounds()
 	g := p.g
-	for v := lo; v < hi; v++ {
+	ctx.ParallelFor(lo, hi, func(s *grape.Sender, v graph.VID) {
 		d := g.Degree(v, graph.Out)
 		if d == 0 {
-			continue
+			return
 		}
 		contrib := p.ranks[v] / float64(d)
 		grin.ForEachNeighbor(g, v, graph.Out, func(nbr graph.VID, _ graph.EID) bool {
-			ctx.Send(nbr, contrib)
+			s.Send(nbr, contrib)
 			return true
 		})
-	}
+	})
 }
 
 // PageRankPregel is the same computation expressed in the vertex-centric

@@ -37,9 +37,9 @@ type bfsPIE struct {
 // PEval seeds the frontier at the root's fragment.
 func (p *bfsPIE) PEval(f *grape.Fragment, ctx *grape.Context) {
 	lo, hi := f.Bounds()
-	for v := lo; v < hi; v++ {
+	ctx.ParallelFor(lo, hi, func(_ *grape.Sender, v graph.VID) {
 		p.dist[v] = Unreached
-	}
+	})
 	if f.IsInner(p.root) {
 		p.dist[p.root] = 0
 		grin.ForEachNeighbor(p.g, p.root, graph.Out, func(n graph.VID, _ graph.EID) bool {
@@ -49,9 +49,11 @@ func (p *bfsPIE) PEval(f *grape.Fragment, ctx *grape.Context) {
 	}
 }
 
-// IncEval settles newly discovered vertices and expands the frontier.
+// IncEval settles newly discovered vertices and expands the frontier. The
+// min combiner delivers one message per target, so targets are distinct and
+// the frontier expands in parallel.
 func (p *bfsPIE) IncEval(f *grape.Fragment, ctx *grape.Context, msgs []grape.Message) {
-	for _, m := range msgs {
+	ctx.ParallelForMessages(msgs, func(s *grape.Sender, m grape.Message) {
 		v := m.Target
 		if m.Value < p.dist[v] {
 			p.dist[v] = m.Value
@@ -60,11 +62,11 @@ func (p *bfsPIE) IncEval(f *grape.Fragment, ctx *grape.Context, msgs []grape.Mes
 			// whose state is being written concurrently. The receiver
 			// discards stale levels.
 			grin.ForEachNeighbor(p.g, v, graph.Out, func(n graph.VID, _ graph.EID) bool {
-				ctx.Send(n, next)
+				s.Send(n, next)
 				return true
 			})
 		}
-	}
+	})
 }
 
 // SSSP computes single-source shortest paths over weighted out-edges
@@ -93,31 +95,32 @@ type ssspPIE struct {
 // PEval seeds and relaxes the root.
 func (p *ssspPIE) PEval(f *grape.Fragment, ctx *grape.Context) {
 	lo, hi := f.Bounds()
-	for v := lo; v < hi; v++ {
+	ctx.ParallelFor(lo, hi, func(_ *grape.Sender, v graph.VID) {
 		p.dist[v] = Unreached
-	}
+	})
 	if f.IsInner(p.root) {
 		p.dist[p.root] = 0
 		p.relax(ctx, p.root, 0)
 	}
 }
 
-// IncEval applies improved distances and relaxes outward.
+// IncEval applies improved distances and relaxes outward (min-combined
+// messages have distinct targets, so the loop is parallel).
 func (p *ssspPIE) IncEval(f *grape.Fragment, ctx *grape.Context, msgs []grape.Message) {
-	for _, m := range msgs {
+	ctx.ParallelForMessages(msgs, func(s *grape.Sender, m grape.Message) {
 		if m.Value < p.dist[m.Target] {
 			p.dist[m.Target] = m.Value
-			p.relax(ctx, m.Target, m.Value)
+			p.relax(s, m.Target, m.Value)
 		}
-	}
+	})
 }
 
-func (p *ssspPIE) relax(ctx *grape.Context, v graph.VID, dv float64) {
+func (p *ssspPIE) relax(sink grape.Sink, v graph.VID, dv float64) {
 	g := p.g
 	// No remote-state peeking (see bfsPIE.IncEval); the min combiner and
 	// the receiver-side check keep the message volume bounded.
 	grin.ForEachNeighbor(g, v, graph.Out, func(n graph.VID, e graph.EID) bool {
-		ctx.Send(n, dv+grin.Weight(g, e))
+		sink.Send(n, dv+grin.Weight(g, e))
 		return true
 	})
 }
@@ -148,33 +151,34 @@ type wccPIE struct {
 // PEval assigns self-labels and broadcasts them.
 func (p *wccPIE) PEval(f *grape.Fragment, ctx *grape.Context) {
 	lo, hi := f.Bounds()
-	for v := lo; v < hi; v++ {
+	ctx.ParallelFor(lo, hi, func(_ *grape.Sender, v graph.VID) {
 		p.label[v] = float64(v)
-	}
-	for v := lo; v < hi; v++ {
-		p.broadcast(ctx, v, p.label[v])
-	}
+	})
+	ctx.ParallelFor(lo, hi, func(s *grape.Sender, v graph.VID) {
+		p.broadcast(s, v, p.label[v])
+	})
 }
 
-// IncEval adopts smaller labels and re-broadcasts.
+// IncEval adopts smaller labels and re-broadcasts (min-combined messages
+// have distinct targets, so the loop is parallel).
 func (p *wccPIE) IncEval(f *grape.Fragment, ctx *grape.Context, msgs []grape.Message) {
-	for _, m := range msgs {
+	ctx.ParallelForMessages(msgs, func(s *grape.Sender, m grape.Message) {
 		if m.Value < p.label[m.Target] {
 			p.label[m.Target] = m.Value
-			p.broadcast(ctx, m.Target, m.Value)
+			p.broadcast(s, m.Target, m.Value)
 		}
-	}
+	})
 }
 
-func (p *wccPIE) broadcast(ctx *grape.Context, v graph.VID, l float64) {
+func (p *wccPIE) broadcast(sink grape.Sink, v graph.VID, l float64) {
 	// Sends are unconditional: neighbor labels may live on other fragments
 	// (see bfsPIE.IncEval).
 	grin.ForEachNeighbor(p.g, v, graph.Out, func(n graph.VID, _ graph.EID) bool {
-		ctx.Send(n, l)
+		sink.Send(n, l)
 		return true
 	})
 	grin.ForEachNeighbor(p.g, v, graph.In, func(n graph.VID, _ graph.EID) bool {
-		ctx.Send(n, l)
+		sink.Send(n, l)
 		return true
 	})
 }

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/grin"
+	"repro/internal/parallel"
 	"repro/internal/partition"
 )
 
@@ -51,6 +52,12 @@ type Options struct {
 	// Combine merges two message values directed at the same target (e.g.
 	// sum for PageRank, min for SSSP/WCC). Nil keeps all messages.
 	Combine func(a, b float64) float64
+	// IntraParallelism is the worker count Context.ParallelFor and
+	// ParallelForMessages use for the vertex/message loops inside one
+	// fragment; 0 derives max(1, GOMAXPROCS/Fragments), so the default
+	// engine (Fragments = GOMAXPROCS) runs those loops inline while an
+	// engine with few fragments on a wide machine still uses every core.
+	IntraParallelism int
 	// MaxSupersteps bounds execution; 0 means unbounded.
 	MaxSupersteps int
 	// PerMessageChannels disables message aggregation and ships each
@@ -146,6 +153,12 @@ func NewEngine(g grin.Graph, opt Options) (*Engine, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("grape: empty graph")
 	}
+	if opt.IntraParallelism <= 0 {
+		opt.IntraParallelism = runtime.GOMAXPROCS(0) / opt.Fragments
+		if opt.IntraParallelism < 1 {
+			opt.IntraParallelism = 1
+		}
+	}
 	part, err := partition.NewRange(n, opt.Fragments)
 	if err != nil {
 		return nil, err
@@ -215,9 +228,13 @@ type Context struct {
 	out     [][]Message // per destination fragment (no-combiner path)
 	sc      []*denseScratch
 	comb    func(a, b float64) float64
-	rerun   bool
-	sentCnt int
-	step    int
+	rerun bool
+	step  int
+
+	// Intra-fragment parallelism: worker count for ParallelFor loops and the
+	// lazily built per-worker senders (reused across supersteps).
+	intra    int
+	wsenders []*Sender
 }
 
 // Send directs a value at a vertex; it is routed to the owner fragment at
@@ -234,7 +251,138 @@ func (c *Context) SendAux(v graph.VID, aux uint32, val float64) {
 	} else {
 		c.out[d] = append(c.out[d], Message{Target: v, Aux: aux, Value: val})
 	}
-	c.sentCnt++
+}
+
+// Sink is the send interface common to Context and Sender, so PIE helper
+// code (relax, broadcast) can run both inside and outside ParallelFor loops.
+type Sink interface {
+	Send(v graph.VID, val float64)
+	SendAux(v graph.VID, aux uint32, val float64)
+}
+
+var (
+	_ Sink = (*Context)(nil)
+	_ Sink = (*Sender)(nil)
+)
+
+// Sender is a worker-local message sink used inside Context.ParallelFor and
+// ParallelForMessages: each worker folds (or buffers) its sends privately, so
+// no lock sits on the per-edge send path, and the senders merge into the
+// context in worker order when the loop returns.
+type Sender struct {
+	c      *Context
+	direct bool            // single worker: write straight through to c
+	sc     []*denseScratch // per destination (combiner configured)
+	out    [][]Message     // per destination (no combiner)
+}
+
+// Send directs a value at a vertex (worker-local Context.Send).
+func (s *Sender) Send(v graph.VID, val float64) { s.SendAux(v, 0, val) }
+
+// SendAux directs a value with an auxiliary payload at a vertex.
+func (s *Sender) SendAux(v graph.VID, aux uint32, val float64) {
+	if s.direct {
+		s.c.SendAux(v, aux, val)
+		return
+	}
+	d := s.c.frag.Owner(v)
+	if s.sc != nil {
+		s.sc[d].fold(Message{Target: v, Aux: aux, Value: val}, s.c.comb)
+	} else {
+		s.out[d] = append(s.out[d], Message{Target: v, Aux: aux, Value: val})
+	}
+}
+
+// senders returns w reset per-worker senders, building them on first use.
+func (c *Context) senders(w int) []*Sender {
+	for len(c.wsenders) < w {
+		s := &Sender{c: c}
+		if c.sc != nil {
+			s.sc = make([]*denseScratch, len(c.sc))
+			for d := range s.sc {
+				lo, hi := c.frag.part.Bounds(d)
+				s.sc[d] = newDenseScratch(lo, hi)
+			}
+		} else {
+			s.out = make([][]Message, len(c.out))
+		}
+		c.wsenders = append(c.wsenders, s)
+	}
+	ss := c.wsenders[:w]
+	for _, s := range ss {
+		if s.sc != nil {
+			for _, sc := range s.sc {
+				sc.begin()
+			}
+		}
+	}
+	return ss
+}
+
+// mergeSenders folds worker results into the context in worker order; with
+// contiguous worker chunks this matches the sequential loop's send order up
+// to combiner reassociation (exact for idempotent combiners like min/max).
+func (c *Context) mergeSenders(ss []*Sender) {
+	for _, s := range ss {
+		switch {
+		case s.sc != nil:
+			for d, sc := range s.sc {
+				for _, off := range sc.touched {
+					c.sc[d].fold(Message{Target: sc.lo + graph.VID(off), Aux: sc.aux[off], Value: sc.acc[off]}, c.comb)
+				}
+			}
+		default:
+			for d := range s.out {
+				c.out[d] = append(c.out[d], s.out[d]...)
+				s.out[d] = s.out[d][:0]
+			}
+		}
+	}
+}
+
+// parallelRun is the shared scaffolding of ParallelFor/ParallelForMessages:
+// run on one direct sender inline, or fan out over the intra-fragment
+// workers' senders and merge them back in worker order.
+func (c *Context) parallelRun(n int, run func(s *Sender, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := parallel.Workers(c.intra, n)
+	if w <= 1 {
+		run(&Sender{c: c, direct: true}, 0, n)
+		return
+	}
+	ss := c.senders(w)
+	parallel.For(n, w, func(worker, lo, hi int) {
+		run(ss[worker], lo, hi)
+	})
+	c.mergeSenders(ss)
+}
+
+// ParallelFor runs body(v) over the vertex range [lo, hi), splitting it into
+// contiguous chunks across the engine's intra-fragment workers
+// (Options.IntraParallelism). All sends inside body must go through the
+// worker's Sender; worker results merge deterministically into the context
+// when ParallelFor returns. body may freely write per-vertex state indexed by
+// its own v, and must not touch other vertices' state.
+func (c *Context) ParallelFor(lo, hi graph.VID, body func(s *Sender, v graph.VID)) {
+	c.parallelRun(int(hi)-int(lo), func(s *Sender, clo, chi int) {
+		for v := lo + graph.VID(clo); v < lo+graph.VID(chi); v++ {
+			body(s, v)
+		}
+	})
+}
+
+// ParallelForMessages is ParallelFor over an inbox slice. When the engine
+// runs with a combiner it delivers at most one message per target, so body
+// invocations see distinct targets and may safely update per-target state;
+// programs without a combiner must not assume that.
+func (c *Context) ParallelForMessages(msgs []Message, body func(s *Sender, m Message)) {
+	c.parallelRun(len(msgs), func(s *Sender, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(s, msgs[i])
+		}
+	})
 }
 
 // Rerun votes to run another superstep on this fragment even without
@@ -249,7 +397,7 @@ func (e *Engine) Run(p Program) (int, error) {
 	nf := len(e.fr)
 	ctxs := make([]*Context, nf)
 	for i := range ctxs {
-		ctxs[i] = &Context{frag: e.fr[i], out: make([][]Message, nf)}
+		ctxs[i] = &Context{frag: e.fr[i], out: make([][]Message, nf), intra: e.opt.IntraParallelism}
 	}
 
 	// inboxes[f] holds messages delivered to fragment f for this superstep.

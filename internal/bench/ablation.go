@@ -20,7 +20,7 @@ func init() {
 }
 
 // AblationMsgAggregation contrasts GRAPE's aggregated compact-buffer message
-// exchange against per-message channel sends (DESIGN.md decision 3).
+// exchange against per-message channel sends (the aggregation trade §6 describes).
 func AblationMsgAggregation() (*Table, error) {
 	g, err := dataset.ByName("FB0")
 	if err != nil {
@@ -108,7 +108,7 @@ func (p *prProgram) scatter(f *grape.Fragment, ctx *grape.Context) {
 }
 
 // AblationGARTSegment sweeps GART's adjacency segment size: small segments
-// favor writes, large segments favor scans (DESIGN.md decision 2).
+// favor writes, large segments favor scans (GART's segment-size trade).
 func AblationGARTSegment() (*Table, error) {
 	g, err := dataset.ByName("CF")
 	if err != nil {
@@ -140,7 +140,7 @@ func AblationGARTSegment() (*Table, error) {
 }
 
 // AblationPipeline contrasts coupled vs decoupled vs decoupled+prefetch
-// training (DESIGN.md decision 5).
+// training (§8's decoupled-pipeline design).
 func AblationPipeline() (*Table, error) {
 	d, err := dataset.GNNByName("PD")
 	if err != nil {

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
 	"time"
 
@@ -54,11 +55,12 @@ func init() {
 	register("exp7", Exp7)
 }
 
-// cpuAnalytics runs one algorithm across CPU systems (Fig 7h/7i).
+// cpuAnalytics runs one algorithm across CPU systems (Fig 7h/7i). All
+// systems get NumCPU workers so the figure measures multi-core behavior.
 func cpuAnalytics(id, algo string) (*Table, error) {
 	tab := &Table{ID: id, Title: algo + " on CPUs: GRAPE vs PowerGraph vs Gemini",
 		Header: []string{"dataset", "GRAPE", "PowerGraph", "Gemini", "vs PG", "vs Gemini"}}
-	workers := 4
+	workers := runtime.GOMAXPROCS(0)
 	for _, name := range []string{"FB0", "FB1", "ZF", "G500", "CF"} {
 		g, err := dataset.ByName(name)
 		if err != nil {
@@ -89,7 +91,9 @@ func cpuAnalytics(id, algo string) (*Table, error) {
 			name, ms(dG), ms(dPG), ms(dGM), speedup(dPG, dG), speedup(dGM, dG),
 		})
 	}
-	tab.Notes = append(tab.Notes, "paper: GRAPE avg 25.1x vs PowerGraph (up to 55.7x), 2.3x vs Gemini")
+	tab.Notes = append(tab.Notes,
+		"paper: GRAPE avg 25.1x vs PowerGraph (up to 55.7x), 2.3x vs Gemini",
+		fmt.Sprintf("all systems run %d workers (NumCPU)", workers))
 	return tab, nil
 }
 
@@ -153,6 +157,7 @@ func learnEpoch(ds string, samplers, trainers int) (time.Duration, error) {
 	for i := range seeds {
 		seeds[i] = graph.VID(i)
 	}
+	seeds = seeds[:scaled(len(seeds), len(seeds)/5+1)]
 	start := time.Now()
 	p.RunEpoch(seeds, 0)
 	return time.Since(start), nil
@@ -199,7 +204,7 @@ func Fig7m() (*Table, error) {
 
 // Exp6: equity analysis — GRAPE propagation vs SQL joins.
 func Exp6() (*Table, error) {
-	opt := dataset.EquityOptions{Persons: 200, Companies: 2000, Seed: 101}
+	opt := dataset.EquityOptions{Persons: scaled(200, 60), Companies: scaled(2000, 400), Seed: 101}
 	b := dataset.Equity(opt)
 	st, err := vineyard.Load(b)
 	if err != nil {
@@ -288,7 +293,7 @@ func Exp7() (*Table, error) {
 	m := gnn.NewNCN(g, 16, 113)
 	rng := rand.New(rand.NewSource(114))
 	start := time.Now()
-	iters := 6000
+	iters := scaled(6000, 800)
 	for i := 0; i < iters; i++ {
 		if i%2 == 0 {
 			k := rng.Intn(train.NumEdges())

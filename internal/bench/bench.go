@@ -54,6 +54,23 @@ func (t *Table) String() string {
 	return b.String()
 }
 
+// quick scales experiments down so the whole registry runs in seconds.
+var quick bool
+
+// SetQuick toggles quick mode: experiments shrink their workloads (fewer
+// persons, shorter streams, fewer training steps) while keeping every code
+// path, so the root smoke test can run each experiment once — including
+// under the race detector. Not safe to toggle concurrently with Run.
+func SetQuick(q bool) { quick = q }
+
+// scaled selects the full or quick-mode value of a workload parameter.
+func scaled(full, quickVal int) int {
+	if quick {
+		return quickVal
+	}
+	return full
+}
+
 // timeIt measures fn averaged over reps.
 func timeIt(reps int, fn func()) time.Duration {
 	if reps <= 0 {

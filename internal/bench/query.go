@@ -72,7 +72,7 @@ func optArm(set string, enabled bool) optimizer.Options {
 
 // Fig7e measures each optimization rule's gain on its query set.
 func Fig7e() (*Table, error) {
-	b := dataset.SNB(dataset.SNBOptions{Persons: 500, Seed: 51})
+	b := dataset.SNB(dataset.SNBOptions{Persons: scaled(500, 120), Seed: 51})
 	st, err := vineyard.Load(b)
 	if err != nil {
 		return nil, err
@@ -112,7 +112,7 @@ func Fig7e() (*Table, error) {
 // Fig7f runs the SNB interactive workload on HiActor vs the naive baseline,
 // reporting per-class latency and total throughput.
 func Fig7f() (*Table, error) {
-	persons := 300
+	persons := scaled(300, 60)
 	b := dataset.SNB(dataset.SNBOptions{Persons: persons, Seed: 61})
 	gs := gart.NewStore(dataset.SNBSchema(), 0)
 	if err := gs.LoadBatch(b); err != nil {
@@ -172,7 +172,7 @@ func Fig7f() (*Table, error) {
 	}
 	// Throughput: concurrent mixed reads.
 	thpt := func(call func(q procedures.Query, params map[string]graph.Value)) float64 {
-		const total = 400
+		total := scaled(400, 48)
 		var wg sync.WaitGroup
 		start := time.Now()
 		for w := 0; w < 8; w++ {
@@ -187,7 +187,7 @@ func Fig7f() (*Table, error) {
 			}(w)
 		}
 		wg.Wait()
-		return total / time.Since(start).Seconds()
+		return float64(total) / time.Since(start).Seconds()
 	}
 	flexQPS := thpt(func(q procedures.Query, params map[string]graph.Value) {
 		_, _ = he.Call(q.Name, params)
@@ -204,7 +204,7 @@ func Fig7f() (*Table, error) {
 
 // Fig7g runs the SNB BI workload on Gaia vs the naive baseline.
 func Fig7g() (*Table, error) {
-	persons := 400
+	persons := scaled(400, 100)
 	b := dataset.SNB(dataset.SNBOptions{Persons: persons, Seed: 71})
 	st, err := vineyard.Load(b)
 	if err != nil {
@@ -244,13 +244,13 @@ func Fig7g() (*Table, error) {
 
 // Table2 reproduces the real-time fraud detection throughput scaling.
 func Table2() (*Table, error) {
-	opt := dataset.FraudOptions{Accounts: 1500, Items: 300, Seeds: 15, Seed: 81}
+	opt := dataset.FraudOptions{Accounts: scaled(1500, 400), Items: scaled(300, 80), Seeds: 15, Seed: 81}
 	base := dataset.FraudBase(opt)
 	gs := gart.NewStore(dataset.FraudSchema(), 0)
 	if err := gs.LoadBatch(base); err != nil {
 		return nil, err
 	}
-	orders := dataset.FraudStream(opt, 2000)
+	orders := dataset.FraudStream(opt, scaled(2000, 300))
 	schema := dataset.FraudSchema()
 	// The detection procedure: direct + indirect co-purchasing with seeds.
 	detect := `MATCH (v:Account)-[:BUY]->(i:Item)<-[:BUY]-(s:Account)
@@ -282,7 +282,7 @@ RETURN id(v)`
 			he.Close()
 			return nil, err
 		}
-		const n = 800
+		n := scaled(800, 80)
 		var wg sync.WaitGroup
 		start := time.Now()
 		for w := 0; w < threads; w++ {
@@ -296,7 +296,7 @@ RETURN id(v)`
 			}(w)
 		}
 		wg.Wait()
-		qps := n / time.Since(start).Seconds()
+		qps := float64(n) / time.Since(start).Seconds()
 		he.Close()
 		tab.Rows = append(tab.Rows, []string{fmt.Sprintf("%d", threads), fmt.Sprintf("%.0f", qps)})
 	}

@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// TestScanEdgesWorkersAgree: the parallel scan must compute the same
+// checksum at every worker count.
+func TestScanEdgesWorkersAgree(t *testing.T) {
+	g, err := dataset.ByName("UK")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg, err := g.ToCSR(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := scanEdges(cg, 1)
+	for _, workers := range []int{0, 2, 5, 16} {
+		if got := scanEdges(cg, workers); got != want {
+			t.Fatalf("workers=%d: checksum %d, want %d", workers, got, want)
+		}
+	}
+}
+
+// BenchmarkScanEdges measures the Fig 7c CSR scan at workers=1 vs
+// workers=NumCPU; the acceptance gate for the parallel runtime on the bench
+// path.
+func BenchmarkScanEdges(b *testing.B) {
+	g := dataset.Datagen("bench", 50_000, 16, 3)
+	cg, err := g.ToCSR(false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				scanEdges(cg, workers)
+			}
+		})
+	}
+}

@@ -1,0 +1,206 @@
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if w := Workers(0, 100); w != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0, 100) = %d, want GOMAXPROCS", w)
+	}
+	if w := Workers(-3, 100); w != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3, 100) = %d, want GOMAXPROCS", w)
+	}
+	if w := Workers(8, 3); w != 3 {
+		t.Fatalf("Workers(8, 3) = %d, want 3 (clamped to n)", w)
+	}
+	if w := Workers(8, 0); w != 1 {
+		t.Fatalf("Workers(8, 0) = %d, want 1", w)
+	}
+	if w := Workers(4, 100); w != 4 {
+		t.Fatalf("Workers(4, 100) = %d, want 4", w)
+	}
+}
+
+func TestChunkCoversRangeDisjointly(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 64, 65, 1000} {
+		for _, workers := range []int{1, 2, 3, 7, 64} {
+			if workers > n {
+				continue
+			}
+			prevHi := 0
+			for w := 0; w < workers; w++ {
+				lo, hi := chunk(n, workers, w)
+				if lo != prevHi {
+					t.Fatalf("n=%d w=%d/%d: gap/overlap at %d (lo=%d)", n, w, workers, prevHi, lo)
+				}
+				if hi < lo {
+					t.Fatalf("n=%d w=%d/%d: inverted range [%d,%d)", n, w, workers, lo, hi)
+				}
+				prevHi = hi
+			}
+			if prevHi != n {
+				t.Fatalf("n=%d workers=%d: chunks cover [0,%d) not [0,%d)", n, workers, prevHi, n)
+			}
+		}
+	}
+}
+
+func TestForZeroItems(t *testing.T) {
+	called := false
+	For(0, 4, func(worker, lo, hi int) { called = true })
+	if called {
+		t.Fatal("For(0, ...) must not invoke body")
+	}
+	ForDynamic(0, 4, 1, func(worker, lo, hi int) { called = true })
+	if called {
+		t.Fatal("ForDynamic(0, ...) must not invoke body")
+	}
+}
+
+func TestForFewerItemsThanWorkers(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	For(3, 16, func(worker, lo, hi int) {
+		mu.Lock()
+		defer mu.Unlock()
+		for i := lo; i < hi; i++ {
+			if seen[i] {
+				t.Errorf("index %d visited twice", i)
+			}
+			seen[i] = true
+		}
+	})
+	if len(seen) != 3 {
+		t.Fatalf("visited %d indices, want 3", len(seen))
+	}
+}
+
+// TestForWorkerOneEquivalence: workers=1 must produce the same visit sequence
+// as a plain loop (inline, in order).
+func TestForWorkerOneEquivalence(t *testing.T) {
+	var order []int
+	For(10, 1, func(worker, lo, hi int) {
+		if worker != 0 || lo != 0 || hi != 10 {
+			t.Fatalf("workers=1 got worker=%d [%d,%d)", worker, lo, hi)
+		}
+		for i := lo; i < hi; i++ {
+			order = append(order, i)
+		}
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("out of order at %d: %v", i, order)
+		}
+	}
+}
+
+func TestForCoversAllIndices(t *testing.T) {
+	const n = 1237
+	for _, workers := range []int{1, 2, 5, 16} {
+		visited := make([]atomic.Int32, n)
+		For(n, workers, func(worker, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				visited[i].Add(1)
+			}
+		})
+		for i := range visited {
+			if c := visited[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForDynamicCoversAllIndices(t *testing.T) {
+	const n = 999
+	for _, workers := range []int{1, 3, 8} {
+		for _, grain := range []int{0, 1, 7, 5000} {
+			visited := make([]atomic.Int32, n)
+			ForDynamic(n, workers, grain, func(worker, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					visited[i].Add(1)
+				}
+			})
+			for i := range visited {
+				if c := visited[i].Load(); c != 1 {
+					t.Fatalf("workers=%d grain=%d: index %d visited %d times", workers, grain, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	const n = 10000
+	want := n * (n - 1) / 2
+	for _, workers := range []int{1, 2, 3, 13} {
+		got := Reduce(n, workers, 0, func(worker, lo, hi, acc int) int {
+			for i := lo; i < hi; i++ {
+				acc += i
+			}
+			return acc
+		}, func(a, b int) int { return a + b })
+		if got != want {
+			t.Fatalf("workers=%d: sum=%d want %d", workers, got, want)
+		}
+	}
+}
+
+func TestReduceEmpty(t *testing.T) {
+	got := Reduce(0, 4, 42, func(worker, lo, hi, acc int) int {
+		t.Error("body must not run for n=0")
+		return acc
+	}, func(a, b int) int { return a + b })
+	if got != 42 {
+		t.Fatalf("Reduce(0) = %d, want identity 42", got)
+	}
+}
+
+func TestReduceDynamicSum(t *testing.T) {
+	const n = 10000
+	want := n * (n - 1) / 2
+	for _, workers := range []int{1, 2, 3, 13} {
+		for _, grain := range []int{0, 1, 64} {
+			got := ReduceDynamic(n, workers, grain, 0, func(lo, hi, acc int) int {
+				for i := lo; i < hi; i++ {
+					acc += i
+				}
+				return acc
+			}, func(a, b int) int { return a + b })
+			if got != want {
+				t.Fatalf("workers=%d grain=%d: sum=%d want %d", workers, grain, got, want)
+			}
+		}
+	}
+	got := ReduceDynamic(0, 4, 0, 7, func(lo, hi, acc int) int {
+		t.Error("body must not run for n=0")
+		return acc
+	}, func(a, b int) int { return a + b })
+	if got != 7 {
+		t.Fatalf("ReduceDynamic(0) = %d, want identity 7", got)
+	}
+}
+
+// TestReduceDeterministicMergeOrder: merge must fold partials in worker
+// order, so a non-commutative merge observes chunks left to right.
+func TestReduceDeterministicMergeOrder(t *testing.T) {
+	const n = 100
+	got := Reduce(n, 4, []int(nil), func(worker, lo, hi int, acc []int) []int {
+		for i := lo; i < hi; i++ {
+			acc = append(acc, i)
+		}
+		return acc
+	}, func(a, b []int) []int { return append(a, b...) })
+	if len(got) != n {
+		t.Fatalf("len=%d", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("merge order broken at %d: %d", i, v)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/grin"
+	"repro/internal/parallel"
 )
 
 // Graph is an immutable CSR (+ optional CSC) adjacency with optional edge
@@ -25,6 +26,7 @@ type Graph struct {
 	in     []grin.Target // nil unless built with CSC
 
 	weights []float64 // indexed by EID; nil for unweighted
+	sorted  bool      // adjacency lists ordered by neighbor ID
 }
 
 var (
@@ -51,78 +53,144 @@ type Options struct {
 	// SortAdjacency orders each adjacency list by neighbor ID, enabling
 	// binary-searched edge existence checks.
 	SortAdjacency bool
+	// Workers bounds Build's parallelism: 0 selects GOMAXPROCS, 1 forces the
+	// sequential path. The resulting layout is identical for every worker
+	// count (parallel counting sort preserves input edge order per vertex).
+	Workers int
+}
+
+// buildAdj is one parallel counting-sort pass: it groups m items keyed by
+// key(i) into per-vertex segments, returning the n+1 offset array and calling
+// place(i, slot) once per item with its destination slot. Items keep their
+// input order within each vertex segment — each worker owns a contiguous item
+// chunk and chunk-relative cursors are pre-offset by the items earlier chunks
+// contribute, so the layout is identical to a sequential stable pass.
+func buildAdj(n, m, workers int, key func(i int) graph.VID, place func(i int, slot uint64)) []uint64 {
+	if m == 0 {
+		return make([]uint64, n+1)
+	}
+	counts := make([][]uint32, parallel.Workers(workers, m))
+	parallel.For(m, workers, func(w, lo, hi int) {
+		c := make([]uint32, n)
+		for i := lo; i < hi; i++ {
+			c[key(i)]++
+		}
+		counts[w] = c
+	})
+	// Per vertex: rewrite chunk counts into chunk-relative start cursors and
+	// collect the total degree.
+	off := make([]uint64, n+1)
+	parallel.For(n, workers, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			var run uint32
+			for w := range counts {
+				cw := counts[w][v]
+				counts[w][v] = run
+				run += cw
+			}
+			off[v+1] = uint64(run)
+		}
+	})
+	for v := 0; v < n; v++ {
+		off[v+1] += off[v]
+	}
+	parallel.For(m, workers, func(w, lo, hi int) {
+		c := counts[w]
+		for i := lo; i < hi; i++ {
+			v := key(i)
+			slot := off[v] + uint64(c[v])
+			c[v]++
+			place(i, slot)
+		}
+	})
+	return off
 }
 
 // Build constructs a CSR graph over n vertices from an edge list. Edge IDs
 // are assigned in out-CSR order: the EID of the k-th slot of the out
-// adjacency is k, and the CSC mirrors reference the same IDs.
+// adjacency is k, and the CSC mirrors reference the same IDs. Construction
+// runs on opt.Workers workers (degree counting, placement, per-vertex sorts
+// and the CSC pass are all parallel) and produces the same graph at every
+// worker count.
 func Build(n int, edges []Edge, opt Options) (*Graph, error) {
-	g := &Graph{n: n, m: len(edges)}
-	for i, e := range edges {
-		if int(e.Src) >= n || int(e.Dst) >= n {
-			return nil, fmt.Errorf("csr: edge %d (%d->%d) out of range n=%d", i, e.Src, e.Dst, n)
+	g := &Graph{n: n, m: len(edges), sorted: opt.SortAdjacency}
+	m := len(edges)
+
+	// Validation: each worker reports the first bad edge of its chunk; the
+	// merge keeps the lowest index so the error matches a sequential scan.
+	bad := parallel.Reduce(m, opt.Workers, -1, func(_, lo, hi, acc int) int {
+		for i := lo; i < hi; i++ {
+			if int(edges[i].Src) >= n || int(edges[i].Dst) >= n {
+				return i
+			}
 		}
+		return acc
+	}, func(a, b int) int {
+		switch {
+		case a == -1:
+			return b
+		case b == -1 || a < b:
+			return a
+		default:
+			return b
+		}
+	})
+	if bad >= 0 {
+		e := edges[bad]
+		return nil, fmt.Errorf("csr: edge %d (%d->%d) out of range n=%d", bad, e.Src, e.Dst, n)
 	}
 
-	// Counting pass for out-degrees.
-	g.outOff = make([]uint64, n+1)
-	for _, e := range edges {
-		g.outOff[e.Src+1]++
-	}
-	for i := 0; i < n; i++ {
-		g.outOff[i+1] += g.outOff[i]
-	}
-	g.out = make([]grin.Target, len(edges))
+	g.out = make([]grin.Target, m)
 	if opt.Weighted {
-		g.weights = make([]float64, len(edges))
+		g.weights = make([]float64, m)
 	}
-	cursor := make([]uint64, n)
-	copy(cursor, g.outOff[:n])
-	for _, e := range edges {
-		slot := cursor[e.Src]
-		cursor[e.Src]++
-		g.out[slot] = grin.Target{Nbr: e.Dst, Edge: graph.EID(slot)}
-		if opt.Weighted {
-			g.weights[slot] = e.Weight
-		}
-	}
-	if opt.SortAdjacency {
-		for v := 0; v < n; v++ {
-			lo, hi := g.outOff[v], g.outOff[v+1]
-			seg := g.out[lo:hi]
-			sort.Slice(seg, func(i, j int) bool { return seg[i].Nbr < seg[j].Nbr })
-			// Re-key edge IDs and weights to the sorted order so that the
-			// EID of slot k stays k (weights move with their edge).
+	g.outOff = buildAdj(n, m, opt.Workers, func(i int) graph.VID { return edges[i].Src },
+		func(i int, slot uint64) {
+			g.out[slot] = grin.Target{Nbr: edges[i].Dst, Edge: graph.EID(slot)}
 			if opt.Weighted {
-				ws := make([]float64, len(seg))
-				for i, t := range seg {
-					ws[i] = g.weights[t.Edge]
+				g.weights[slot] = edges[i].Weight
+			}
+		})
+
+	if opt.SortAdjacency {
+		// Per-vertex segments are disjoint; dynamic chunking rides out the
+		// degree skew of power-law graphs.
+		parallel.ForDynamic(n, opt.Workers, 0, func(_, vlo, vhi int) {
+			for v := vlo; v < vhi; v++ {
+				lo, hi := g.outOff[v], g.outOff[v+1]
+				seg := g.out[lo:hi]
+				sort.Slice(seg, func(i, j int) bool { return seg[i].Nbr < seg[j].Nbr })
+				// Re-key edge IDs and weights to the sorted order so that the
+				// EID of slot k stays k (weights move with their edge).
+				if opt.Weighted {
+					ws := make([]float64, len(seg))
+					for i, t := range seg {
+						ws[i] = g.weights[t.Edge]
+					}
+					copy(g.weights[lo:hi], ws)
 				}
-				copy(g.weights[lo:hi], ws)
+				for i := range seg {
+					seg[i].Edge = graph.EID(lo + uint64(i))
+				}
 			}
-			for i := range seg {
-				seg[i].Edge = graph.EID(lo + uint64(i))
-			}
-		}
+		})
 	}
 
 	if opt.BuildCSC {
-		g.inOff = make([]uint64, n+1)
-		for _, t := range g.out {
-			g.inOff[t.Nbr+1]++
-		}
-		for i := 0; i < n; i++ {
-			g.inOff[i+1] += g.inOff[i]
-		}
-		g.in = make([]grin.Target, len(edges))
-		copy(cursor, g.inOff[:n])
-		for v := 0; v < n; v++ {
-			for _, t := range g.out[g.outOff[v]:g.outOff[v+1]] {
-				slot := cursor[t.Nbr]
-				cursor[t.Nbr]++
-				g.in[slot] = grin.Target{Nbr: graph.VID(v), Edge: t.Edge}
+		// Source vertex of every out slot, for the slot-chunked CSC pass.
+		srcOf := make([]graph.VID, m)
+		parallel.For(n, opt.Workers, func(_, vlo, vhi int) {
+			for v := vlo; v < vhi; v++ {
+				for s := g.outOff[v]; s < g.outOff[v+1]; s++ {
+					srcOf[s] = graph.VID(v)
+				}
 			}
-		}
+		})
+		g.in = make([]grin.Target, m)
+		g.inOff = buildAdj(n, m, opt.Workers, func(i int) graph.VID { return g.out[i].Nbr },
+			func(i int, slot uint64) {
+				g.in[slot] = grin.Target{Nbr: srcOf[i], Edge: g.out[i].Edge}
+			})
 	}
 	return g, nil
 }
@@ -193,11 +261,10 @@ func (g *Graph) EdgeWeight(e graph.EID) float64 {
 // SortAdjacency, O(d) otherwise.
 func (g *Graph) HasEdge(src, dst graph.VID) bool {
 	adj := g.AdjSlice(src, graph.Out)
-	i := sort.Search(len(adj), func(i int) bool { return adj[i].Nbr >= dst })
-	if i < len(adj) && adj[i].Nbr == dst {
-		return true
+	if g.sorted {
+		i := sort.Search(len(adj), func(i int) bool { return adj[i].Nbr >= dst })
+		return i < len(adj) && adj[i].Nbr == dst
 	}
-	// Fall back to linear scan for unsorted adjacency.
 	for _, t := range adj {
 		if t.Nbr == dst {
 			return true
@@ -205,6 +272,10 @@ func (g *Graph) HasEdge(src, dst graph.VID) bool {
 	}
 	return false
 }
+
+// Sorted reports whether adjacency lists are ordered by neighbor ID (the
+// SortAdjacency build option).
+func (g *Graph) Sorted() bool { return g.sorted }
 
 // ScanVertices implements grin.PredicatePush; simple graphs ignore label.
 func (g *Graph) ScanVertices(_ graph.LabelID, pred func(graph.VID) bool, yield func(graph.VID) bool) {

@@ -1,0 +1,33 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// TestExperimentsSmoke runs every registered experiment once in quick mode
+// (scaled-down workloads, same code paths) and asserts it produces rows.
+// This is what makes `go test ./` exercise the harness at all — the root
+// package otherwise only has benchmarks — and, under -race, what sweeps the
+// parallel runtime through every experiment.
+func TestExperimentsSmoke(t *testing.T) {
+	bench.SetQuick(true)
+	defer bench.SetQuick(testing.Short())
+	for _, id := range bench.IDs() {
+		t.Run(id, func(t *testing.T) {
+			tab, err := bench.Run(id)
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatalf("%s produced no rows", id)
+			}
+			for _, row := range tab.Rows {
+				if len(row) != len(tab.Header) {
+					t.Fatalf("%s: row %v does not match header %v", id, row, tab.Header)
+				}
+			}
+		})
+	}
+}
