@@ -6,10 +6,12 @@
 //	flexbench            # all experiments
 //	flexbench fig7c exp8
 //	flexbench -quick     # scaled-down workloads (seconds, not minutes)
+//	flexbench -json BENCH_query.json fig7e fig7f   # also dump tables as JSON
 //	flexbench -list
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +24,7 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list experiment IDs")
 	quickFlag := flag.Bool("quick", false, "run scaled-down workloads (same code paths, smaller data)")
+	jsonPath := flag.String("json", "", "write the selected experiments' tables to this file as JSON")
 	flag.Parse()
 	if *list {
 		fmt.Println(strings.Join(bench.IDs(), "\n"))
@@ -33,12 +36,26 @@ func main() {
 		ids = bench.IDs()
 	}
 	fmt.Printf("flexbench: GOMAXPROCS=%d (scaling experiments need >1 CPU to separate)\n\n", runtime.GOMAXPROCS(0))
+	var tables []*bench.Table
 	for _, id := range ids {
 		tab, err := bench.Run(id)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
 			os.Exit(1)
 		}
+		tables = append(tables, tab)
 		fmt.Println(tab)
+	}
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(tables, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d experiments)\n", *jsonPath, len(tables))
 	}
 }

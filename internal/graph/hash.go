@@ -1,0 +1,66 @@
+package graph
+
+import "math"
+
+// FNV-1a constants (64-bit).
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// HashSeed is the canonical starting seed for Value hashing (the FNV-1a
+// offset basis). Group and dedup operators fold key tuples into one hash by
+// chaining: h := HashSeed; for each key { h = key.Hash(h) }.
+const HashSeed = fnvOffset64
+
+func hashByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime64 }
+
+func hashUint64(h uint64, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = hashByte(h, byte(x))
+		x >>= 8
+	}
+	return h
+}
+
+// Hash folds the value into an FNV-1a hash chain. The invariant callers rely
+// on is: v.Equal(o) implies v.Hash(h) == o.Hash(h). Equality treats int and
+// float as one exact numeric domain, so an integral float in int64 range
+// hashes through its int64 image (matching the int it equals) while every
+// other float — fractional, out of range, ±Inf, NaN (normalized to one bit
+// pattern), with -0 being integral and mapping to 0 — hashes its own bits.
+// Hash collisions across non-equal values are possible — users must confirm
+// with Equal.
+func (v Value) Hash(h uint64) uint64 {
+	switch v.K {
+	case KindNil:
+		return hashByte(h, 0)
+	case KindInt:
+		return hashUint64(hashByte(h, 1), uint64(v.I))
+	case KindFloat:
+		f := v.F
+		if f == math.Trunc(f) && f >= -9223372036854775808.0 && f < 9223372036854775808.0 {
+			return hashUint64(hashByte(h, 1), uint64(int64(f)))
+		}
+		bits := math.Float64bits(f)
+		if f != f {
+			bits = math.Float64bits(math.NaN())
+		}
+		return hashUint64(hashByte(h, 12), bits)
+	case KindBool, KindVertex, KindEdge:
+		return hashUint64(hashByte(h, 2+byte(v.K)), uint64(v.I))
+	case KindString:
+		h = hashByte(h, 10)
+		for i := 0; i < len(v.S); i++ {
+			h = hashByte(h, v.S[i])
+		}
+		return hashByte(h, 0xff) // terminator: "a","b" != "ab",""
+	case KindList:
+		h = hashByte(h, 11)
+		for _, e := range v.Lst {
+			h = e.Hash(h)
+		}
+		return hashByte(h, 0xfe)
+	}
+	return h
+}

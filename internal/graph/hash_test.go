@@ -1,0 +1,81 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHashEqualConsistency(t *testing.T) {
+	// Equal values must hash identically — including across the int/float
+	// numeric domain that Compare unifies.
+	pairs := [][2]Value{
+		{IntValue(1), FloatValue(1.0)},
+		{IntValue(0), FloatValue(math.Copysign(0, -1))},
+		{StringValue(""), StringValue("")},
+		{ListValue([]Value{IntValue(1), FloatValue(2)}), ListValue([]Value{FloatValue(1), IntValue(2)})},
+		{NullValue, NullValue},
+	}
+	for _, p := range pairs {
+		if !p[0].Equal(p[1]) {
+			t.Fatalf("%v and %v should be Equal", p[0], p[1])
+		}
+		if p[0].Hash(HashSeed) != p[1].Hash(HashSeed) {
+			t.Fatalf("Equal values hash differently: %v vs %v", p[0], p[1])
+		}
+	}
+}
+
+func TestHashSeparatesKindsAndBoundaries(t *testing.T) {
+	// Values the old string-keyed group/dedup conflated (String() renders
+	// int 1, float 1.0 and string "1" all as "1") must now separate unless
+	// genuinely Equal.
+	distinct := []Value{
+		IntValue(1),
+		StringValue("1"),
+		BoolValue(true),
+		VertexValue(1),
+		EdgeValue(1),
+		ListValue([]Value{IntValue(1)}),
+		NullValue,
+	}
+	seen := map[uint64]Value{}
+	for _, v := range distinct {
+		h := v.Hash(HashSeed)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("%v and %v collide", prev, v)
+		}
+		seen[h] = v
+	}
+	// Integers past 2^53 must stay exact: the float64 round-trip the old
+	// numeric compare used would conflate 2^53 and 2^53+1.
+	a, b := IntValue(1<<53), IntValue(1<<53+1)
+	if a.Equal(b) || a.Compare(b) != -1 {
+		t.Fatalf("large ints conflated: %v vs %v", a, b)
+	}
+	if a.Hash(HashSeed) == b.Hash(HashSeed) {
+		t.Fatal("large ints hash identically")
+	}
+	// ... while the float that genuinely equals 2^53 still matches it.
+	f := FloatValue(9007199254740992.0)
+	if !a.Equal(f) || a.Hash(HashSeed) != f.Hash(HashSeed) {
+		t.Fatalf("int 2^53 and float 2^53 should be Equal with equal hashes")
+	}
+	if b.Equal(f) {
+		t.Fatal("2^53+1 must not equal float 2^53")
+	}
+	// NaN equals only NaN and sorts after every number.
+	nan := FloatValue(math.NaN())
+	if !nan.Equal(nan) || nan.Equal(FloatValue(5)) || nan.Compare(IntValue(5)) != 1 ||
+		IntValue(5).Compare(nan) != -1 {
+		t.Fatal("NaN ordering inconsistent")
+	}
+	if nan.Hash(HashSeed) != FloatValue(math.NaN()).Hash(HashSeed) {
+		t.Fatal("NaN hash not canonical")
+	}
+	// Chained tuple hashing must not confuse ("ab","") with ("a","b").
+	h1 := StringValue("").Hash(StringValue("ab").Hash(HashSeed))
+	h2 := StringValue("b").Hash(StringValue("a").Hash(HashSeed))
+	if h1 == h2 {
+		t.Fatal("tuple boundary lost in chained hash")
+	}
+}

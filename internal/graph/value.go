@@ -2,6 +2,7 @@ package graph
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 )
 
@@ -136,8 +137,36 @@ func (v Value) Edge() EID {
 // numeric reports whether the value participates in arithmetic.
 func (v Value) numeric() bool { return v.K == KindInt || v.K == KindFloat }
 
+// cmpIntFloat exactly orders an int64 against a float64 without rounding the
+// int through float64 (which conflates integers past 2^53). NaN sorts after
+// every integer.
+func cmpIntFloat(i int64, f float64) int {
+	switch {
+	case f != f: // NaN
+		return -1
+	case f >= 9223372036854775808.0: // 2^63: beyond every int64
+		return -1
+	case f < -9223372036854775808.0:
+		return 1
+	}
+	t := math.Trunc(f)
+	ti := int64(t)
+	switch {
+	case i < ti:
+		return -1
+	case i > ti:
+		return 1
+	case f > t:
+		return -1 // equal integer part, f has a positive fraction
+	case f < t:
+		return 1
+	}
+	return 0
+}
+
 // Compare orders two values: -1, 0, +1. NULLs sort first; numerics compare
-// numerically across int/float; otherwise values compare within a kind and
+// numerically across int/float (exactly — int/int and int/float comparisons
+// never round through float64); otherwise values compare within a kind and
 // kinds compare by their ordinal.
 func (v Value) Compare(o Value) int {
 	if v.K == KindNil || o.K == KindNil {
@@ -151,8 +180,32 @@ func (v Value) Compare(o Value) int {
 		}
 	}
 	if v.numeric() && o.numeric() {
-		a, b := v.Float(), o.Float()
+		if v.K == KindInt && o.K == KindInt {
+			switch {
+			case v.I < o.I:
+				return -1
+			case v.I > o.I:
+				return 1
+			}
+			return 0
+		}
+		if v.K == KindInt {
+			return cmpIntFloat(v.I, o.F)
+		}
+		if o.K == KindInt {
+			return -cmpIntFloat(o.I, v.F)
+		}
+		a, b := v.F, o.F
+		aNaN, bNaN := a != a, b != b
 		switch {
+		case aNaN || bNaN: // NaN sorts last and equals only NaN
+			switch {
+			case aNaN && bNaN:
+				return 0
+			case aNaN:
+				return 1
+			}
+			return -1
 		case a < b:
 			return -1
 		case a > b:

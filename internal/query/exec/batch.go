@@ -1,0 +1,125 @@
+package exec
+
+import (
+	"errors"
+
+	"repro/internal/graph"
+)
+
+// DefaultBatchSize is the target row count per batch when Env.BatchSize is
+// unset. ~1K rows amortizes per-batch overhead while keeping a batch's arena
+// (width × 1024 Values) comfortably cache-resident.
+const DefaultBatchSize = 1024
+
+// ErrStop is returned by an EmitBatch callback to terminate a source early
+// once downstream has all the rows it needs (LIMIT short-circuit). Sources
+// must stop producing and propagate it; drivers treat it as success.
+var ErrStop = errors.New("exec: stop early")
+
+// Batch is a fixed-width row container backed by a flat Value arena: row i
+// occupies data[i*width : (i+1)*width]. Operators append whole rows and reuse
+// the arena across batches (Reset), so steady-state pipeline execution
+// allocates per batch, not per row.
+type Batch struct {
+	width int
+	rows  int
+	data  []graph.Value
+}
+
+// NewBatch returns an empty batch of the given row width with capacity for
+// capRows rows (0: grow on demand — cheap point queries never pay for a full
+// batch arena).
+func NewBatch(width, capRows int) *Batch {
+	b := &Batch{width: width}
+	if capRows > 0 {
+		b.data = make([]graph.Value, 0, width*capRows)
+	}
+	return b
+}
+
+// Width returns the number of columns per row.
+func (b *Batch) Width() int { return b.width }
+
+// Len returns the number of rows.
+func (b *Batch) Len() int { return b.rows }
+
+// Row returns row i as a view into the arena. The view is invalidated by the
+// next Append* call (the arena may move).
+func (b *Batch) Row(i int) Row {
+	lo, hi := i*b.width, (i+1)*b.width
+	return Row(b.data[lo:hi:hi])
+}
+
+// appendUncleared extends the arena by one row and returns it; the caller
+// must overwrite or clear every column.
+func (b *Batch) appendUncleared() Row {
+	n := len(b.data)
+	need := n + b.width
+	if cap(b.data) < need {
+		newCap := 2 * cap(b.data)
+		if newCap < need {
+			newCap = need
+		}
+		nd := make([]graph.Value, n, newCap)
+		copy(nd, b.data)
+		b.data = nd
+	}
+	b.data = b.data[:need]
+	b.rows++
+	return Row(b.data[n:need:need])
+}
+
+// AppendRow appends one zeroed row and returns it for the caller to fill.
+func (b *Batch) AppendRow() Row {
+	row := b.appendUncleared()
+	clear(row)
+	return row
+}
+
+// AppendFrom appends a row initialized from the prefix r (len(r) ≤ width;
+// remaining columns are zero) and returns it — the widening copy every
+// expansion operator does.
+func (b *Batch) AppendFrom(r Row) Row {
+	row := b.appendUncleared()
+	n := copy(row, r)
+	clear(row[n:])
+	return row
+}
+
+// AppendBatch appends all rows of o (same width).
+func (b *Batch) AppendBatch(o *Batch) {
+	b.data = append(b.data, o.data...)
+	b.rows += o.rows
+}
+
+// Truncate keeps the first n rows. Expansion operators also use it to drop
+// the row they just appended when its predicate fails.
+func (b *Batch) Truncate(n int) {
+	b.data = b.data[:n*b.width]
+	b.rows = n
+}
+
+// Reset empties the batch, keeping the arena for reuse.
+func (b *Batch) Reset() {
+	b.data = b.data[:0]
+	b.rows = 0
+}
+
+// View returns a read-only sub-range [lo, hi) of the batch sharing the
+// arena; drivers use it to feed a materialized batch back into a pipeline
+// chunk-wise and to split batches into worker morsels. The view must not be
+// appended to, and the parent must stay alive while views circulate.
+func (b *Batch) View(lo, hi int) Batch {
+	return Batch{width: b.width, rows: hi - lo, data: b.data[lo*b.width : hi*b.width : hi*b.width]}
+}
+
+// Rows materializes the batch as []Row views sharing the arena — the final
+// conversion to the engines' public result type. The batch must not be
+// appended to afterwards.
+func (b *Batch) Rows() []Row {
+	out := make([]Row, b.rows)
+	for i := range out {
+		out[i] = b.Row(i)
+	}
+	return out
+}

@@ -1,9 +1,19 @@
 // Package exec implements the shared operator runtime of the interactive
-// stack: logical/physical IR operators compiled to row-stream transformers
-// over a GRIN graph. The three engines differ only in *how* they drive these
-// operators — naive interprets serially without optimization, Gaia runs them
-// data-parallel over partitioned streams (OLAP), HiActor runs one compiled
-// plan per actor message at high concurrency (OLTP).
+// stack: logical/physical IR operators compiled to batch-at-a-time (morsel-
+// driven) transformers over a GRIN graph. Rows live in Batch arenas — flat
+// []graph.Value blocks of ~Env.BatchSize rows (default 1024) — and every
+// expression is bound at compile time to fixed column indexes (expr.Bound),
+// so per-row evaluation does no map lookups and allocates nothing.
+//
+// The three engines differ only in *how* they drive the compiled stages —
+// naive interprets the logical plan serially without optimization, Gaia runs
+// the pipeline segments data-parallel over sequence-numbered batch streams
+// (OLAP), HiActor runs one compiled plan per actor message at high
+// concurrency (OLTP). All three produce identical rows in identical order at
+// any parallelism and batch size: Map stages preserve input order, Gaia
+// reassembles worker output in input-sequence order, and blocking operators
+// use deterministic rules (stable sort, first-appearance group order,
+// first-occurrence dedup).
 package exec
 
 import (
@@ -16,54 +26,63 @@ import (
 	"repro/internal/query/ir"
 )
 
-// Row is one binding tuple; columns are assigned at compile time.
+// Row is one binding tuple; columns are assigned at compile time. Engine
+// results are []Row views into the final batch's arena.
 type Row []graph.Value
 
 // Columns maps aliases to row column indexes.
 type Columns map[string]int
 
-// rowBinding adapts (columns, row) to expr.Binding.
-type rowBinding struct {
-	g    grin.Graph
-	cols Columns
-	row  Row
-}
+// colBinder resolves alias references against a column layout at bind time.
+// After a projection or aggregation, rows carry columns named like
+// "f.lastName"; a reference that no longer resolves as alias+property falls
+// back to that literal output-column name (Cypher's ORDER BY-over-RETURN
+// semantics). The fallback is decided here, once, not per row.
+type colBinder Columns
 
-// Resolve implements expr.Binding. After a projection or aggregation, rows
-// carry columns named like "f.lastName"; a reference that no longer resolves
-// as alias+property falls back to that literal output-column name (Cypher's
-// ORDER BY-over-RETURN semantics).
-func (rb *rowBinding) Resolve(alias, prop string) (graph.Value, error) {
-	idx, ok := rb.cols[alias]
-	if !ok {
-		if prop != "" {
-			if idx2, ok2 := rb.cols[alias+"."+prop]; ok2 {
-				return rb.row[idx2], nil
-			}
+func (cb colBinder) BindRef(alias, prop string) (expr.BoundRef, error) {
+	if idx, ok := cb[alias]; ok {
+		return expr.BoundRef{Col: idx, Prop: prop}, nil
+	}
+	if prop != "" {
+		if idx, ok := cb[alias+"."+prop]; ok {
+			return expr.BoundRef{Col: idx}, nil
 		}
-		return graph.NullValue, fmt.Errorf("exec: unbound alias %q", alias)
 	}
-	v := rb.row[idx]
-	if prop == "" {
-		return v, nil
-	}
-	return expr.PropValue(rb.g, v, prop)
+	return expr.BoundRef{}, fmt.Errorf("exec: unbound alias %q", alias)
 }
 
-// Emit receives output rows from a stage.
-type Emit func(Row) error
+// bindExpr compiles an expression against a column layout; nil stays nil.
+func bindExpr(cols Columns, e *expr.Expr) (*expr.Bound, error) {
+	return expr.Bind(e, colBinder(cols))
+}
 
-// Stage transforms one input row into zero or more output rows, or — when
-// Blocking — consumes all rows at a barrier.
+// EmitBatch consumes one batch from a source. The callee owns the batch while
+// the call runs; a true return hands it back for reset-and-reuse, false means
+// the callee retained it (e.g. sent it down a channel) and the caller must
+// allocate a fresh one. Returning ErrStop tells the source that downstream
+// has enough rows (LIMIT short-circuit).
+type EmitBatch func(*Batch) (reuse bool, err error)
+
+// Stage transforms batches. Exactly one of Source/Map/Blocking is set.
 type Stage struct {
 	// Name for EXPLAIN and engine traces.
 	Name string
-	// Source produces rows from the graph; only the first stage has one.
-	Source func(env *Env, emit Emit) error
-	// FlatMap transforms one row (nil for source/blocking stages).
-	FlatMap func(env *Env, row Row, emit Emit) error
-	// Blocking consumes the gathered row set (sort, group, dedup, limit).
-	Blocking func(env *Env, rows []Row) ([]Row, error)
+	// InWidth/OutWidth are the row widths this stage consumes/produces.
+	InWidth  int
+	OutWidth int
+	// Source produces batches from the graph; only the first stage has one.
+	Source func(env *Env, emit EmitBatch) error
+	// Map transforms the rows of in, appending zero or more output rows per
+	// input row to out, preserving input order.
+	Map func(env *Env, in, out *Batch) error
+	// Blocking consumes the fully gathered row set at a barrier (sort,
+	// group, dedup, limit).
+	Blocking func(env *Env, in *Batch) (*Batch, error)
+	// LimitHint is set (>0) on stages whose Blocking merely truncates to the
+	// first LimitHint rows; drivers may stop the pipeline's source once that
+	// many rows are buffered ahead of the stage.
+	LimitHint int
 }
 
 // Compiled is an executable plan: stages plus the output schema.
@@ -78,21 +97,20 @@ type Compiled struct {
 type Env struct {
 	Graph  grin.Graph
 	Params map[string]graph.Value
+	// BatchSize is the target rows per batch (0: DefaultBatchSize).
+	BatchSize int
 }
 
-func (env *Env) eval(cols Columns, row Row, e *expr.Expr) (graph.Value, error) {
-	return e.Eval(&expr.Env{Graph: env.Graph, Binding: &rowBinding{g: env.Graph, cols: cols, row: row}, Params: env.Params})
+// EffectiveBatchSize resolves the batch-size knob.
+func (env *Env) EffectiveBatchSize() int {
+	if env.BatchSize > 0 {
+		return env.BatchSize
+	}
+	return DefaultBatchSize
 }
 
-func (env *Env) evalBool(cols Columns, row Row, e *expr.Expr) (bool, error) {
-	if e == nil {
-		return true, nil
-	}
-	v, err := env.eval(cols, row, e)
-	if err != nil {
-		return false, err
-	}
-	return v.Bool(), nil
+func (env *Env) boundEnv() expr.BoundEnv {
+	return expr.BoundEnv{Graph: env.Graph, Params: env.Params}
 }
 
 // Options tunes compilation.
@@ -130,6 +148,16 @@ func Compile(p *ir.Plan, opt Options) (*Compiled, error) {
 	for _, x := range cas {
 		c.Out = append(c.Out, x.alias)
 	}
+	// Widths must chain: every stage consumes exactly what its predecessor
+	// produces. Catches operator-compilation bugs before any row flows.
+	w := c.Stages[0].OutWidth
+	for _, st := range c.Stages[1:] {
+		if st.InWidth != w {
+			return nil, fmt.Errorf("exec: internal: stage %q consumes width %d, predecessor produces %d",
+				st.Name, st.InWidth, w)
+		}
+		w = st.OutWidth
+	}
 	return c, nil
 }
 
@@ -160,17 +188,25 @@ func (c *Compiled) compileOp(op *ir.Op, first bool, opt Options) error {
 	case ir.OpMatch:
 		return c.compileMatch(op, first)
 	case ir.OpSelect:
-		cols := c.snapshotCols()
-		pred := op.Pred
+		width := c.numCols
+		pred, err := bindExpr(c.Cols, op.Pred)
+		if err != nil {
+			return err
+		}
 		c.Stages = append(c.Stages, Stage{
-			Name: "SELECT",
-			FlatMap: func(env *Env, row Row, emit Emit) error {
-				ok, err := env.evalBool(cols, row, pred)
-				if err != nil {
-					return err
-				}
-				if ok {
-					return emit(row)
+			Name:    "SELECT",
+			InWidth: width, OutWidth: width,
+			Map: func(env *Env, in, out *Batch) error {
+				benv := env.boundEnv()
+				for i := 0; i < in.Len(); i++ {
+					row := in.Row(i)
+					ok, err := pred.EvalBool(&benv, row)
+					if err != nil {
+						return err
+					}
+					if ok {
+						out.AppendFrom(row)
+					}
 				}
 				return nil
 			},
@@ -182,13 +218,16 @@ func (c *Compiled) compileOp(op *ir.Op, first bool, opt Options) error {
 		return c.compileOrderBy(op)
 	case ir.OpLimit:
 		n := op.Limit
+		width := c.numCols
 		c.Stages = append(c.Stages, Stage{
-			Name: "LIMIT",
-			Blocking: func(env *Env, rows []Row) ([]Row, error) {
-				if len(rows) > n {
-					rows = rows[:n]
+			Name:    "LIMIT",
+			InWidth: width, OutWidth: width,
+			LimitHint: n,
+			Blocking: func(env *Env, in *Batch) (*Batch, error) {
+				if in.Len() > n {
+					in.Truncate(n)
 				}
-				return rows, nil
+				return in, nil
 			},
 		})
 		return nil
@@ -208,13 +247,57 @@ func (c *Compiled) snapshotCols() Columns {
 	return cols
 }
 
+// sourceBuffer accumulates source rows and flushes full batches downstream.
+type sourceBuffer struct {
+	b     *Batch
+	bs    int
+	width int
+	emit  EmitBatch
+}
+
+func newSourceBuffer(width int, env *Env, emit EmitBatch) *sourceBuffer {
+	return &sourceBuffer{b: NewBatch(width, 0), bs: env.EffectiveBatchSize(), width: width, emit: emit}
+}
+
+// appendRow adds a zeroed row for the caller to fill; call pop to retract it
+// (failed predicate) or flushIfFull to keep it.
+func (s *sourceBuffer) appendRow() Row { return s.b.AppendRow() }
+
+func (s *sourceBuffer) pop() { s.b.Truncate(s.b.Len() - 1) }
+
+func (s *sourceBuffer) flushIfFull() error {
+	if s.b.Len() < s.bs {
+		return nil
+	}
+	return s.flush()
+}
+
+func (s *sourceBuffer) flush() error {
+	if s.b.Len() == 0 {
+		return nil
+	}
+	last := s.b.Len()
+	reuse, err := s.emit(s.b)
+	if err != nil {
+		return err
+	}
+	if reuse {
+		s.b.Reset()
+	} else {
+		// The emitted size is the best estimate for the next batch.
+		s.b = NewBatch(s.width, last)
+	}
+	return nil
+}
+
 // compileScan produces the source stage. When the predicate contains an
 // `id(alias) = k` conjunct and the store has the index trait, the scan
-// becomes a point lookup (unless disabled for the naive baseline).
+// becomes a point lookup (unless disabled for the naive baseline). Without
+// the trait, the id equality folds back into the scan predicate so every
+// scanned vertex is evaluated exactly once.
 func (c *Compiled) compileScan(op *ir.Op, opt Options) error {
 	idx := c.addCol(op.Alias)
 	width := c.numCols
-	cols := c.snapshotCols()
 	label := op.Label
 	pred := op.Pred
 	alias := op.Alias
@@ -233,21 +316,35 @@ func (c *Compiled) compileScan(op *ir.Op, opt Options) error {
 	} else {
 		rest = pred
 	}
+	restB, err := bindExpr(c.Cols, rest)
+	if err != nil {
+		return err
+	}
+	// The full-scan fallback evaluates the id equality as part of one fused
+	// predicate — no separate pass, no throwaway row.
+	fullB, err := bindExpr(c.Cols, expr.And(idEq, rest))
+	if err != nil {
+		return err
+	}
 
 	c.Stages = append(c.Stages, Stage{
-		Name: "SCAN(" + alias + ")",
-		Source: func(env *Env, emit Emit) error {
-			tryEmit := func(v graph.VID) error {
-				row := make(Row, width)
+		Name:     "SCAN(" + alias + ")",
+		OutWidth: width,
+		Source: func(env *Env, emit EmitBatch) error {
+			benv := env.boundEnv()
+			out := newSourceBuffer(width, env, emit)
+			tryRow := func(v graph.VID, pred *expr.Bound) error {
+				row := out.appendRow()
 				row[idx] = graph.VertexValue(v)
-				ok, err := env.evalBool(cols, row, rest)
+				ok, err := pred.EvalBool(&benv, row)
 				if err != nil {
 					return err
 				}
-				if ok {
-					return emit(row)
+				if !ok {
+					out.pop()
+					return nil
 				}
-				return nil
+				return out.flushIfFull()
 			}
 			if idEq != nil {
 				if store, ok := env.Graph.(grin.Index); ok {
@@ -256,34 +353,25 @@ func (c *Compiled) compileScan(op *ir.Op, opt Options) error {
 						return err
 					}
 					if v, found := store.LookupVertex(label, want); found {
-						return tryEmit(v)
+						if err := tryRow(v, restB); err != nil {
+							return err
+						}
 					}
-					return nil
+					return out.flush()
 				}
 			}
 			var scanErr error
 			grin.ScanLabel(env.Graph, label, func(v graph.VID) bool {
-				if idEq != nil {
-					// Index trait unavailable: evaluate the id equality as
-					// a normal predicate.
-					row := make(Row, width)
-					row[idx] = graph.VertexValue(v)
-					ok, err := env.evalBool(cols, row, idEq)
-					if err != nil {
-						scanErr = err
-						return false
-					}
-					if !ok {
-						return true
-					}
-				}
-				if err := tryEmit(v); err != nil {
+				if err := tryRow(v, fullB); err != nil {
 					scanErr = err
 					return false
 				}
 				return true
 			})
-			return scanErr
+			if scanErr != nil {
+				return scanErr
+			}
+			return out.flush()
 		},
 	})
 	return nil
@@ -325,53 +413,61 @@ func (c *Compiled) compileExpandFused(op *ir.Op) error {
 	if !ok {
 		return fmt.Errorf("exec: EXPAND_FUSED from unbound alias %q", op.FromAlias)
 	}
+	inWidth := c.numCols
 	vIdx := c.addCol(op.Alias)
 	eIdx := -1
 	if op.EdgeAlias != "" {
 		eIdx = c.addCol(op.EdgeAlias)
 	}
 	width := c.numCols
-	cols := c.snapshotCols()
-	elabel, vlabel, dir, pred := op.EdgeLabel, op.Label, op.Dir, op.Pred
+	elabel, vlabel, dir := op.EdgeLabel, op.Label, op.Dir
+	predB, err := bindExpr(c.Cols, op.Pred)
+	if err != nil {
+		return err
+	}
 
 	c.Stages = append(c.Stages, Stage{
-		Name: "EXPAND_FUSED(" + op.FromAlias + "->" + op.Alias + ")",
-		FlatMap: func(env *Env, row Row, emit Emit) error {
-			src := row[fromIdx].Vertex()
-			if src == graph.NilVID {
-				return nil
-			}
+		Name:    "EXPAND_FUSED(" + op.FromAlias + "->" + op.Alias + ")",
+		InWidth: inWidth, OutWidth: width,
+		Map: func(env *Env, in, out *Batch) error {
 			pr, _ := env.Graph.(grin.PropertyReader)
-			var inner error
-			grin.ForEachNeighbor(env.Graph, src, dir, func(n graph.VID, e graph.EID) bool {
-				if pr != nil {
-					if elabel != graph.AnyLabel && pr.EdgeLabel(e) != elabel {
-						return true
+			benv := env.boundEnv()
+			for i := 0; i < in.Len(); i++ {
+				row := in.Row(i)
+				src := row[fromIdx].Vertex()
+				if src == graph.NilVID {
+					continue
+				}
+				var inner error
+				grin.ForEachNeighbor(env.Graph, src, dir, func(n graph.VID, e graph.EID) bool {
+					if pr != nil {
+						if elabel != graph.AnyLabel && pr.EdgeLabel(e) != elabel {
+							return true
+						}
+						if vlabel != graph.AnyLabel && pr.VertexLabel(n) != vlabel {
+							return true
+						}
 					}
-					if vlabel != graph.AnyLabel && pr.VertexLabel(n) != vlabel {
-						return true
+					o := out.AppendFrom(row)
+					o[vIdx] = graph.VertexValue(n)
+					if eIdx >= 0 {
+						o[eIdx] = graph.EdgeValue(e)
 					}
-				}
-				out := make(Row, width)
-				copy(out, row)
-				out[vIdx] = graph.VertexValue(n)
-				if eIdx >= 0 {
-					out[eIdx] = graph.EdgeValue(e)
-				}
-				ok, err := env.evalBool(cols, out, pred)
-				if err != nil {
-					inner = err
-					return false
-				}
-				if ok {
-					if err := emit(out); err != nil {
+					ok, err := predB.EvalBool(&benv, o)
+					if err != nil {
 						inner = err
 						return false
 					}
+					if !ok {
+						out.Truncate(out.Len() - 1)
+					}
+					return true
+				})
+				if inner != nil {
+					return inner
 				}
-				return true
-			})
-			return inner
+			}
+			return nil
 		},
 	})
 	return nil
@@ -385,35 +481,34 @@ func (c *Compiled) compileExpandEdge(op *ir.Op) error {
 	if !ok {
 		return fmt.Errorf("exec: EXPAND_EDGE from unbound alias %q", op.FromAlias)
 	}
+	inWidth := c.numCols
 	eIdx := c.addCol(op.EdgeAlias)
 	nIdx := c.addCol("#nbr:" + op.EdgeAlias)
 	width := c.numCols
 	elabel, dir := op.EdgeLabel, op.Dir
 
 	c.Stages = append(c.Stages, Stage{
-		Name: "EXPAND_EDGE(" + op.FromAlias + ")",
-		FlatMap: func(env *Env, row Row, emit Emit) error {
-			src := row[fromIdx].Vertex()
-			if src == graph.NilVID {
-				return nil
-			}
+		Name:    "EXPAND_EDGE(" + op.FromAlias + ")",
+		InWidth: inWidth, OutWidth: width,
+		Map: func(env *Env, in, out *Batch) error {
 			pr, _ := env.Graph.(grin.PropertyReader)
-			var inner error
-			grin.ForEachNeighbor(env.Graph, src, dir, func(n graph.VID, e graph.EID) bool {
-				if pr != nil && elabel != graph.AnyLabel && pr.EdgeLabel(e) != elabel {
+			for i := 0; i < in.Len(); i++ {
+				row := in.Row(i)
+				src := row[fromIdx].Vertex()
+				if src == graph.NilVID {
+					continue
+				}
+				grin.ForEachNeighbor(env.Graph, src, dir, func(n graph.VID, e graph.EID) bool {
+					if pr != nil && elabel != graph.AnyLabel && pr.EdgeLabel(e) != elabel {
+						return true
+					}
+					o := out.AppendFrom(row)
+					o[eIdx] = graph.EdgeValue(e)
+					o[nIdx] = graph.VertexValue(n)
 					return true
-				}
-				out := make(Row, width)
-				copy(out, row)
-				out[eIdx] = graph.EdgeValue(e)
-				out[nIdx] = graph.VertexValue(n)
-				if err := emit(out); err != nil {
-					inner = err
-					return false
-				}
-				return true
-			})
-			return inner
+				})
+			}
+			return nil
 		},
 	})
 	return nil
@@ -425,32 +520,39 @@ func (c *Compiled) compileGetVertex(op *ir.Op) error {
 	if !ok {
 		return fmt.Errorf("exec: GET_VERTEX on unexpanded edge %q", op.EdgeAlias)
 	}
+	inWidth := c.numCols
 	vIdx := c.addCol(op.Alias)
 	width := c.numCols
-	cols := c.snapshotCols()
-	vlabel, pred := op.Label, op.Pred
+	vlabel := op.Label
+	predB, err := bindExpr(c.Cols, op.Pred)
+	if err != nil {
+		return err
+	}
 
 	c.Stages = append(c.Stages, Stage{
-		Name: "GET_VERTEX(" + op.Alias + ")",
-		FlatMap: func(env *Env, row Row, emit Emit) error {
-			n := row[nIdx].Vertex()
-			if n == graph.NilVID {
-				return nil
-			}
-			if pr, ok := env.Graph.(grin.PropertyReader); ok && vlabel != graph.AnyLabel {
-				if pr.VertexLabel(n) != vlabel {
-					return nil
+		Name:    "GET_VERTEX(" + op.Alias + ")",
+		InWidth: inWidth, OutWidth: width,
+		Map: func(env *Env, in, out *Batch) error {
+			pr, _ := env.Graph.(grin.PropertyReader)
+			benv := env.boundEnv()
+			for i := 0; i < in.Len(); i++ {
+				row := in.Row(i)
+				n := row[nIdx].Vertex()
+				if n == graph.NilVID {
+					continue
 				}
-			}
-			out := make(Row, width)
-			copy(out, row)
-			out[vIdx] = graph.VertexValue(n)
-			okPred, err := env.evalBool(cols, out, pred)
-			if err != nil {
-				return err
-			}
-			if okPred {
-				return emit(out)
+				if pr != nil && vlabel != graph.AnyLabel && pr.VertexLabel(n) != vlabel {
+					continue
+				}
+				o := out.AppendFrom(row)
+				o[vIdx] = graph.VertexValue(n)
+				okPred, err := predB.EvalBool(&benv, o)
+				if err != nil {
+					return err
+				}
+				if !okPred {
+					out.Truncate(out.Len() - 1)
+				}
 			}
 			return nil
 		},

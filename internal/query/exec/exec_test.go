@@ -1,0 +1,180 @@
+package exec_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/query/exec"
+	"repro/internal/query/expr"
+	"repro/internal/query/ir"
+	"repro/internal/storage/vineyard"
+)
+
+func mustParsePred(t *testing.T, s string) *expr.Expr {
+	t.Helper()
+	e, err := expr.Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestBatchAppendTruncateReuse(t *testing.T) {
+	b := exec.NewBatch(3, 0)
+	if b.Width() != 3 || b.Len() != 0 {
+		t.Fatalf("fresh batch: width=%d len=%d", b.Width(), b.Len())
+	}
+	r0 := b.AppendRow()
+	r0[0] = graph.IntValue(1)
+	r1 := b.AppendFrom(exec.Row{graph.IntValue(7), graph.StringValue("x")})
+	if r1[0].Int() != 7 || r1[1].Str() != "x" || !r1[2].IsNull() {
+		t.Fatalf("AppendFrom: %v", r1)
+	}
+	if b.Len() != 2 {
+		t.Fatalf("len=%d", b.Len())
+	}
+	if got := b.Row(0)[0].Int(); got != 1 {
+		t.Fatalf("row 0: %d", got)
+	}
+	// Pop the failed row, then reuse the arena.
+	b.Truncate(1)
+	if b.Len() != 1 {
+		t.Fatalf("after truncate: %d", b.Len())
+	}
+	// A reused slot must come back zeroed.
+	r := b.AppendRow()
+	for i, v := range r {
+		if !v.IsNull() {
+			t.Fatalf("reused slot %d not zeroed: %v", i, v)
+		}
+	}
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatal("reset kept rows")
+	}
+	for i := 0; i < 100; i++ {
+		b.AppendRow()[0] = graph.IntValue(int64(i))
+	}
+	v := b.View(10, 20)
+	if v.Len() != 10 || v.Row(0)[0].Int() != 10 || v.Row(9)[0].Int() != 19 {
+		t.Fatalf("view: len=%d first=%v last=%v", v.Len(), v.Row(0), v.Row(9))
+	}
+	rows := b.Rows()
+	if len(rows) != 100 || rows[42][0].Int() != 42 {
+		t.Fatalf("Rows materialization wrong")
+	}
+}
+
+// countingStore exposes only the topology and property traits, forcing
+// ScanLabel onto the full-scan path so VertexLabel calls count scanned
+// vertices.
+type countingStore struct {
+	st      *vineyard.Store
+	scanned atomic.Int64
+}
+
+func (c *countingStore) NumVertices() int { return c.st.NumVertices() }
+func (c *countingStore) NumEdges() int    { return c.st.NumEdges() }
+func (c *countingStore) Degree(v graph.VID, d graph.Direction) int {
+	return c.st.Degree(v, d)
+}
+func (c *countingStore) Neighbors(v graph.VID, d graph.Direction, yield func(graph.VID, graph.EID) bool) {
+	c.st.Neighbors(v, d, yield)
+}
+func (c *countingStore) Schema() *graph.Schema { return c.st.Schema() }
+func (c *countingStore) VertexLabel(v graph.VID) graph.LabelID {
+	c.scanned.Add(1)
+	return c.st.VertexLabel(v)
+}
+func (c *countingStore) VertexProp(v graph.VID, p graph.PropID) (graph.Value, bool) {
+	return c.st.VertexProp(v, p)
+}
+func (c *countingStore) EdgeLabel(e graph.EID) graph.LabelID { return c.st.EdgeLabel(e) }
+func (c *countingStore) EdgeProp(e graph.EID, p graph.PropID) (graph.Value, bool) {
+	return c.st.EdgeProp(e, p)
+}
+
+func bigStore(t *testing.T) *vineyard.Store {
+	t.Helper()
+	s := graph.NewSchema(
+		[]graph.VertexLabel{{Name: "N", Props: []graph.PropDef{{Name: "x", Kind: graph.KindInt}}}},
+		nil,
+	)
+	b := graph.NewBatch(s)
+	for i := 0; i < 5000; i++ {
+		b.AddVertex(0, int64(i), graph.IntValue(int64(i)))
+	}
+	st, err := vineyard.Load(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestLimitShortCircuitsSource: with LIMIT n directly after the pipeline,
+// the serial driver must stop the scan once n rows are buffered instead of
+// scanning all 5000 vertices.
+func TestLimitShortCircuitsSource(t *testing.T) {
+	cs := &countingStore{st: bigStore(t)}
+	plan := &ir.Plan{Ops: []*ir.Op{
+		{Kind: ir.OpScan, Alias: "a", Label: 0},
+		{Kind: ir.OpLimit, Limit: 5},
+	}}
+	c, err := exec.Compile(plan, exec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bs := range []int{1, 64, 1024} {
+		cs.scanned.Store(0)
+		rows, err := c.Run(&exec.Env{Graph: cs, BatchSize: bs})
+		if err != nil {
+			t.Fatalf("bs=%d: %v", bs, err)
+		}
+		if len(rows) != 5 {
+			t.Fatalf("bs=%d: %d rows", bs, len(rows))
+		}
+		// The first 5 vertices in scan order, exactly.
+		for i, r := range rows {
+			if r[0].Vertex() != graph.VID(i) {
+				t.Fatalf("bs=%d: row %d = %v", bs, i, r[0])
+			}
+		}
+		// At most the limit plus a batch or two of slack — not the full
+		// 5000-vertex store.
+		if n := cs.scanned.Load(); n > int64(5+2*bs+2) {
+			t.Fatalf("bs=%d: scanned %d vertices, want short-circuit", bs, n)
+		}
+	}
+}
+
+// TestScanIDFallbackSinglePass: without the index trait, `id(a) = k` must
+// fold into the scan predicate — results identical to the indexed path.
+func TestScanIDFallbackSinglePass(t *testing.T) {
+	st := bigStore(t)
+	cs := &countingStore{st: st} // no Index trait: forces the fallback
+	plan := &ir.Plan{Ops: []*ir.Op{
+		{Kind: ir.OpScan, Alias: "a", Label: 0, Pred: mustParsePred(t, "id(a) = 137")},
+	}}
+	c, err := exec.Compile(plan, exec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := c.Run(&exec.Env{Graph: cs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without the index trait id() falls back to the raw value; internal and
+	// external ids coincide in this store.
+	if len(rows) != 1 || rows[0][0].Vertex() != graph.VID(137) {
+		t.Fatalf("fallback rows: %v", rows)
+	}
+	// And the indexed store agrees without scanning.
+	rowsIdx, err := c.Run(&exec.Env{Graph: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rowsIdx) != 1 || rowsIdx[0][0].Vertex() != rows[0][0].Vertex() {
+		t.Fatalf("index rows: %v", rowsIdx)
+	}
+}

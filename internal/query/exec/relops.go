@@ -3,85 +3,140 @@ package exec
 import (
 	"fmt"
 	"sort"
-	"strings"
 
 	"repro/internal/graph"
 	"repro/internal/grin"
+	"repro/internal/query/expr"
 	"repro/internal/query/ir"
 )
 
 // compileProject replaces the row with computed columns.
 func (c *Compiled) compileProject(op *ir.Op) error {
 	inCols := c.snapshotCols()
+	inWidth := c.numCols
 	items := op.Items
 	// Reset the column space: PROJECT defines the new schema.
 	c.Cols = Columns{}
 	c.numCols = 0
 	outIdx := make([]int, len(items))
+	progs := make([]*expr.Bound, len(items))
 	for i, it := range items {
 		outIdx[i] = c.addCol(it.Alias)
+		var err error
+		if progs[i], err = bindExpr(inCols, it.Expr); err != nil {
+			return err
+		}
 	}
 	width := c.numCols
 	c.Stages = append(c.Stages, Stage{
-		Name: "PROJECT",
-		FlatMap: func(env *Env, row Row, emit Emit) error {
-			out := make(Row, width)
-			for i, it := range items {
-				v, err := env.eval(inCols, row, it.Expr)
-				if err != nil {
-					return err
+		Name:    "PROJECT",
+		InWidth: inWidth, OutWidth: width,
+		Map: func(env *Env, in, out *Batch) error {
+			benv := env.boundEnv()
+			for i := 0; i < in.Len(); i++ {
+				row := in.Row(i)
+				o := out.AppendRow()
+				for k, p := range progs {
+					v, err := p.Eval(&benv, row)
+					if err != nil {
+						return err
+					}
+					o[outIdx[k]] = v
 				}
-				out[outIdx[i]] = v
 			}
-			return emit(out)
+			return nil
 		},
 	})
 	return nil
 }
 
-// compileOrderBy sorts the gathered rows; Limit > 0 truncates after sorting.
+// compileOrderBy sorts the gathered rows. With Limit > 0 (ORDER BY ... LIMIT
+// folded by the parser) it selects the top k via a bounded heap — O(n log k)
+// — instead of sorting everything. Ties keep input order (stable), so the
+// heap selection is row-for-row identical to a stable full sort.
 func (c *Compiled) compileOrderBy(op *ir.Op) error {
-	cols := c.snapshotCols()
+	width := c.numCols
 	keys := op.Keys
 	limit := op.Limit
+	progs := make([]*expr.Bound, len(keys))
+	for j, k := range keys {
+		var err error
+		if progs[j], err = bindExpr(c.Cols, k.Expr); err != nil {
+			return err
+		}
+	}
 	c.Stages = append(c.Stages, Stage{
-		Name: "ORDER",
-		Blocking: func(env *Env, rows []Row) ([]Row, error) {
-			type keyed struct {
-				row  Row
-				keys []graph.Value
-			}
-			ks := make([]keyed, len(rows))
-			for i, r := range rows {
-				kv := make([]graph.Value, len(keys))
-				for j, k := range keys {
-					v, err := env.eval(cols, r, k.Expr)
+		Name:    "ORDER",
+		InWidth: width, OutWidth: width,
+		Blocking: func(env *Env, in *Batch) (*Batch, error) {
+			n := in.Len()
+			nk := len(keys)
+			benv := env.boundEnv()
+			keyVals := make([]graph.Value, n*nk)
+			for i := 0; i < n; i++ {
+				row := in.Row(i)
+				for j, p := range progs {
+					v, err := p.Eval(&benv, row)
 					if err != nil {
 						return nil, err
 					}
-					kv[j] = v
+					keyVals[i*nk+j] = v
 				}
-				ks[i] = keyed{row: r, keys: kv}
 			}
-			sort.SliceStable(ks, func(a, b int) bool {
-				for j, k := range keys {
-					cmp := ks[a].keys[j].Compare(ks[b].keys[j])
+			// less is a strict total order: sort keys, then input position,
+			// making every comparison-based path below stable.
+			less := func(a, b int) bool {
+				for j := range keys {
+					cmp := keyVals[a*nk+j].Compare(keyVals[b*nk+j])
 					if cmp == 0 {
 						continue
 					}
-					if k.Desc {
+					if keys[j].Desc {
 						return cmp > 0
 					}
 					return cmp < 0
 				}
-				return false
-			})
-			out := make([]Row, len(ks))
-			for i := range ks {
-				out[i] = ks[i].row
+				return a < b
 			}
-			if limit > 0 && len(out) > limit {
-				out = out[:limit]
+			idx := make([]int, n)
+			for i := range idx {
+				idx[i] = i
+			}
+			if limit > 0 && limit < n {
+				// Bounded top-k: max-heap (worst kept row at the root) of
+				// size limit over the total order.
+				h := idx[:limit]
+				siftDown := func(i int) {
+					for {
+						l, r, top := 2*i+1, 2*i+2, i
+						if l < limit && less(h[top], h[l]) {
+							top = l
+						}
+						if r < limit && less(h[top], h[r]) {
+							top = r
+						}
+						if top == i {
+							return
+						}
+						h[i], h[top] = h[top], h[i]
+						i = top
+					}
+				}
+				for i := limit/2 - 1; i >= 0; i-- {
+					siftDown(i)
+				}
+				for i := limit; i < n; i++ {
+					if less(i, h[0]) {
+						h[0] = i
+						siftDown(0)
+					}
+				}
+				idx = h
+			}
+			sort.Slice(idx, func(a, b int) bool { return less(idx[a], idx[b]) })
+			out := NewBatch(width, len(idx))
+			for _, i := range idx {
+				out.AppendFrom(in.Row(i))
 			}
 			return out, nil
 		},
@@ -89,72 +144,107 @@ func (c *Compiled) compileOrderBy(op *ir.Op) error {
 	return nil
 }
 
-// compileGroupBy hash-aggregates the gathered rows.
+// groupAccum is one group's running aggregate state.
+type groupAccum struct {
+	keys   []graph.Value
+	count  []int64
+	sum    []float64
+	min    []graph.Value
+	max    []graph.Value
+	coll   [][]graph.Value
+	seenIn []bool
+}
+
+// compileGroupBy hash-aggregates the gathered rows. Group keys are hashed
+// graph.Values (FNV over value bytes) with collision buckets checked by
+// Equal — no per-row key-string allocation. Groups are emitted in
+// first-appearance order, which is deterministic because every driver
+// delivers rows to the barrier in serial plan order.
 func (c *Compiled) compileGroupBy(op *ir.Op) error {
 	inCols := c.snapshotCols()
+	inWidth := c.numCols
 	gkeys := op.GroupKeys
 	aggs := op.Aggs
 	c.Cols = Columns{}
 	c.numCols = 0
 	keyIdx := make([]int, len(gkeys))
+	keyProgs := make([]*expr.Bound, len(gkeys))
 	for i, k := range gkeys {
 		keyIdx[i] = c.addCol(k.Alias)
+		var err error
+		if keyProgs[i], err = bindExpr(inCols, k.Expr); err != nil {
+			return err
+		}
 	}
 	aggIdx := make([]int, len(aggs))
+	aggProgs := make([]*expr.Bound, len(aggs))
 	for i, a := range aggs {
 		aggIdx[i] = c.addCol(a.Alias)
+		if a.Arg != nil {
+			var err error
+			if aggProgs[i], err = bindExpr(inCols, a.Arg); err != nil {
+				return err
+			}
+		}
+		switch a.Fn {
+		case "count", "sum", "avg", "min", "max", "collect":
+		default:
+			return fmt.Errorf("exec: unknown aggregate %q", a.Fn)
+		}
 	}
 	width := c.numCols
 
 	c.Stages = append(c.Stages, Stage{
-		Name: "GROUP",
-		Blocking: func(env *Env, rows []Row) ([]Row, error) {
-			type accum struct {
-				keys   []graph.Value
-				key    string
-				count  []int64
-				sum    []float64
-				min    []graph.Value
-				max    []graph.Value
-				coll   [][]graph.Value
-				seenIn []bool
-				order  int
-			}
-			groups := map[string]*accum{}
-			var orderCounter int
-			for _, r := range rows {
-				kv := make([]graph.Value, len(gkeys))
-				var kb strings.Builder
-				for j, k := range gkeys {
-					v, err := env.eval(inCols, r, k.Expr)
+		Name:    "GROUP",
+		InWidth: inWidth, OutWidth: width,
+		Blocking: func(env *Env, in *Batch) (*Batch, error) {
+			benv := env.boundEnv()
+			buckets := map[uint64][]*groupAccum{}
+			var ordered []*groupAccum
+			kv := make([]graph.Value, len(gkeys)) // per-row scratch
+			for i := 0; i < in.Len(); i++ {
+				row := in.Row(i)
+				h := graph.HashSeed
+				for j, p := range keyProgs {
+					v, err := p.Eval(&benv, row)
 					if err != nil {
 						return nil, err
 					}
 					kv[j] = v
-					kb.WriteString(v.String())
-					kb.WriteByte(0)
+					h = v.Hash(h)
 				}
-				g, ok := groups[kb.String()]
-				if !ok {
-					g = &accum{
-						keys:   kv,
-						key:    kb.String(),
+				var g *groupAccum
+				for _, cand := range buckets[h] {
+					match := true
+					for j := range kv {
+						if !kv[j].Equal(cand.keys[j]) {
+							match = false
+							break
+						}
+					}
+					if match {
+						g = cand
+						break
+					}
+				}
+				if g == nil {
+					g = &groupAccum{
+						keys:   append([]graph.Value(nil), kv...),
 						count:  make([]int64, len(aggs)),
 						sum:    make([]float64, len(aggs)),
 						min:    make([]graph.Value, len(aggs)),
 						max:    make([]graph.Value, len(aggs)),
 						coll:   make([][]graph.Value, len(aggs)),
 						seenIn: make([]bool, len(aggs)),
-						order:  orderCounter,
 					}
-					orderCounter++
-					groups[kb.String()] = g
+					buckets[h] = append(buckets[h], g)
+					ordered = append(ordered, g)
 				}
 				for j, a := range aggs {
 					var v graph.Value
-					if a.Arg != nil {
+					if aggProgs[j] != nil {
 						var err error
-						v, err = env.eval(inCols, r, a.Arg)
+						v, err = aggProgs[j].Eval(&benv, row)
 						if err != nil {
 							return nil, err
 						}
@@ -177,22 +267,13 @@ func (c *Compiled) compileGroupBy(op *ir.Op) error {
 						}
 					case "collect":
 						g.coll[j] = append(g.coll[j], v)
-					default:
-						return nil, fmt.Errorf("exec: unknown aggregate %q", a.Fn)
 					}
 					g.seenIn[j] = true
 				}
 			}
-			// Deterministic output regardless of parallel arrival order:
-			// sort groups by their serialized key.
-			ordered := make([]*accum, 0, len(groups))
-			for _, g := range groups {
-				ordered = append(ordered, g)
-			}
-			sort.Slice(ordered, func(i, j int) bool { return ordered[i].key < ordered[j].key })
-			out := make([]Row, 0, len(groups))
+			out := NewBatch(width, len(ordered))
 			for _, g := range ordered {
-				row := make(Row, width)
+				row := out.AppendRow()
 				for j := range gkeys {
 					row[keyIdx[j]] = g.keys[j]
 				}
@@ -216,7 +297,6 @@ func (c *Compiled) compileGroupBy(op *ir.Op) error {
 						row[aggIdx[j]] = graph.ListValue(g.coll[j])
 					}
 				}
-				out = append(out, row)
 			}
 			return out, nil
 		},
@@ -224,33 +304,55 @@ func (c *Compiled) compileGroupBy(op *ir.Op) error {
 	return nil
 }
 
-// compileDedup removes duplicates over the key aliases.
+// compileDedup removes duplicates over the key aliases, keeping the first
+// occurrence. Keys are hashed graph.Values with Equal-checked collision
+// buckets, like GROUP.
 func (c *Compiled) compileDedup(op *ir.Op) error {
-	cols := c.snapshotCols()
+	width := c.numCols
 	aliases := op.DedupAliases
 	idxs := make([]int, len(aliases))
 	for i, a := range aliases {
-		idx, ok := cols[a]
+		idx, ok := c.Cols[a]
 		if !ok {
 			return fmt.Errorf("exec: DEDUP on unbound alias %q", a)
 		}
 		idxs[i] = idx
 	}
 	c.Stages = append(c.Stages, Stage{
-		Name: "DEDUP",
-		Blocking: func(env *Env, rows []Row) ([]Row, error) {
-			seen := map[string]bool{}
-			var out []Row
-			for _, r := range rows {
-				var kb strings.Builder
-				for _, i := range idxs {
-					kb.WriteString(r[i].String())
-					kb.WriteByte(0)
+		Name:    "DEDUP",
+		InWidth: width, OutWidth: width,
+		Blocking: func(env *Env, in *Batch) (*Batch, error) {
+			seen := map[uint64][][]graph.Value{}
+			out := NewBatch(width, in.Len())
+			for i := 0; i < in.Len(); i++ {
+				row := in.Row(i)
+				h := graph.HashSeed
+				for _, ix := range idxs {
+					h = row[ix].Hash(h)
 				}
-				if !seen[kb.String()] {
-					seen[kb.String()] = true
-					out = append(out, r)
+				dup := false
+				for _, cand := range seen[h] {
+					match := true
+					for j, ix := range idxs {
+						if !row[ix].Equal(cand[j]) {
+							match = false
+							break
+						}
+					}
+					if match {
+						dup = true
+						break
+					}
 				}
+				if dup {
+					continue
+				}
+				key := make([]graph.Value, len(idxs))
+				for j, ix := range idxs {
+					key[j] = row[ix]
+				}
+				seen[h] = append(seen[h], key)
+				out.AppendFrom(row)
 			}
 			return out, nil
 		},
@@ -275,24 +377,28 @@ func (c *Compiled) compileMatch(op *ir.Op, first bool) error {
 	}
 	// Bind the first source via full scan.
 	start := pattern[0].SrcAlias
-	c.addCol(start)
-	cols0 := c.snapshotCols()
+	idx0 := c.addCol(start)
 	width0 := c.numCols
 	label0 := pattern[0].SrcLabel
 	c.Stages = append(c.Stages, Stage{
-		Name: "MATCH_SCAN(" + start + ")",
-		Source: func(env *Env, emit Emit) error {
-			var inner error
+		Name:     "MATCH_SCAN(" + start + ")",
+		OutWidth: width0,
+		Source: func(env *Env, emit EmitBatch) error {
+			out := newSourceBuffer(width0, env, emit)
+			var scanErr error
 			grin.ScanLabel(env.Graph, label0, func(v graph.VID) bool {
-				row := make(Row, width0)
-				row[cols0[start]] = graph.VertexValue(v)
-				if err := emit(row); err != nil {
-					inner = err
+				row := out.appendRow()
+				row[idx0] = graph.VertexValue(v)
+				if err := out.flushIfFull(); err != nil {
+					scanErr = err
 					return false
 				}
 				return true
 			})
-			return inner
+			if scanErr != nil {
+				return scanErr
+			}
+			return out.flush()
 		},
 	})
 	return c.appendPatternEdges(pattern)
@@ -354,6 +460,7 @@ func (c *Compiled) compileAdjacencyCheck(pe ir.PatternEdge) error {
 	if !ok {
 		return fmt.Errorf("exec: unbound %q", pe.DstAlias)
 	}
+	inWidth := c.numCols
 	eIdx := -1
 	if pe.EdgeAlias != "" {
 		eIdx = c.addCol(pe.EdgeAlias)
@@ -361,39 +468,32 @@ func (c *Compiled) compileAdjacencyCheck(pe ir.PatternEdge) error {
 	width := c.numCols
 	elabel, dir := pe.EdgeLabel, pe.Dir
 	c.Stages = append(c.Stages, Stage{
-		Name: "ADJ_CHECK(" + pe.SrcAlias + "," + pe.DstAlias + ")",
-		FlatMap: func(env *Env, row Row, emit Emit) error {
-			src, dst := row[srcIdx].Vertex(), row[dstIdx].Vertex()
+		Name:    "ADJ_CHECK(" + pe.SrcAlias + "," + pe.DstAlias + ")",
+		InWidth: inWidth, OutWidth: width,
+		Map: func(env *Env, in, out *Batch) error {
 			pr, _ := env.Graph.(grin.PropertyReader)
-			var inner error
-			found := false
-			grin.ForEachNeighbor(env.Graph, src, dir, func(n graph.VID, e graph.EID) bool {
-				if n != dst {
-					return true
-				}
-				if pr != nil && elabel != graph.AnyLabel && pr.EdgeLabel(e) != elabel {
-					return true
-				}
-				found = true
-				out := make(Row, width)
-				copy(out, row)
-				if eIdx >= 0 {
-					out[eIdx] = graph.EdgeValue(e)
-					if err := emit(out); err != nil {
-						inner = err
-						return false
+			for i := 0; i < in.Len(); i++ {
+				row := in.Row(i)
+				src, dst := row[srcIdx].Vertex(), row[dstIdx].Vertex()
+				found := false
+				grin.ForEachNeighbor(env.Graph, src, dir, func(n graph.VID, e graph.EID) bool {
+					if n != dst {
+						return true
 					}
-					return true // emit every matching parallel edge
+					if pr != nil && elabel != graph.AnyLabel && pr.EdgeLabel(e) != elabel {
+						return true
+					}
+					found = true
+					if eIdx >= 0 {
+						o := out.AppendFrom(row)
+						o[eIdx] = graph.EdgeValue(e)
+						return true // emit every matching parallel edge
+					}
+					return false // existence is enough
+				})
+				if eIdx < 0 && found {
+					out.AppendFrom(row)
 				}
-				return false // existence is enough
-			})
-			if inner != nil {
-				return inner
-			}
-			if eIdx < 0 && found {
-				out := make(Row, width)
-				copy(out, row)
-				return emit(out)
 			}
 			return nil
 		},
@@ -401,39 +501,176 @@ func (c *Compiled) compileAdjacencyCheck(pe ir.PatternEdge) error {
 	return nil
 }
 
-// Run drives the compiled plan serially: the execution mode of the naive
-// engine and of one HiActor actor.
-func (c *Compiled) Run(env *Env) ([]Row, error) {
-	if len(c.Stages) == 0 || c.Stages[0].Source == nil {
-		return nil, fmt.Errorf("exec: plan has no source")
+// MorselRows is the parallelism granule for a batch size: input batches are
+// split into morsels of this many rows before entering a pipeline segment,
+// so a small source still spreads across Gaia's workers — and, because the
+// serial driver splits identically, both drivers evaluate the stream in the
+// same units, which makes LIMIT-vs-error races resolve the same way
+// everywhere.
+func MorselRows(batchSize int) int {
+	m := batchSize / 16
+	if m < 1 {
+		m = 1
 	}
-	rows := []Row{}
-	if err := c.Stages[0].Source(env, func(r Row) error {
-		rows = append(rows, r)
-		return nil
-	}); err != nil {
-		return nil, err
-	}
-	for _, st := range c.Stages[1:] {
-		switch {
-		case st.FlatMap != nil:
-			var next []Row
-			for _, r := range rows {
-				if err := st.FlatMap(env, r, func(out Row) error {
-					next = append(next, out)
-					return nil
-				}); err != nil {
-					return nil, err
+	return m
+}
+
+// MorselFeed wraps a feed, splitting every emitted batch into morsel-sized
+// views. The wrapped batch is handed back for reuse only when every view was
+// consumed synchronously.
+func MorselFeed(feed func(EmitBatch) error, morsel int) func(EmitBatch) error {
+	return func(emit EmitBatch) error {
+		return feed(func(b *Batch) (bool, error) {
+			reuseAll := true
+			for lo := 0; lo < b.Len(); lo += morsel {
+				hi := lo + morsel
+				if hi > b.Len() {
+					hi = b.Len()
+				}
+				sub := b.View(lo, hi)
+				reuse, err := emit(&sub)
+				if err != nil {
+					return false, err
+				}
+				if !reuse {
+					reuseAll = false
 				}
 			}
-			rows = next
-		case st.Blocking != nil:
+			return reuseAll, nil
+		})
+	}
+}
+
+// ChunkFeed adapts a materialized batch into a source feed, emitting
+// read-only views of up to batchSize rows; drivers use it to push barrier
+// output back into the next pipeline segment.
+func ChunkFeed(in *Batch, batchSize int) func(EmitBatch) error {
+	return func(emit EmitBatch) error {
+		for lo := 0; lo < in.Len(); lo += batchSize {
+			hi := lo + batchSize
+			if hi > in.Len() {
+				hi = in.Len()
+			}
+			sub := in.View(lo, hi)
+			if _, err := emit(&sub); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// runSegmentSerial drives one pipeline segment (a feed plus a run of Map
+// stages) to completion, gathering output rows. Per-stage buffers are reused
+// across batches. When stopAfter > 0 (a LIMIT follows the segment) the feed
+// is stopped via ErrStop as soon as enough rows are gathered.
+func runSegmentSerial(env *Env, seg []Stage, feed func(EmitBatch) error, outWidth, stopAfter int) (*Batch, error) {
+	acc := NewBatch(outWidth, 0)
+	bufs := make([]*Batch, len(seg))
+	for k, st := range seg {
+		bufs[k] = NewBatch(st.OutWidth, 0)
+	}
+	emit := func(b *Batch) (bool, error) {
+		cur := b
+		for k := range seg {
+			buf := bufs[k]
+			buf.Reset()
+			if err := seg[k].Map(env, cur, buf); err != nil {
+				return false, err
+			}
+			cur = buf
+		}
+		acc.AppendBatch(cur)
+		if stopAfter > 0 && acc.Len() >= stopAfter {
+			return true, ErrStop
+		}
+		return true, nil
+	}
+	if err := feed(emit); err != nil && err != ErrStop {
+		return nil, err
+	}
+	return acc, nil
+}
+
+// SegmentRunner executes one pipeline segment: a feed of morsel-sized
+// batches through a run of Map stages, gathering output of the given width.
+// When stopAfter > 0 the runner may stop the feed (via ErrStop) once the
+// in-order output prefix holds that many rows.
+type SegmentRunner func(env *Env, seg []Stage, feed func(EmitBatch) error, width, stopAfter int) (*Batch, error)
+
+// Drive walks the compiled plan, cutting it into pipeline segments (the
+// source, or the previous barrier's output, feeding a run of Map stages) and
+// barriers, delegating segment execution to run. It is the single
+// segmentation and morsel-partitioning authority, shared by the serial
+// driver and Gaia, so both evaluate the row stream in identical units.
+func (c *Compiled) Drive(env *Env, run SegmentRunner) (*Batch, error) {
+	stages := c.Stages
+	if len(stages) == 0 || stages[0].Source == nil {
+		return nil, fmt.Errorf("exec: plan has no source")
+	}
+	morsel := MorselRows(env.EffectiveBatchSize())
+	var acc *Batch
+	i := 0
+	for i < len(stages) {
+		st := stages[i]
+		switch {
+		case st.Source != nil || st.Map != nil:
+			j := i
+			if st.Source != nil {
+				j++
+			}
+			for j < len(stages) && stages[j].Map != nil {
+				j++
+			}
+			stopAfter := 0
+			if j < len(stages) {
+				stopAfter = stages[j].LimitHint
+			}
+			var seg []Stage
+			var feed func(EmitBatch) error
+			if st.Source != nil {
+				seg = stages[i+1 : j]
+				src := st.Source
+				feed = MorselFeed(func(emit EmitBatch) error { return src(env, emit) }, morsel)
+			} else {
+				seg = stages[i:j]
+				feed = ChunkFeed(acc, morsel)
+			}
+			width := st.OutWidth
+			if len(seg) > 0 {
+				width = seg[len(seg)-1].OutWidth
+			}
 			var err error
-			rows, err = st.Blocking(env, rows)
+			acc, err = run(env, seg, feed, width, stopAfter)
 			if err != nil {
 				return nil, err
 			}
+			i = j
+		case st.Blocking != nil:
+			var err error
+			acc, err = st.Blocking(env, acc)
+			if err != nil {
+				return nil, err
+			}
+			i++
+		default:
+			return nil, fmt.Errorf("exec: stage %q has no behavior", st.Name)
 		}
 	}
-	return rows, nil
+	return acc, nil
+}
+
+// RunBatch drives the compiled plan serially — the execution mode of the
+// naive engine and of one HiActor actor — returning the final batch.
+func (c *Compiled) RunBatch(env *Env) (*Batch, error) {
+	return c.Drive(env, runSegmentSerial)
+}
+
+// Run drives the compiled plan serially and materializes the result rows.
+func (c *Compiled) Run(env *Env) ([]Row, error) {
+	acc, err := c.RunBatch(env)
+	if err != nil {
+		return nil, err
+	}
+	return acc.Rows(), nil
 }

@@ -1,0 +1,238 @@
+package expr
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/grin"
+)
+
+// BoundRef is the bind-time resolution of one alias(.prop) reference: the
+// fixed row column holding the referenced element, plus the property still to
+// be fetched from it at eval time ("" when the column already holds the final
+// value — the alias itself, or an output column named "alias.prop").
+type BoundRef struct {
+	Col  int
+	Prop string
+}
+
+// Binder resolves alias references against a row layout at compile time. It
+// decides once, per reference, between the alias-column and the
+// output-column-name fallback that rowBinding used to re-decide per row.
+type Binder interface {
+	BindRef(alias, prop string) (BoundRef, error)
+}
+
+// BoundEnv is the per-execution state a bound program needs: the store (for
+// property access) and the query parameters. Rows are passed per evaluation.
+type BoundEnv struct {
+	Graph  grin.Graph
+	Params map[string]graph.Value
+}
+
+// Bound is a compiled expression program: the same tree shape as Expr, but
+// with every variable reference resolved to a row column index. Per-row
+// evaluation is array indexing — no map lookups, no key-string allocation.
+type Bound struct {
+	kind  Kind
+	val   graph.Value // kindLiteral
+	ref   BoundRef    // kindVar
+	param string      // kindParam
+	op    Op          // kindBinary/kindUnary
+	left  *Bound
+	right *Bound
+	fn    string   // kindCall
+	args  []*Bound // kindCall / kindList
+}
+
+// Bind compiles the expression against a row layout. A nil expression binds
+// to a nil program, which EvalBool treats as `true`.
+func Bind(e *Expr, b Binder) (*Bound, error) {
+	if e == nil {
+		return nil, nil
+	}
+	out := &Bound{kind: e.Kind, val: e.Val, param: e.Param, op: e.Op, fn: e.Fn}
+	if e.Kind == KindVar {
+		ref, err := b.BindRef(e.Alias, e.Prop)
+		if err != nil {
+			return nil, err
+		}
+		out.ref = ref
+	}
+	var err error
+	if out.left, err = Bind(e.Left, b); err != nil {
+		return nil, err
+	}
+	if out.right, err = Bind(e.Right, b); err != nil {
+		return nil, err
+	}
+	if len(e.Args) > 0 {
+		out.args = make([]*Bound, len(e.Args))
+		for i, a := range e.Args {
+			if out.args[i], err = Bind(a, b); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// Eval evaluates the program over one row.
+func (p *Bound) Eval(env *BoundEnv, row []graph.Value) (graph.Value, error) {
+	switch p.kind {
+	case KindLiteral:
+		return p.val, nil
+	case KindParam:
+		v, ok := env.Params[p.param]
+		if !ok {
+			return graph.NullValue, fmt.Errorf("expr: unbound parameter $%s", p.param)
+		}
+		return v, nil
+	case KindVar:
+		v := row[p.ref.Col]
+		if p.ref.Prop == "" {
+			return v, nil
+		}
+		return PropValue(env.Graph, v, p.ref.Prop)
+	case KindList:
+		items := make([]graph.Value, len(p.args))
+		for i, a := range p.args {
+			v, err := a.Eval(env, row)
+			if err != nil {
+				return graph.NullValue, err
+			}
+			items[i] = v
+		}
+		return graph.ListValue(items), nil
+	case KindUnary:
+		v, err := p.left.Eval(env, row)
+		if err != nil {
+			return graph.NullValue, err
+		}
+		switch p.op {
+		case OpNot:
+			return boolVal(!v.Bool()), nil
+		case OpNeg:
+			if v.K == graph.KindInt {
+				return intVal(-v.I), nil
+			}
+			return floatVal(-v.Float()), nil
+		}
+	case KindCall:
+		return p.evalCall(env, row)
+	case KindBinary:
+		// Short-circuit booleans.
+		if p.op == OpAnd || p.op == OpOr {
+			l, err := p.left.Eval(env, row)
+			if err != nil {
+				return graph.NullValue, err
+			}
+			if p.op == OpAnd && !l.Bool() {
+				return boolVal(false), nil
+			}
+			if p.op == OpOr && l.Bool() {
+				return boolVal(true), nil
+			}
+			r, err := p.right.Eval(env, row)
+			if err != nil {
+				return graph.NullValue, err
+			}
+			return boolVal(r.Bool()), nil
+		}
+		l, err := p.left.Eval(env, row)
+		if err != nil {
+			return graph.NullValue, err
+		}
+		r, err := p.right.Eval(env, row)
+		if err != nil {
+			return graph.NullValue, err
+		}
+		return applyBinary(p.op, l, r)
+	}
+	return graph.NullValue, fmt.Errorf("expr: cannot evaluate bound node kind %d", p.kind)
+}
+
+// EvalBool evaluates the program as a predicate; a nil program is `true`.
+func (p *Bound) EvalBool(env *BoundEnv, row []graph.Value) (bool, error) {
+	if p == nil {
+		return true, nil
+	}
+	v, err := p.Eval(env, row)
+	if err != nil {
+		return false, err
+	}
+	return v.Bool(), nil
+}
+
+func (p *Bound) evalCall(env *BoundEnv, row []graph.Value) (graph.Value, error) {
+	arg := func(i int) (graph.Value, error) {
+		if i >= len(p.args) {
+			return graph.NullValue, fmt.Errorf("expr: %s: missing argument %d", p.fn, i)
+		}
+		return p.args[i].Eval(env, row)
+	}
+	switch p.fn {
+	case "id":
+		v, err := arg(0)
+		if err != nil {
+			return graph.NullValue, err
+		}
+		if idx, ok := env.Graph.(grin.Index); ok && v.K == graph.KindVertex {
+			return intVal(idx.ExternalID(v.Vertex())), nil
+		}
+		return intVal(v.I), nil
+	case "label":
+		v, err := arg(0)
+		if err != nil {
+			return graph.NullValue, err
+		}
+		pr, ok := env.Graph.(grin.PropertyReader)
+		if !ok {
+			return graph.NullValue, fmt.Errorf("expr: label() needs property trait")
+		}
+		switch v.K {
+		case graph.KindVertex:
+			return strVal(pr.Schema().VertexLabelName(pr.VertexLabel(v.Vertex()))), nil
+		case graph.KindEdge:
+			return strVal(pr.Schema().EdgeLabelName(pr.EdgeLabel(v.Edge()))), nil
+		}
+		return graph.NullValue, fmt.Errorf("expr: label() on %v", v.K)
+	case "abs":
+		v, err := arg(0)
+		if err != nil {
+			return graph.NullValue, err
+		}
+		if v.K == graph.KindInt {
+			if v.I < 0 {
+				return intVal(-v.I), nil
+			}
+			return v, nil
+		}
+		f := v.Float()
+		if f < 0 {
+			f = -f
+		}
+		return floatVal(f), nil
+	case "size":
+		v, err := arg(0)
+		if err != nil {
+			return graph.NullValue, err
+		}
+		if v.K == graph.KindList {
+			return intVal(int64(len(v.Lst))), nil
+		}
+		return intVal(int64(len(v.S))), nil
+	case "coalesce":
+		for i := range p.args {
+			v, err := arg(i)
+			if err != nil {
+				return graph.NullValue, err
+			}
+			if !v.IsNull() {
+				return v, nil
+			}
+		}
+		return graph.NullValue, nil
+	}
+	return graph.NullValue, fmt.Errorf("expr: unknown function %q", p.fn)
+}

@@ -1,0 +1,109 @@
+package expr
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// sliceBinder binds aliases to fixed columns, mimicking exec's layout:
+// bare aliases first, then "alias.prop" fallback names.
+type sliceBinder map[string]int
+
+func (sb sliceBinder) BindRef(alias, prop string) (BoundRef, error) {
+	if col, ok := sb[alias]; ok {
+		return BoundRef{Col: col, Prop: prop}, nil
+	}
+	if prop != "" {
+		if col, ok := sb[alias+"."+prop]; ok {
+			return BoundRef{Col: col}, nil
+		}
+	}
+	return BoundRef{}, fmt.Errorf("unbound %q", alias)
+}
+
+func TestBoundMatchesInterpretedEval(t *testing.T) {
+	row := []graph.Value{graph.IntValue(10), graph.FloatValue(2.5), graph.StringValue("abc")}
+	binder := sliceBinder{"a": 0, "b": 1, "s": 2}
+	// The same row exposed through the interpreted Binding interface.
+	interp := mapBinding{"a": row[0], "b": row[1], "s": row[2]}
+	params := map[string]graph.Value{"p": graph.IntValue(4)}
+
+	exprs := []string{
+		"a + b * 2",
+		"a > 5 AND b < 3.0",
+		"a > 5 OR 1 / 0 > 0", // short-circuit must skip the division
+		"NOT (a = 10)",
+		"-a + abs(0 - b)",
+		"a IN [1, 10, 100]",
+		"s + 'd'",
+		"size(s) + $p",
+		"coalesce(s, 'fallback')",
+		"a % 3",
+	}
+	for _, src := range exprs {
+		e, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", src, err)
+		}
+		want, err := e.Eval(&Env{Binding: interp, Params: params})
+		if err != nil {
+			t.Fatalf("%s: interpreted eval: %v", src, err)
+		}
+		prog, err := Bind(e, binder)
+		if err != nil {
+			t.Fatalf("%s: bind: %v", src, err)
+		}
+		got, err := prog.Eval(&BoundEnv{Params: params}, row)
+		if err != nil {
+			t.Fatalf("%s: bound eval: %v", src, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("%s: bound %v != interpreted %v", src, got, want)
+		}
+	}
+}
+
+func TestBindOutputColumnFallback(t *testing.T) {
+	// After a projection the row holds a column literally named "f.name";
+	// binding f.name must fall back to it with no residual property fetch.
+	binder := sliceBinder{"f.name": 0}
+	prog, err := Bind(MustParse("f.name = 'x'"), binder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := prog.Eval(&BoundEnv{}, []graph.Value{graph.StringValue("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Bool() {
+		t.Fatal("fallback column not used")
+	}
+}
+
+func TestBindUnboundAliasFailsAtCompileTime(t *testing.T) {
+	if _, err := Bind(MustParse("nope.x = 1"), sliceBinder{}); err == nil {
+		t.Fatal("unbound alias accepted at bind time")
+	}
+}
+
+func TestBoundErrors(t *testing.T) {
+	binder := sliceBinder{"a": 0}
+	row := []graph.Value{graph.IntValue(1)}
+	for _, src := range []string{"a / 0", "a % 0", "$missing + 1", "a IN a"} {
+		prog, err := Bind(MustParse(src), binder)
+		if err != nil {
+			t.Fatalf("%s: bind: %v", src, err)
+		}
+		if _, err := prog.Eval(&BoundEnv{}, row); err == nil {
+			t.Fatalf("%s: error swallowed", src)
+		}
+	}
+	// Nil program is a pass-all predicate.
+	var nilProg *Bound
+	ok, err := nilProg.EvalBool(&BoundEnv{}, row)
+	if err != nil || !ok {
+		t.Fatalf("nil program: %v %v", ok, err)
+	}
+}

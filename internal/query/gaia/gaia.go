@@ -1,7 +1,13 @@
 // Package gaia implements the dataflow execution engine of §5.3 for OLAP
-// queries: the physical plan's stages run data-parallel over partitioned row
-// streams, with barriers at blocking operators (ORDER/GROUP/DEDUP/LIMIT) —
-// the MAP/FLATMAP pipeline of Fig 5(e).
+// queries: the physical plan's pipeline segments run data-parallel over
+// sequence-numbered batch streams, with barriers at blocking operators
+// (ORDER/GROUP/DEDUP/LIMIT) — the MAP/FLATMAP pipeline of Fig 5(e).
+//
+// Workers consume whole batches and the collector reassembles their output
+// in input-sequence order, so results are row-for-row identical to serial
+// execution at any Parallelism and BatchSize. A LIMIT after a segment stops
+// the segment's source as soon as the in-order output prefix holds enough
+// rows, and a failing operator cancels the producer instead of leaking it.
 package gaia
 
 import (
@@ -19,6 +25,8 @@ import (
 type Options struct {
 	// Parallelism is the worker count per pipeline segment (0: GOMAXPROCS).
 	Parallelism int
+	// BatchSize is the target rows per batch (0: exec.DefaultBatchSize).
+	BatchSize int
 }
 
 // Engine executes optimized plans data-parallel.
@@ -63,121 +71,163 @@ func (e *Engine) SubmitWith(p *ir.Plan, params map[string]graph.Value, opt optim
 	return rows, c.Out, nil
 }
 
-// RunCompiled executes a compiled plan data-parallel.
+// RunCompiled executes a compiled plan data-parallel: exec.Drive cuts the
+// plan into pipeline segments and morsels, parallelSegment runs each segment
+// across workers, blocking stages run at barriers.
 func (e *Engine) RunCompiled(c *exec.Compiled, params map[string]graph.Value) ([]exec.Row, error) {
-	env := &exec.Env{Graph: e.g, Params: params}
-	stages := c.Stages
-
-	// The source stage feeds the first parallel segment through a channel.
-	var rows []exec.Row
-	i := 0
-	if stages[0].Source != nil {
-		srcOut := make(chan exec.Row, 1024)
-		var srcErr error
-		go func() {
-			defer close(srcOut)
-			srcErr = stages[0].Source(env, func(r exec.Row) error {
-				srcOut <- r
-				return nil
-			})
-		}()
-		// Find the run of flatmap stages after the source.
-		j := 1
-		for j < len(stages) && stages[j].FlatMap != nil {
-			j++
-		}
-		var err error
-		rows, err = e.parallelSegment(env, stages[1:j], srcOut)
-		if err != nil {
-			return nil, err
-		}
-		if srcErr != nil {
-			return nil, srcErr
-		}
-		i = j
+	env := &exec.Env{Graph: e.g, Params: params, BatchSize: e.opt.BatchSize}
+	acc, err := c.Drive(env, e.parallelSegment)
+	if err != nil {
+		return nil, err
 	}
-
-	for i < len(stages) {
-		st := stages[i]
-		if st.Blocking != nil {
-			var err error
-			rows, err = st.Blocking(env, rows)
-			if err != nil {
-				return nil, err
-			}
-			i++
-			continue
-		}
-		// Run the next flatmap segment in parallel.
-		j := i
-		for j < len(stages) && stages[j].FlatMap != nil {
-			j++
-		}
-		in := make(chan exec.Row, 1024)
-		go func(batch []exec.Row) {
-			defer close(in)
-			for _, r := range batch {
-				in <- r
-			}
-		}(rows)
-		var err error
-		rows, err = e.parallelSegment(env, stages[i:j], in)
-		if err != nil {
-			return nil, err
-		}
-		i = j
-	}
-	return rows, nil
+	return acc.Rows(), nil
 }
 
-// parallelSegment drains the input channel through a run of flatmap stages
-// with P workers, gathering output rows.
-func (e *Engine) parallelSegment(env *exec.Env, seg []exec.Stage, in <-chan exec.Row) ([]exec.Row, error) {
+// seqBatch tags a batch with its position in the input stream.
+type seqBatch struct {
+	seq int
+	b   *exec.Batch
+}
+
+// parallelSegment drains the feed (already split into morsels by exec.Drive)
+// through a run of Map stages with P workers. Output batches are reassembled
+// in input-sequence order, so the gathered rows are identical to serial
+// execution. When stopAfter > 0 the feed is cancelled once the in-order
+// prefix holds that many rows; a worker or feed error cancels it too, so no
+// goroutine is ever left blocked.
+func (e *Engine) parallelSegment(env *exec.Env, seg []exec.Stage, feed func(exec.EmitBatch) error, width, stopAfter int) (*exec.Batch, error) {
 	if len(seg) == 0 {
-		var out []exec.Row
-		for r := range in {
-			out = append(out, r)
+		// No transforms: drain the feed directly.
+		acc := exec.NewBatch(width, 0)
+		err := feed(func(b *exec.Batch) (bool, error) {
+			acc.AppendBatch(b)
+			if stopAfter > 0 && acc.Len() >= stopAfter {
+				return true, exec.ErrStop
+			}
+			return true, nil
+		})
+		if err != nil && err != exec.ErrStop {
+			return nil, err
 		}
-		return out, nil
+		return acc, nil
 	}
-	var mu sync.Mutex
-	var out []exec.Row
+
+	p := e.opt.Parallelism
+	in := make(chan seqBatch, p)
+	results := make(chan seqBatch, p)
+	cancel := make(chan struct{})
+	var cancelOnce sync.Once
+	stop := func() { cancelOnce.Do(func() { close(cancel) }) }
+
+	// Producer: pumps morsels into the input channel. Cancellation stops the
+	// feed via ErrStop instead of leaving the send blocked forever (the
+	// goroutine leak the row-at-a-time runtime had on the error path).
+	prodErr := make(chan error, 1)
+	go func() {
+		seq := 0
+		err := feed(func(b *exec.Batch) (bool, error) {
+			select {
+			case in <- seqBatch{seq, b}:
+				seq++
+				return false, nil // the channel owns the batch now
+			case <-cancel:
+				return false, exec.ErrStop
+			}
+		})
+		close(in)
+		if err == exec.ErrStop {
+			err = nil
+		}
+		prodErr <- err
+	}()
+
 	var firstErr error
 	var errOnce sync.Once
 	var wg sync.WaitGroup
-	for w := 0; w < e.opt.Parallelism; w++ {
+	for w := 0; w < p; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var local []exec.Row
-			sink := func(r exec.Row) error {
-				local = append(local, r)
-				return nil
+			// Intermediate buffers are per-worker and reused per batch; the
+			// final stage's output is handed to the collector, so it is
+			// allocated per input batch.
+			bufs := make([]*exec.Batch, len(seg)-1)
+			for k := range bufs {
+				bufs[k] = exec.NewBatch(seg[k].OutWidth, 0)
 			}
-			// Compose the segment: stage k feeds stage k+1.
-			var feed func(depth int, r exec.Row) error
-			feed = func(depth int, r exec.Row) error {
-				if depth == len(seg) {
-					return sink(r)
+			for sb := range in {
+				cur := sb.b
+				failed := false
+				for k := range seg {
+					var dst *exec.Batch
+					if k < len(bufs) {
+						dst = bufs[k]
+						dst.Reset()
+					} else {
+						dst = exec.NewBatch(seg[k].OutWidth, cur.Len())
+					}
+					if err := seg[k].Map(env, cur, dst); err != nil {
+						errOnce.Do(func() { firstErr = err })
+						stop()
+						failed = true
+						break
+					}
+					cur = dst
 				}
-				return seg[depth].FlatMap(env, r, func(next exec.Row) error {
-					return feed(depth+1, next)
-				})
-			}
-			for r := range in {
-				if err := feed(0, r); err != nil {
-					errOnce.Do(func() { firstErr = err })
-					break
+				if failed {
+					continue // keep draining so the producer unblocks
 				}
+				// Always deliver: the collector drains results until every
+				// worker exits, and it needs all pre-error morsels to decide
+				// whether the in-order prefix satisfied a LIMIT before the
+				// error point.
+				results <- seqBatch{sb.seq, cur}
 			}
-			mu.Lock()
-			out = append(out, local...)
-			mu.Unlock()
 		}()
 	}
-	wg.Wait()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Collector: reassemble in input-sequence order.
+	acc := exec.NewBatch(width, 0)
+	pending := map[int]*exec.Batch{}
+	next := 0
+	done := false
+	for sb := range results {
+		if done {
+			continue
+		}
+		pending[sb.seq] = sb.b
+		for {
+			b, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			acc.AppendBatch(b)
+			if stopAfter > 0 && acc.Len() >= stopAfter {
+				done = true
+				stop()
+				break
+			}
+		}
+	}
+	ferr := <-prodErr
+	if done {
+		// The limit was satisfied by the in-order morsel prefix; any error
+		// sits in a later morsel, which the serial driver (same morsel
+		// partition, courtesy of exec.Drive) would have stopped before
+		// evaluating.
+		return acc, nil
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}
-	return out, nil
+	if ferr != nil {
+		return nil, ferr
+	}
+	return acc, nil
 }

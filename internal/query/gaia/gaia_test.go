@@ -1,0 +1,172 @@
+package gaia
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/query/cypher"
+	"repro/internal/query/exec"
+	"repro/internal/query/optimizer"
+	"repro/internal/storage/vineyard"
+)
+
+func snbStore(t *testing.T, persons int) *vineyard.Store {
+	t.Helper()
+	b := dataset.SNB(dataset.SNBOptions{Persons: persons, Seed: 33})
+	st, err := vineyard.Load(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestErrorMidStreamReturnsAndLeaksNothing drives a predicate that fails on
+// one specific expanded row: the engine must surface the error at every
+// parallelism, and the producer goroutine feeding the worker channel must
+// not be left blocked (the leak the row-at-a-time runtime had). Run with
+// -race in CI.
+func TestErrorMidStreamReturnsAndLeaksNothing(t *testing.T) {
+	st := snbStore(t, 200)
+	schema := dataset.SNBSchema()
+
+	// Find a person id that actually appears as someone's friend, so the
+	// failing division sits mid-stream rather than being unreachable.
+	probe, err := cypher.Parse(`MATCH (p:Person)-[:KNOWS]->(f:Person) RETURN id(f)`, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(st, Options{Parallelism: 4})
+	rows, _, err := eng.Submit(probe, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no friendships in test store")
+	}
+	victim := rows[len(rows)/2][0]
+
+	// 1 % (id(f) - $k) divides by zero exactly when f is the victim.
+	bad, err := cypher.Parse(`MATCH (p:Person)-[:KNOWS]->(f:Person)
+WHERE 1 % (id(f) - $k) = 0 RETURN id(f)`, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := map[string]graph.Value{"k": victim}
+
+	base := runtime.NumGoroutine()
+	for _, par := range []int{1, 2, runtime.NumCPU()} {
+		e := NewEngine(st, Options{Parallelism: par, BatchSize: 7})
+		for i := 0; i < 10; i++ {
+			if _, _, err := e.Submit(bad, params); err == nil {
+				t.Fatalf("par=%d: mid-stream predicate error was swallowed", par)
+			}
+		}
+	}
+	// Every producer/worker/collector must have wound down.
+	deadline := time.Now().Add(3 * time.Second)
+	for runtime.NumGoroutine() > base+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > base+2 {
+		buf := make([]byte, 1<<16)
+		t.Fatalf("goroutines leaked: %d before, %d after\n%s", base, n, buf[:runtime.Stack(buf, true)])
+	}
+}
+
+// TestLimitVersusErrorAgreesWithSerial: when a LIMIT and a failing predicate
+// race, the serial driver and the parallel driver must agree — both succeed
+// (error sits past the morsel where the limit was satisfied) or both fail
+// (error sits before it). exec.Drive gives both drivers the same morsel
+// partition, so the race resolves identically.
+func TestLimitVersusErrorAgreesWithSerial(t *testing.T) {
+	st := snbStore(t, 200)
+	schema := dataset.SNBSchema()
+	probe, err := cypher.Parse(`MATCH (p:Person)-[:KNOWS]->(f:Person) RETURN id(f)`, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(st, Options{Parallelism: 4})
+	friends, _, err := eng.Submit(probe, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(friends) < 20 {
+		t.Fatal("test store too small")
+	}
+	// OR short-circuits left to right, so the division by zero fires exactly
+	// when f is the victim.
+	bad, err := cypher.Parse(`MATCH (p:Person)-[:KNOWS]->(f:Person)
+WHERE 1 % (id(f) - $k) = 0 OR id(f) >= 0 RETURN id(f) LIMIT 5`, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phys, err := optimizer.Optimize(bad, eng.Catalog(), optimizer.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := exec.Compile(phys, exec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Victims early (before the limit) and late (after it) in stream order.
+	for _, victim := range []graph.Value{friends[0][0], friends[len(friends)-1][0]} {
+		params := map[string]graph.Value{"k": victim}
+		serialRows, serialErr := c.Run(&exec.Env{Graph: st, Params: params})
+		for _, par := range []int{1, 2, runtime.NumCPU()} {
+			e := NewEngine(st, Options{Parallelism: par})
+			gaiaRows, gaiaErr := e.RunCompiled(c, params)
+			if (serialErr != nil) != (gaiaErr != nil) {
+				t.Fatalf("victim=%v par=%d: serial err=%v, gaia err=%v", victim, par, serialErr, gaiaErr)
+			}
+			if serialErr != nil {
+				continue
+			}
+			if len(gaiaRows) != len(serialRows) {
+				t.Fatalf("victim=%v par=%d: %d rows vs %d", victim, par, len(gaiaRows), len(serialRows))
+			}
+			for i := range gaiaRows {
+				if !gaiaRows[i][0].Equal(serialRows[i][0]) {
+					t.Fatalf("victim=%v par=%d: row %d: %v vs %v", victim, par, i, gaiaRows[i][0], serialRows[i][0])
+				}
+			}
+		}
+	}
+}
+
+// TestParallelOrderMatchesSerial pins the determinism guarantee directly in
+// the engine: the same compiled plan returns rows in identical order at
+// parallelism 1 and NumCPU, without any ORDER BY to hide behind.
+func TestParallelOrderMatchesSerial(t *testing.T) {
+	st := snbStore(t, 150)
+	schema := dataset.SNBSchema()
+	plan, err := cypher.Parse(`MATCH (p:Person)-[:KNOWS]->(f:Person)-[:LIKES]->(m:Post)
+RETURN f.firstName, m.creationDate`, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := NewEngine(st, Options{Parallelism: 1})
+	want, _, err := serial.Submit(plan, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bs := range []int{1, 64, 1024} {
+		par := NewEngine(st, Options{Parallelism: runtime.NumCPU(), BatchSize: bs})
+		got, _, err := par.Submit(plan, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("bs=%d: %d rows vs %d", bs, len(got), len(want))
+		}
+		for i := range got {
+			for j := range got[i] {
+				if !got[i][j].Equal(want[i][j]) {
+					t.Fatalf("bs=%d: row %d col %d: %v vs %v", bs, i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}

@@ -29,6 +29,9 @@ type Options struct {
 	Shards int
 	// MailboxDepth bounds each actor's queue.
 	MailboxDepth int
+	// BatchSize is the target rows per batch in the shared batch runtime
+	// (0: exec.DefaultBatchSize).
+	BatchSize int
 }
 
 // Engine is the actor pool plus the stored-procedure registry.
@@ -85,7 +88,7 @@ func NewEngine(provider GraphProvider, opt Options) *Engine {
 func (e *Engine) actor(mailbox <-chan task) {
 	defer e.wg.Done()
 	for t := range mailbox {
-		env := &exec.Env{Graph: e.provider(), Params: t.params}
+		env := &exec.Env{Graph: e.provider(), Params: t.params, BatchSize: e.opt.BatchSize}
 		rows, err := t.c.Run(env)
 		t.reply <- result{rows: rows, err: err}
 	}

@@ -2,7 +2,8 @@
 // *logical* plan directly — MATCH in written order, no EdgeVertexFusion, no
 // predicate pushdown, no index lookups, single-threaded. It stands in for
 // the unoptimized comparators of Exp-2 (the "Without OPT" arm of Fig 7e and
-// the TuGraph-like baseline of Fig 7f).
+// the TuGraph-like baseline of Fig 7f). It runs on the same batch-at-a-time
+// exec runtime as Gaia and HiActor, just driven serially.
 package naive
 
 import (
@@ -12,13 +13,24 @@ import (
 	"repro/internal/query/ir"
 )
 
+// Options tunes the baseline run.
+type Options struct {
+	// BatchSize is the target rows per batch (0: exec.DefaultBatchSize).
+	BatchSize int
+}
+
 // Run interprets a logical plan serially.
 func Run(p *ir.Plan, g grin.Graph, params map[string]graph.Value) ([]exec.Row, []string, error) {
+	return RunWith(p, g, params, Options{})
+}
+
+// RunWith interprets a logical plan serially with explicit options.
+func RunWith(p *ir.Plan, g grin.Graph, params map[string]graph.Value, o Options) ([]exec.Row, []string, error) {
 	c, err := exec.Compile(p, exec.Options{NoIndexLookup: true})
 	if err != nil {
 		return nil, nil, err
 	}
-	rows, err := c.Run(&exec.Env{Graph: g, Params: params})
+	rows, err := c.Run(&exec.Env{Graph: g, Params: params, BatchSize: o.BatchSize})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,179 @@
+package query_test
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/grin"
+	"repro/internal/query/cypher"
+	"repro/internal/query/exec"
+	"repro/internal/query/gaia"
+	"repro/internal/query/gremlin"
+	"repro/internal/query/hiactor"
+	"repro/internal/query/ir"
+	"repro/internal/query/naive"
+	"repro/internal/storage/vineyard"
+)
+
+// renderRows serializes result rows in order for exact (order-sensitive)
+// comparison.
+func renderRows(rows []exec.Row) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		parts := make([]string, len(r))
+		for j, v := range r {
+			parts[j] = v.String()
+		}
+		out[i] = strings.Join(parts, "|")
+	}
+	return out
+}
+
+func mustExactEqual(t *testing.T, name string, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: row counts differ: %d vs %d\ngot=%v\nwant=%v", name, len(got), len(want), got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: row %d differs: %q vs %q", name, i, got[i], want[i])
+		}
+	}
+}
+
+// TestEngineParityAcrossBatchSizesAndParallelism is the determinism contract
+// of the batch runtime: over an SNB-style query mix, every engine returns
+// row-for-row identical results at batch sizes {1, 7, 1024} and any
+// parallelism — naive against itself, Gaia against itself and against
+// HiActor (same physical plan, serial vs data-parallel), and naive against
+// Gaia as an order-insensitive multiset (logical vs optimized plans may
+// differ in row order).
+func TestEngineParityAcrossBatchSizesAndParallelism(t *testing.T) {
+	b := dataset.SNB(dataset.SNBOptions{Persons: 120, Seed: 9})
+	st, err := vineyard.Load(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := dataset.SNBSchema()
+	batchSizes := []int{1, 7, 1024}
+	pars := []int{1, runtime.NumCPU()}
+
+	cases := []struct {
+		name   string
+		lang   string
+		q      string
+		params map[string]graph.Value
+		// crossEngine also checks naive-vs-Gaia as a multiset; plain LIMIT
+		// without ORDER legitimately keeps different rows per plan shape.
+		crossEngine bool
+	}{
+		{
+			name: "expand-project", lang: "cypher", crossEngine: true,
+			q: `MATCH (p:Person)-[:KNOWS]->(f:Person) RETURN f.firstName`,
+		},
+		{
+			name: "two-hop-filter", lang: "cypher", crossEngine: true,
+			q: `MATCH (p:Person)-[:KNOWS]->(f:Person)-[:LIKES]->(po:Post)
+WHERE p.creationDate > 5 RETURN f.firstName, po.creationDate`,
+		},
+		{
+			name: "group-order-limit", lang: "cypher", crossEngine: true,
+			q: `MATCH (p:Person)-[:KNOWS]->(f:Person)
+WITH p, COUNT(f) AS c
+RETURN p.firstName AS name, c
+ORDER BY c DESC, name
+LIMIT 7`,
+		},
+		{
+			name: "parameterized-point", lang: "cypher", crossEngine: true,
+			q: `MATCH (p:Person)<-[:HAS_CREATOR]-(m:Post)
+WHERE id(p) = $pid RETURN m.creationDate`,
+			params: map[string]graph.Value{"pid": graph.IntValue(11)},
+		},
+		{
+			name: "multi-edge-cbo", lang: "cypher", crossEngine: true,
+			q: `MATCH (m:Post)-[:HAS_TAG]->(t:Tag), (m)-[:HAS_CREATOR]->(p:Person)
+WHERE id(p) = 4 RETURN t.name`,
+		},
+		{
+			name: "order-limit-topk", lang: "cypher", crossEngine: true,
+			q: `MATCH (p:Person)-[:LIKES]->(m:Post)
+RETURN p.firstName AS name, m.creationDate AS d
+ORDER BY d DESC, name
+LIMIT 13`,
+		},
+		{
+			name: "dedup", lang: "gremlin", crossEngine: true,
+			q: `g.V().hasLabel('Person').out('KNOWS').in('KNOWS').dedup().values('firstName')`,
+		},
+		{
+			name: "limit-short-circuit", lang: "cypher", crossEngine: false,
+			q: `MATCH (p:Person)-[:KNOWS]->(f:Person) RETURN f.firstName LIMIT 13`,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var plan *ir.Plan
+			var err error
+			if tc.lang == "gremlin" {
+				plan, err = gremlin.Parse(tc.q, schema)
+			} else {
+				plan, err = cypher.Parse(tc.q, schema)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			refRows, refOut, err := naive.Run(plan, st, tc.params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refNaive := renderRows(refRows)
+
+			var refGaia []string
+			var refGaiaRows []exec.Row
+			var refGaiaOut []string
+			for _, bs := range batchSizes {
+				rowsN, _, err := naive.RunWith(plan, st, tc.params, naive.Options{BatchSize: bs})
+				if err != nil {
+					t.Fatalf("naive bs=%d: %v", bs, err)
+				}
+				mustExactEqual(t, fmt.Sprintf("naive bs=%d", bs), renderRows(rowsN), refNaive)
+
+				for _, par := range pars {
+					eng := gaia.NewEngine(st, gaia.Options{Parallelism: par, BatchSize: bs})
+					rowsG, outG, err := eng.Submit(plan, tc.params)
+					if err != nil {
+						t.Fatalf("gaia bs=%d par=%d: %v", bs, par, err)
+					}
+					got := renderRows(rowsG)
+					if refGaia == nil {
+						refGaia, refGaiaRows, refGaiaOut = got, rowsG, outG
+						continue
+					}
+					mustExactEqual(t, fmt.Sprintf("gaia bs=%d par=%d", bs, par), got, refGaia)
+				}
+
+				he := hiactor.NewEngine(func() grin.Graph { return st }, hiactor.Options{Shards: 2, BatchSize: bs})
+				rowsH, _, err := he.Submit(plan, tc.params)
+				he.Close()
+				if err != nil {
+					t.Fatalf("hiactor bs=%d: %v", bs, err)
+				}
+				mustExactEqual(t, fmt.Sprintf("hiactor bs=%d", bs), renderRows(rowsH), refGaia)
+			}
+
+			if tc.crossEngine {
+				mustEqual(t, "naive-vs-gaia",
+					canonical(refRows, refOut, st), canonical(refGaiaRows, refGaiaOut, st))
+			} else if len(refNaive) != len(refGaia) {
+				t.Fatalf("row counts differ: naive %d vs gaia %d", len(refNaive), len(refGaia))
+			}
+		})
+	}
+}

@@ -1,0 +1,112 @@
+package query_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/grin"
+	"repro/internal/query/cypher"
+	"repro/internal/query/gaia"
+	"repro/internal/query/hiactor"
+	"repro/internal/storage/vineyard"
+)
+
+// benchStore builds one SNB store shared by all query benchmarks.
+var benchStore = struct {
+	once sync.Once
+	st   *vineyard.Store
+}{}
+
+func benchSNB(b *testing.B) *vineyard.Store {
+	b.Helper()
+	benchStore.once.Do(func() {
+		batch := dataset.SNB(dataset.SNBOptions{Persons: 300, Seed: 17})
+		st, err := vineyard.Load(batch)
+		if err != nil {
+			panic(err)
+		}
+		benchStore.st = st
+	})
+	return benchStore.st
+}
+
+func benchGaia(b *testing.B, q string, params map[string]graph.Value) {
+	b.Helper()
+	st := benchSNB(b)
+	plan, err := cypher.Parse(q, dataset.SNBSchema())
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := gaia.NewEngine(st, gaia.Options{Parallelism: 4})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.Submit(plan, params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGaiaQueryExpand is the expand-heavy shape: two full KNOWS hops with
+// a projection, no selective predicate — the allocation hot path of EXPAND.
+func BenchmarkGaiaQueryExpand(b *testing.B) {
+	benchGaia(b, `MATCH (p:Person)-[:KNOWS]->(f:Person)-[:KNOWS]->(g:Person)
+RETURN g.firstName`, nil)
+}
+
+// BenchmarkGaiaQueryExpandFilter adds a per-row predicate over the expanded
+// stream, stressing expression evaluation.
+func BenchmarkGaiaQueryExpandFilter(b *testing.B) {
+	benchGaia(b, `MATCH (p:Person)-[:KNOWS]->(f:Person)-[:KNOWS]->(g:Person)
+WHERE g.creationDate > 20 AND f.creationDate > 10
+RETURN g.firstName`, nil)
+}
+
+// BenchmarkGaiaQueryAggregate groups the two-hop expansion, stressing
+// group-key construction.
+func BenchmarkGaiaQueryAggregate(b *testing.B) {
+	benchGaia(b, `MATCH (p:Person)-[:KNOWS]->(f:Person)-[:KNOWS]->(g:Person)
+WITH f, COUNT(g) AS c
+RETURN f.firstName, c
+ORDER BY c DESC
+LIMIT 10`, nil)
+}
+
+// BenchmarkGaiaQueryOrderLimit sorts a full expansion and keeps the top rows —
+// the ORDER BY ... LIMIT path.
+func BenchmarkGaiaQueryOrderLimit(b *testing.B) {
+	benchGaia(b, `MATCH (p:Person)-[:KNOWS]->(f:Person)<-[:HAS_CREATOR]-(m:Post)
+RETURN f.firstName, m.creationDate
+ORDER BY m.creationDate DESC
+LIMIT 20`, nil)
+}
+
+// BenchmarkHiActorThroughput measures the OLTP design point: many small
+// parameterized point queries in flight across shards.
+func BenchmarkHiActorThroughput(b *testing.B) {
+	st := benchSNB(b)
+	plan, err := cypher.Parse(`MATCH (p:Person)-[:KNOWS]->(f:Person)<-[:HAS_CREATOR]-(m:Post)
+WHERE id(p) = $pid
+RETURN f.firstName, m.creationDate`, dataset.SNBSchema())
+	if err != nil {
+		b.Fatal(err)
+	}
+	he := hiactor.NewEngine(func() grin.Graph { return st }, hiactor.Options{Shards: 4})
+	defer he.Close()
+	if err := he.Install("q", plan); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		pid := int64(0)
+		for pb.Next() {
+			pid = (pid + 7) % 300
+			if _, err := he.Call("q", map[string]graph.Value{"pid": graph.IntValue(pid)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
