@@ -5,6 +5,14 @@
 //
 //	flexquery -persons 300 -lang cypher 'MATCH (p:Person)-[:KNOWS]->(f:Person) WHERE id(p) = 1 RETURN id(f)'
 //	flexquery -lang gremlin "g.V().hasLabel('Person').count()"
+//	flexquery -store gart -par 8 -batch 512 'MATCH (p:Person)-[:KNOWS]->(f:Person) RETURN f.firstName LIMIT 5'
+//
+// -store selects the storage backend the Gaia engine reads through GRIN:
+// vineyard (immutable CSR + columns, native batch traits), gart (MVCC
+// snapshot), or livegraph (dynamic adjacency, topology only — label scans
+// cover every vertex and property access fails, exercising the capability
+// fallbacks). -par and -batch tune the engine's worker count and rows per
+// batch, driving the batched scan/expand/gather paths at any morsel shape.
 package main
 
 import (
@@ -14,36 +22,58 @@ import (
 	"strings"
 
 	"repro/internal/dataset"
+	"repro/internal/grin"
 	"repro/internal/query/cypher"
 	"repro/internal/query/gaia"
 	"repro/internal/query/gremlin"
 	"repro/internal/query/ir"
+	"repro/internal/storage/gart"
+	"repro/internal/storage/livegraph"
 	"repro/internal/storage/vineyard"
 )
 
 func main() {
 	persons := flag.Int("persons", 200, "SNB scale (persons)")
 	lang := flag.String("lang", "cypher", "query language: cypher or gremlin")
+	store := flag.String("store", "vineyard", "storage backend: vineyard, gart or livegraph")
+	par := flag.Int("par", 0, "engine parallelism (0: GOMAXPROCS)")
+	batch := flag.Int("batch", 0, "rows per batch (0: engine default)")
 	explain := flag.Bool("explain", false, "print the logical plan instead of executing")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: flexquery [-persons n] [-lang cypher|gremlin] [-explain] <query>")
+		fmt.Fprintln(os.Stderr,
+			"usage: flexquery [-persons n] [-lang cypher|gremlin] [-store vineyard|gart|livegraph] [-par n] [-batch n] [-explain] <query>")
 		os.Exit(2)
 	}
 	query := flag.Arg(0)
 
 	b := dataset.SNB(dataset.SNBOptions{Persons: *persons, Seed: 1})
-	st, err := vineyard.Load(b)
+	var st grin.Graph
+	var err error
+	switch *store {
+	case "vineyard":
+		st, err = vineyard.Load(b)
+	case "gart":
+		gs := gart.NewStore(dataset.SNBSchema(), 0)
+		if err = gs.LoadBatch(b); err == nil {
+			st = gs.Latest()
+		}
+	case "livegraph":
+		st, err = livegraph.LoadBatch(b)
+	default:
+		err = fmt.Errorf("unknown store %q (want vineyard, gart or livegraph)", *store)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	schema := dataset.SNBSchema()
 	var plan *ir.Plan
 	switch *lang {
 	case "cypher":
-		plan, err = cypher.Parse(query, st.Schema())
+		plan, err = cypher.Parse(query, schema)
 	case "gremlin":
-		plan, err = gremlin.Parse(query, st.Schema())
+		plan, err = gremlin.Parse(query, schema)
 	default:
 		err = fmt.Errorf("unknown language %q", *lang)
 	}
@@ -55,7 +85,7 @@ func main() {
 		fmt.Println(plan)
 		return
 	}
-	eng := gaia.NewEngine(st, gaia.Options{})
+	eng := gaia.NewEngine(st, gaia.Options{Parallelism: *par, BatchSize: *batch})
 	rows, out, err := eng.Submit(plan, nil)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

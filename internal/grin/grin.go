@@ -17,6 +17,9 @@
 //   - index     — Index (external-ID and label lookups)
 //   - predicate — PredicatePush (filtered scans evaluated inside the store)
 //   - common    — Versioned (MVCC snapshots), Named (backend identity)
+//   - batch     — BatchAdjacency / BatchProps / BatchScan (bulk access the
+//     vectorized runtime consumes; every one has a generic fallback in
+//     helpers.go, so they are pure fast paths)
 package grin
 
 import (
@@ -147,6 +150,9 @@ const (
 	TraitPredicate
 	TraitPartition
 	TraitVersioned
+	TraitBatchAdjacency
+	TraitBatchProps
+	TraitBatchScan
 	numTraits
 )
 
@@ -169,6 +175,12 @@ func (t Trait) String() string {
 		return "partition"
 	case TraitVersioned:
 		return "versioned"
+	case TraitBatchAdjacency:
+		return "batch_adjacency"
+	case TraitBatchProps:
+		return "batch_props"
+	case TraitBatchScan:
+		return "batch_scan"
 	}
 	return fmt.Sprintf("trait(%d)", uint8(t))
 }
@@ -198,6 +210,15 @@ func Has(g Graph, t Trait) bool {
 		return ok
 	case TraitVersioned:
 		_, ok := g.(Versioned)
+		return ok
+	case TraitBatchAdjacency:
+		_, ok := g.(BatchAdjacency)
+		return ok
+	case TraitBatchProps:
+		_, ok := g.(BatchProps)
+		return ok
+	case TraitBatchScan:
+		_, ok := g.(BatchScan)
 		return ok
 	}
 	return false

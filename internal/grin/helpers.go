@@ -1,6 +1,10 @@
 package grin
 
-import "repro/internal/graph"
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
 
 // ForEachNeighbor iterates the adjacency of v using the fastest trait the
 // backend offers: the zero-copy array trait when present, otherwise the
@@ -34,14 +38,164 @@ func ForEachNeighbor(g Graph, v graph.VID, dir graph.Direction, yield func(nbr g
 }
 
 // CollectNeighbors materializes the adjacency of v; used by tests and by
-// operators that need random access to a small neighbor set.
+// operators that need random access to a small neighbor set. With the array
+// trait the result is sized exactly from the adjacency slices (Both: one
+// out+in allocation, out-edges first). Iterator-trait stores grow by append:
+// their Degree is itself a full adjacency walk, so pre-sizing would traverse
+// twice.
 func CollectNeighbors(g Graph, v graph.VID, dir graph.Direction) []Target {
+	if aa, ok := g.(AdjArray); ok {
+		if dir == graph.Both {
+			o, i := aa.AdjSlice(v, graph.Out), aa.AdjSlice(v, graph.In)
+			out := make([]Target, 0, len(o)+len(i))
+			return append(append(out, o...), i...)
+		}
+		adj := aa.AdjSlice(v, dir)
+		return append(make([]Target, 0, len(adj)), adj...)
+	}
 	var out []Target
-	ForEachNeighbor(g, v, dir, func(nbr graph.VID, e graph.EID) bool {
+	g.Neighbors(v, dir, func(nbr graph.VID, e graph.EID) bool {
 		out = append(out, Target{Nbr: nbr, Edge: e})
 		return true
 	})
 	return out
+}
+
+// ExpandBatch expands a whole frontier into out, using the fastest trait the
+// backend offers: the batched adjacency trait, then the zero-copy array
+// trait, then the iterator trait. One trait check covers the entire batch.
+// Per-vertex neighbor order always matches Neighbors (Both: out-edges then
+// in-edges).
+func ExpandBatch(g Graph, frontier []graph.VID, dir graph.Direction, out *AdjBatch) {
+	if ba, ok := g.(BatchAdjacency); ok {
+		ba.ExpandBatch(frontier, dir, out)
+		return
+	}
+	out.Begin(len(frontier))
+	if aa, ok := g.(AdjArray); ok {
+		for _, v := range frontier {
+			if dir == graph.Both || dir == graph.Out {
+				for _, t := range aa.AdjSlice(v, graph.Out) {
+					out.Nbrs = append(out.Nbrs, t.Nbr)
+					out.Edges = append(out.Edges, t.Edge)
+				}
+			}
+			if dir == graph.Both || dir == graph.In {
+				for _, t := range aa.AdjSlice(v, graph.In) {
+					out.Nbrs = append(out.Nbrs, t.Nbr)
+					out.Edges = append(out.Edges, t.Edge)
+				}
+			}
+			out.EndVertex()
+		}
+		return
+	}
+	for _, v := range frontier {
+		g.Neighbors(v, dir, func(nbr graph.VID, e graph.EID) bool {
+			out.Nbrs = append(out.Nbrs, nbr)
+			out.Edges = append(out.Edges, e)
+			return true
+		})
+		out.EndVertex()
+	}
+}
+
+// GatherVertexProp fills out[i] with property prop of vs[i], through the
+// batched property trait when present, else per-vertex property-trait calls.
+// Absent properties and NilVID elements gather as NULL; a store with no
+// property trait at all is an error (matching scalar property access).
+func GatherVertexProp(g Graph, vs []graph.VID, prop string, out []graph.Value) error {
+	if bp, ok := g.(BatchProps); ok {
+		bp.GatherVertexProp(vs, prop, out)
+		return nil
+	}
+	pr, ok := g.(PropertyReader)
+	if !ok {
+		return fmt.Errorf("grin: store lacks property trait")
+	}
+	schema := pr.Schema()
+	lastLabel, pid := graph.AnyLabel, graph.NoProp
+	for i, v := range vs {
+		if v == graph.NilVID {
+			out[i] = graph.NullValue
+			continue
+		}
+		l := pr.VertexLabel(v)
+		if l != lastLabel {
+			lastLabel, pid = l, schema.VertexPropID(l, prop)
+		}
+		if pid == graph.NoProp {
+			out[i] = graph.NullValue
+			continue
+		}
+		out[i], _ = pr.VertexProp(v, pid)
+	}
+	return nil
+}
+
+// GatherEdgeProp fills out[i] with property prop of es[i]; see
+// GatherVertexProp for trait dispatch and NULL semantics.
+func GatherEdgeProp(g Graph, es []graph.EID, prop string, out []graph.Value) error {
+	if bp, ok := g.(BatchProps); ok {
+		bp.GatherEdgeProp(es, prop, out)
+		return nil
+	}
+	pr, ok := g.(PropertyReader)
+	if !ok {
+		return fmt.Errorf("grin: store lacks property trait")
+	}
+	schema := pr.Schema()
+	lastLabel, pid := graph.AnyLabel, graph.NoProp
+	for i, e := range es {
+		if e == graph.NilEID {
+			out[i] = graph.NullValue
+			continue
+		}
+		l := pr.EdgeLabel(e)
+		if l != lastLabel {
+			lastLabel, pid = l, schema.EdgePropID(l, prop)
+		}
+		if pid == graph.NoProp {
+			out[i] = graph.NullValue
+			continue
+		}
+		out[i], _ = pr.EdgeProp(e, pid)
+	}
+	return nil
+}
+
+// GatherVertexLabels fills out[i] with the label of vs[i]. Stores without a
+// property trait gather AnyLabel (they have no label catalog).
+func GatherVertexLabels(g Graph, vs []graph.VID, out []graph.LabelID) {
+	if bp, ok := g.(BatchProps); ok {
+		bp.GatherVertexLabels(vs, out)
+		return
+	}
+	pr, ok := g.(PropertyReader)
+	for i, v := range vs {
+		if !ok || v == graph.NilVID {
+			out[i] = graph.AnyLabel
+			continue
+		}
+		out[i] = pr.VertexLabel(v)
+	}
+}
+
+// GatherEdgeLabels fills out[i] with the label of es[i]; see
+// GatherVertexLabels.
+func GatherEdgeLabels(g Graph, es []graph.EID, out []graph.LabelID) {
+	if bp, ok := g.(BatchProps); ok {
+		bp.GatherEdgeLabels(es, out)
+		return
+	}
+	pr, ok := g.(PropertyReader)
+	for i, e := range es {
+		if !ok || e == graph.NilEID {
+			out[i] = graph.AnyLabel
+			continue
+		}
+		out[i] = pr.EdgeLabel(e)
+	}
 }
 
 // ScanLabel iterates every vertex of a label, preferring the index trait's
@@ -71,6 +225,59 @@ func ScanLabel(g Graph, label graph.LabelID, yield func(graph.VID) bool) {
 		if !yield(v) {
 			return
 		}
+	}
+}
+
+// ScanLabelBatches streams a label's vertices in ascending ID order as
+// filled ID buffers: buf is filled (and reused) repeatedly and each filled
+// prefix is passed to emit, until the label is exhausted or emit returns
+// false. Trait dispatch happens once per scan: the batched scan trait when
+// present, then a direct label-range fill through the index trait, then
+// buffered callback iteration via ScanLabel. The emitted vertex sequence is
+// identical to ScanLabel's on every path.
+func ScanLabelBatches(g Graph, label graph.LabelID, buf []graph.VID, emit func([]graph.VID) bool) {
+	if len(buf) == 0 {
+		return
+	}
+	if bs, ok := g.(BatchScan); ok {
+		cursor := graph.VID(0)
+		for {
+			n, next := bs.ScanBatch(label, cursor, buf)
+			if n > 0 && !emit(buf[:n]) {
+				return
+			}
+			if next == graph.NilVID {
+				return
+			}
+			cursor = next
+		}
+	}
+	if idx, ok := g.(Index); ok {
+		if lo, hi, rangeOK := idx.LabelRange(label); rangeOK {
+			for {
+				n, next := FillRange(lo, hi, buf)
+				if n > 0 && !emit(buf[:n]) {
+					return
+				}
+				if next == graph.NilVID {
+					return
+				}
+				lo = next
+			}
+		}
+	}
+	n := 0
+	ScanLabel(g, label, func(v graph.VID) bool {
+		buf[n] = v
+		n++
+		if n == len(buf) {
+			n = 0
+			return emit(buf)
+		}
+		return true
+	})
+	if n > 0 {
+		emit(buf[:n])
 	}
 }
 

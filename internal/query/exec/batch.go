@@ -2,6 +2,7 @@ package exec
 
 import (
 	"errors"
+	"sync"
 
 	"repro/internal/graph"
 )
@@ -49,6 +50,9 @@ func (b *Batch) Row(i int) Row {
 	lo, hi := i*b.width, (i+1)*b.width
 	return Row(b.data[lo:hi:hi])
 }
+
+// Value returns column col of row i without materializing a row view.
+func (b *Batch) Value(i, col int) graph.Value { return b.data[i*b.width+col] }
 
 // appendUncleared extends the arena by one row and returns it; the caller
 // must overwrite or clear every column.
@@ -111,6 +115,33 @@ func (b *Batch) Reset() {
 // appended to, and the parent must stay alive while views circulate.
 func (b *Batch) View(lo, hi int) Batch {
 	return Batch{width: b.width, rows: hi - lo, data: b.data[lo*b.width : hi*b.width : hi*b.width]}
+}
+
+// BatchPool recycles batch arenas across morsels: Gaia hands one output
+// batch per morsel to its collector, and pooling those arenas removes the
+// steady-state per-morsel allocation. Get reshapes a pooled arena to the
+// requested width; Put must only receive batches that own their arena
+// (never Views) and that the caller will not touch again.
+type BatchPool struct{ pool sync.Pool }
+
+// Get returns an empty batch of the given width, reusing a pooled arena
+// when one is available (capRows only sizes fresh arenas).
+func (p *BatchPool) Get(width, capRows int) *Batch {
+	b, _ := p.pool.Get().(*Batch)
+	if b == nil {
+		return NewBatch(width, capRows)
+	}
+	b.width = width
+	b.rows = 0
+	b.data = b.data[:0]
+	return b
+}
+
+// Put recycles a batch's arena.
+func (p *BatchPool) Put(b *Batch) {
+	if b != nil {
+		p.pool.Put(b)
+	}
 }
 
 // Rows materializes the batch as []Row views sharing the arena — the final

@@ -360,11 +360,25 @@ func (c *Compiled) compileScan(op *ir.Op, opt Options) error {
 					return out.flush()
 				}
 			}
+			// Batched label scan: one trait dispatch per ID chunk instead of
+			// one callback per vertex; a predicate-less scan appends rows
+			// without ever invoking the evaluator.
+			buf := make([]graph.VID, env.EffectiveBatchSize())
 			var scanErr error
-			grin.ScanLabel(env.Graph, label, func(v graph.VID) bool {
-				if err := tryRow(v, fullB); err != nil {
-					scanErr = err
-					return false
+			grin.ScanLabelBatches(env.Graph, label, buf, func(vs []graph.VID) bool {
+				for _, v := range vs {
+					var err error
+					if fullB == nil {
+						row := out.appendRow()
+						row[idx] = graph.VertexValue(v)
+						err = out.flushIfFull()
+					} else {
+						err = tryRow(v, fullB)
+					}
+					if err != nil {
+						scanErr = err
+						return false
+					}
 				}
 				return true
 			})
@@ -430,41 +444,60 @@ func (c *Compiled) compileExpandFused(op *ir.Op) error {
 		Name:    "EXPAND_FUSED(" + op.FromAlias + "->" + op.Alias + ")",
 		InWidth: inWidth, OutWidth: width,
 		Map: func(env *Env, in, out *Batch) error {
+			// Batched expansion: the whole frontier crosses the storage
+			// boundary in one ExpandBatch call, label filters gather their
+			// columns in one call each, and only the pushed predicate (if
+			// any) runs per output row.
 			pr, _ := env.Graph.(grin.PropertyReader)
 			benv := env.boundEnv()
+			s := expandPool.Get().(*expandScratch)
+			defer expandPool.Put(s)
+			s.frontier, s.rows = s.frontier[:0], s.rows[:0]
 			for i := 0; i < in.Len(); i++ {
-				row := in.Row(i)
-				src := row[fromIdx].Vertex()
-				if src == graph.NilVID {
-					continue
+				if src := in.Value(i, fromIdx).Vertex(); src != graph.NilVID {
+					s.frontier = append(s.frontier, src)
+					s.rows = append(s.rows, int32(i))
 				}
-				var inner error
-				grin.ForEachNeighbor(env.Graph, src, dir, func(n graph.VID, e graph.EID) bool {
-					if pr != nil {
-						if elabel != graph.AnyLabel && pr.EdgeLabel(e) != elabel {
-							return true
-						}
-						if vlabel != graph.AnyLabel && pr.VertexLabel(n) != vlabel {
-							return true
-						}
+			}
+			if len(s.frontier) == 0 {
+				return nil
+			}
+			grin.ExpandBatch(env.Graph, s.frontier, dir, &s.adj)
+			var eLabs, vLabs []graph.LabelID
+			if pr != nil && elabel != graph.AnyLabel {
+				s.elabels = growLabels(s.elabels, len(s.adj.Edges))
+				grin.GatherEdgeLabels(env.Graph, s.adj.Edges, s.elabels)
+				eLabs = s.elabels
+			}
+			if pr != nil && vlabel != graph.AnyLabel {
+				s.vlabels = growLabels(s.vlabels, len(s.adj.Nbrs))
+				grin.GatherVertexLabels(env.Graph, s.adj.Nbrs, s.vlabels)
+				vLabs = s.vlabels
+			}
+			for fi, ri := range s.rows {
+				row := in.Row(int(ri))
+				lo, hi := s.adj.Range(fi)
+				for t := lo; t < hi; t++ {
+					if eLabs != nil && eLabs[t] != elabel {
+						continue
+					}
+					if vLabs != nil && vLabs[t] != vlabel {
+						continue
 					}
 					o := out.AppendFrom(row)
-					o[vIdx] = graph.VertexValue(n)
+					o[vIdx] = graph.VertexValue(s.adj.Nbrs[t])
 					if eIdx >= 0 {
-						o[eIdx] = graph.EdgeValue(e)
+						o[eIdx] = graph.EdgeValue(s.adj.Edges[t])
 					}
-					ok, err := predB.EvalBool(&benv, o)
-					if err != nil {
-						inner = err
-						return false
+					if predB != nil {
+						ok, err := predB.EvalBool(&benv, o)
+						if err != nil {
+							return err
+						}
+						if !ok {
+							out.Truncate(out.Len() - 1)
+						}
 					}
-					if !ok {
-						out.Truncate(out.Len() - 1)
-					}
-					return true
-				})
-				if inner != nil {
-					return inner
 				}
 			}
 			return nil
@@ -492,21 +525,36 @@ func (c *Compiled) compileExpandEdge(op *ir.Op) error {
 		InWidth: inWidth, OutWidth: width,
 		Map: func(env *Env, in, out *Batch) error {
 			pr, _ := env.Graph.(grin.PropertyReader)
+			s := expandPool.Get().(*expandScratch)
+			defer expandPool.Put(s)
+			s.frontier, s.rows = s.frontier[:0], s.rows[:0]
 			for i := 0; i < in.Len(); i++ {
-				row := in.Row(i)
-				src := row[fromIdx].Vertex()
-				if src == graph.NilVID {
-					continue
+				if src := in.Value(i, fromIdx).Vertex(); src != graph.NilVID {
+					s.frontier = append(s.frontier, src)
+					s.rows = append(s.rows, int32(i))
 				}
-				grin.ForEachNeighbor(env.Graph, src, dir, func(n graph.VID, e graph.EID) bool {
-					if pr != nil && elabel != graph.AnyLabel && pr.EdgeLabel(e) != elabel {
-						return true
+			}
+			if len(s.frontier) == 0 {
+				return nil
+			}
+			grin.ExpandBatch(env.Graph, s.frontier, dir, &s.adj)
+			var eLabs []graph.LabelID
+			if pr != nil && elabel != graph.AnyLabel {
+				s.elabels = growLabels(s.elabels, len(s.adj.Edges))
+				grin.GatherEdgeLabels(env.Graph, s.adj.Edges, s.elabels)
+				eLabs = s.elabels
+			}
+			for fi, ri := range s.rows {
+				row := in.Row(int(ri))
+				lo, hi := s.adj.Range(fi)
+				for t := lo; t < hi; t++ {
+					if eLabs != nil && eLabs[t] != elabel {
+						continue
 					}
 					o := out.AppendFrom(row)
-					o[eIdx] = graph.EdgeValue(e)
-					o[nIdx] = graph.VertexValue(n)
-					return true
-				})
+					o[eIdx] = graph.EdgeValue(s.adj.Edges[t])
+					o[nIdx] = graph.VertexValue(s.adj.Nbrs[t])
+				}
 			}
 			return nil
 		},
@@ -535,23 +583,40 @@ func (c *Compiled) compileGetVertex(op *ir.Op) error {
 		Map: func(env *Env, in, out *Batch) error {
 			pr, _ := env.Graph.(grin.PropertyReader)
 			benv := env.boundEnv()
-			for i := 0; i < in.Len(); i++ {
-				row := in.Row(i)
-				n := row[nIdx].Vertex()
+			rows := in.Len()
+			// The target-label filter gathers the whole neighbor column's
+			// labels in one call (NilVID slots gather AnyLabel; those rows
+			// are dropped before the filter is consulted).
+			var vLabs []graph.LabelID
+			if pr != nil && vlabel != graph.AnyLabel {
+				s := gatherPool.Get().(*gatherScratch)
+				defer gatherPool.Put(s)
+				s.vids = growVIDs(s.vids, rows)
+				for i := 0; i < rows; i++ {
+					s.vids[i] = in.Value(i, nIdx).Vertex()
+				}
+				s.labels = growLabels(s.labels, rows)
+				grin.GatherVertexLabels(env.Graph, s.vids, s.labels)
+				vLabs = s.labels
+			}
+			for i := 0; i < rows; i++ {
+				n := in.Value(i, nIdx).Vertex()
 				if n == graph.NilVID {
 					continue
 				}
-				if pr != nil && vlabel != graph.AnyLabel && pr.VertexLabel(n) != vlabel {
+				if vLabs != nil && vLabs[i] != vlabel {
 					continue
 				}
-				o := out.AppendFrom(row)
+				o := out.AppendFrom(in.Row(i))
 				o[vIdx] = graph.VertexValue(n)
-				okPred, err := predB.EvalBool(&benv, o)
-				if err != nil {
-					return err
-				}
-				if !okPred {
-					out.Truncate(out.Len() - 1)
+				if predB != nil {
+					okPred, err := predB.EvalBool(&benv, o)
+					if err != nil {
+						return err
+					}
+					if !okPred {
+						out.Truncate(out.Len() - 1)
+					}
 				}
 			}
 			return nil

@@ -1,0 +1,136 @@
+package exec
+
+import (
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/grin"
+	"repro/internal/query/expr"
+)
+
+// This file holds the batched-execution scratch state of the relational
+// stages: per-Map-call arenas drawn from sync.Pools (stage closures are
+// shared across Gaia workers, so scratch cannot live in the closure), plus
+// the columnar expression hook that routes pure alias.prop references through
+// the storage batch-property trait.
+
+// expandScratch is the working set of one batched expansion: the non-nil
+// frontier with its originating row indexes, the CSR-style adjacency arena,
+// and label columns for pushed edge/vertex label filters.
+type expandScratch struct {
+	frontier []graph.VID
+	rows     []int32
+	adj      grin.AdjBatch
+	elabels  []graph.LabelID
+	vlabels  []graph.LabelID
+}
+
+var expandPool = sync.Pool{New: func() any { return new(expandScratch) }}
+
+// gatherScratch is the working set of one columnar property gather: the
+// element-ID column extracted from the batch and the gathered value column.
+type gatherScratch struct {
+	vids   []graph.VID
+	eids   []graph.EID
+	labels []graph.LabelID
+	vals   []graph.Value
+}
+
+var gatherPool = sync.Pool{New: func() any { return new(gatherScratch) }}
+
+// growVIDs returns s resized to n valid slots, reusing capacity.
+func growVIDs(s []graph.VID, n int) []graph.VID {
+	if cap(s) < n {
+		return make([]graph.VID, n)
+	}
+	return s[:n]
+}
+
+func growEIDs(s []graph.EID, n int) []graph.EID {
+	if cap(s) < n {
+		return make([]graph.EID, n)
+	}
+	return s[:n]
+}
+
+func growLabels(s []graph.LabelID, n int) []graph.LabelID {
+	if cap(s) < n {
+		return make([]graph.LabelID, n)
+	}
+	return s[:n]
+}
+
+func growValues(s []graph.Value, n int) []graph.Value {
+	if cap(s) < n {
+		return make([]graph.Value, n)
+	}
+	return s[:n]
+}
+
+// evalColumn evaluates prog over every row of in, writing results to
+// dst[0:in.Len()]. A program that is exactly one bound alias.prop reference
+// over a uniform vertex (or edge) column gathers columnar through
+// grin.GatherVertexProp/GatherEdgeProp — one trait dispatch per batch —
+// instead of walking the bound tree per row; everything else (computed
+// expressions, mixed or non-element columns, stores without the property
+// trait) takes the per-row path with its exact scalar semantics, including
+// errors.
+func evalColumn(env *Env, prog *expr.Bound, in *Batch, dst []graph.Value) error {
+	n := in.Len()
+	if col, prop, ok := prog.PropRef(); ok {
+		if prop == "" {
+			for i := 0; i < n; i++ {
+				dst[i] = in.Value(i, col)
+			}
+			return nil
+		}
+		if _, hasProps := env.Graph.(grin.PropertyReader); hasProps || grin.Has(env.Graph, grin.TraitBatchProps) {
+			// The column must be uniformly vertex or uniformly edge: the
+			// per-row path errors on other kinds, and a mixed column would
+			// need per-row label resolution anyway.
+			kind := graph.Kind(0)
+			uniform := true
+			for i := 0; i < n; i++ {
+				k := in.Value(i, col).K
+				if k != graph.KindVertex && k != graph.KindEdge {
+					uniform = false
+					break
+				}
+				if kind == 0 {
+					kind = k
+				} else if k != kind {
+					uniform = false
+					break
+				}
+			}
+			if uniform && kind != 0 {
+				s := gatherPool.Get().(*gatherScratch)
+				defer gatherPool.Put(s)
+				var err error
+				if kind == graph.KindVertex {
+					s.vids = growVIDs(s.vids, n)
+					for i := 0; i < n; i++ {
+						s.vids[i] = in.Value(i, col).Vertex()
+					}
+					err = grin.GatherVertexProp(env.Graph, s.vids, prop, dst[:n])
+				} else {
+					s.eids = growEIDs(s.eids, n)
+					for i := 0; i < n; i++ {
+						s.eids[i] = in.Value(i, col).Edge()
+					}
+					err = grin.GatherEdgeProp(env.Graph, s.eids, prop, dst[:n])
+				}
+				return err
+			}
+		}
+	}
+	benv := env.boundEnv()
+	for i := 0; i < n; i++ {
+		v, err := prog.Eval(&benv, in.Row(i))
+		if err != nil {
+			return err
+		}
+		dst[i] = v
+	}
+	return nil
+}

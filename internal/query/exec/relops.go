@@ -32,16 +32,24 @@ func (c *Compiled) compileProject(op *ir.Op) error {
 		Name:    "PROJECT",
 		InWidth: inWidth, OutWidth: width,
 		Map: func(env *Env, in, out *Batch) error {
-			benv := env.boundEnv()
-			for i := 0; i < in.Len(); i++ {
-				row := in.Row(i)
-				o := out.AppendRow()
-				for k, p := range progs {
-					v, err := p.Eval(&benv, row)
-					if err != nil {
-						return err
-					}
-					o[outIdx[k]] = v
+			// Column-at-a-time: each item is evaluated over the whole batch,
+			// so a pure alias.prop item gathers through the storage
+			// batch-property trait instead of per-row tree walks.
+			n := in.Len()
+			base := out.Len()
+			for i := 0; i < n; i++ {
+				out.AppendRow()
+			}
+			s := gatherPool.Get().(*gatherScratch)
+			defer gatherPool.Put(s)
+			s.vals = growValues(s.vals, n)
+			for k, p := range progs {
+				if err := evalColumn(env, p, in, s.vals); err != nil {
+					return err
+				}
+				col := outIdx[k]
+				for i := 0; i < n; i++ {
+					out.Row(base + i)[col] = s.vals[i]
 				}
 			}
 			return nil
@@ -71,23 +79,20 @@ func (c *Compiled) compileOrderBy(op *ir.Op) error {
 		Blocking: func(env *Env, in *Batch) (*Batch, error) {
 			n := in.Len()
 			nk := len(keys)
-			benv := env.boundEnv()
+			// Key columns are evaluated column-at-a-time (column-major
+			// layout), so an alias.prop sort key gathers through the storage
+			// batch-property trait in one call per key.
 			keyVals := make([]graph.Value, n*nk)
-			for i := 0; i < n; i++ {
-				row := in.Row(i)
-				for j, p := range progs {
-					v, err := p.Eval(&benv, row)
-					if err != nil {
-						return nil, err
-					}
-					keyVals[i*nk+j] = v
+			for j, p := range progs {
+				if err := evalColumn(env, p, in, keyVals[j*n:(j+1)*n]); err != nil {
+					return nil, err
 				}
 			}
 			// less is a strict total order: sort keys, then input position,
 			// making every comparison-based path below stable.
 			less := func(a, b int) bool {
 				for j := range keys {
-					cmp := keyVals[a*nk+j].Compare(keyVals[b*nk+j])
+					cmp := keyVals[j*n+a].Compare(keyVals[j*n+b])
 					if cmp == 0 {
 						continue
 					}
@@ -385,13 +390,16 @@ func (c *Compiled) compileMatch(op *ir.Op, first bool) error {
 		OutWidth: width0,
 		Source: func(env *Env, emit EmitBatch) error {
 			out := newSourceBuffer(width0, env, emit)
+			buf := make([]graph.VID, env.EffectiveBatchSize())
 			var scanErr error
-			grin.ScanLabel(env.Graph, label0, func(v graph.VID) bool {
-				row := out.appendRow()
-				row[idx0] = graph.VertexValue(v)
-				if err := out.flushIfFull(); err != nil {
-					scanErr = err
-					return false
+			grin.ScanLabelBatches(env.Graph, label0, buf, func(vs []graph.VID) bool {
+				for _, v := range vs {
+					row := out.appendRow()
+					row[idx0] = graph.VertexValue(v)
+					if err := out.flushIfFull(); err != nil {
+						scanErr = err
+						return false
+					}
 				}
 				return true
 			})
@@ -471,28 +479,46 @@ func (c *Compiled) compileAdjacencyCheck(pe ir.PatternEdge) error {
 		Name:    "ADJ_CHECK(" + pe.SrcAlias + "," + pe.DstAlias + ")",
 		InWidth: inWidth, OutWidth: width,
 		Map: func(env *Env, in, out *Batch) error {
+			// Batched verification: expand the whole src column once, then
+			// probe each row's slot range for its dst endpoint.
 			pr, _ := env.Graph.(grin.PropertyReader)
+			s := expandPool.Get().(*expandScratch)
+			defer expandPool.Put(s)
+			s.frontier, s.rows = s.frontier[:0], s.rows[:0]
 			for i := 0; i < in.Len(); i++ {
-				row := in.Row(i)
-				src, dst := row[srcIdx].Vertex(), row[dstIdx].Vertex()
-				found := false
-				grin.ForEachNeighbor(env.Graph, src, dir, func(n graph.VID, e graph.EID) bool {
-					if n != dst {
-						return true
+				if src := in.Value(i, srcIdx).Vertex(); src != graph.NilVID {
+					s.frontier = append(s.frontier, src)
+					s.rows = append(s.rows, int32(i))
+				}
+			}
+			if len(s.frontier) == 0 {
+				return nil
+			}
+			grin.ExpandBatch(env.Graph, s.frontier, dir, &s.adj)
+			var eLabs []graph.LabelID
+			if pr != nil && elabel != graph.AnyLabel {
+				s.elabels = growLabels(s.elabels, len(s.adj.Edges))
+				grin.GatherEdgeLabels(env.Graph, s.adj.Edges, s.elabels)
+				eLabs = s.elabels
+			}
+			for fi, ri := range s.rows {
+				row := in.Row(int(ri))
+				dst := row[dstIdx].Vertex()
+				lo, hi := s.adj.Range(fi)
+				for t := lo; t < hi; t++ {
+					if s.adj.Nbrs[t] != dst {
+						continue
 					}
-					if pr != nil && elabel != graph.AnyLabel && pr.EdgeLabel(e) != elabel {
-						return true
+					if eLabs != nil && eLabs[t] != elabel {
+						continue
 					}
-					found = true
 					if eIdx >= 0 {
 						o := out.AppendFrom(row)
-						o[eIdx] = graph.EdgeValue(e)
-						return true // emit every matching parallel edge
+						o[eIdx] = graph.EdgeValue(s.adj.Edges[t])
+						continue // emit every matching parallel edge
 					}
-					return false // existence is enough
-				})
-				if eIdx < 0 && found {
 					out.AppendFrom(row)
+					break // existence is enough
 				}
 			}
 			return nil

@@ -77,6 +77,18 @@ func Bind(e *Expr, b Binder) (*Bound, error) {
 	return out, nil
 }
 
+// PropRef reports whether the program is exactly one bound alias.prop (or
+// bare alias / output-column) reference — the shape the runtime can gather
+// columnar through the storage batch-property trait instead of walking the
+// expression tree per row. prop is "" when the referenced column already
+// holds the final value.
+func (p *Bound) PropRef() (col int, prop string, ok bool) {
+	if p == nil || p.kind != KindVar {
+		return 0, "", false
+	}
+	return p.ref.Col, p.ref.Prop, true
+}
+
 // Eval evaluates the program over one row.
 func (p *Bound) Eval(env *BoundEnv, row []graph.Value) (graph.Value, error) {
 	switch p.kind {

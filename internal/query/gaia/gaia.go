@@ -34,6 +34,9 @@ type Engine struct {
 	g   grin.Graph
 	cat *optimizer.Catalog
 	opt Options
+	// pool recycles the per-morsel output arenas the workers hand to the
+	// collector, so steady-state execution allocates no batch per morsel.
+	pool exec.BatchPool
 }
 
 // NewEngine builds a Gaia engine with a catalog for the CBO.
@@ -149,8 +152,8 @@ func (e *Engine) parallelSegment(env *exec.Env, seg []exec.Stage, feed func(exec
 		go func() {
 			defer wg.Done()
 			// Intermediate buffers are per-worker and reused per batch; the
-			// final stage's output is handed to the collector, so it is
-			// allocated per input batch.
+			// final stage's output is handed to the collector, drawn from
+			// the engine's batch pool and recycled once appended.
 			bufs := make([]*exec.Batch, len(seg)-1)
 			for k := range bufs {
 				bufs[k] = exec.NewBatch(seg[k].OutWidth, 0)
@@ -164,12 +167,18 @@ func (e *Engine) parallelSegment(env *exec.Env, seg []exec.Stage, feed func(exec
 						dst = bufs[k]
 						dst.Reset()
 					} else {
-						dst = exec.NewBatch(seg[k].OutWidth, cur.Len())
+						// The final stage's output is handed to the
+						// collector; draw its arena from the engine pool
+						// instead of allocating one per morsel.
+						dst = e.pool.Get(seg[k].OutWidth, cur.Len())
 					}
 					if err := seg[k].Map(env, cur, dst); err != nil {
 						errOnce.Do(func() { firstErr = err })
 						stop()
 						failed = true
+						if k == len(bufs) {
+							e.pool.Put(dst)
+						}
 						break
 					}
 					cur = dst
@@ -197,6 +206,7 @@ func (e *Engine) parallelSegment(env *exec.Env, seg []exec.Stage, feed func(exec
 	done := false
 	for sb := range results {
 		if done {
+			e.pool.Put(sb.b)
 			continue
 		}
 		pending[sb.seq] = sb.b
@@ -208,12 +218,16 @@ func (e *Engine) parallelSegment(env *exec.Env, seg []exec.Stage, feed func(exec
 			delete(pending, next)
 			next++
 			acc.AppendBatch(b)
+			e.pool.Put(b)
 			if stopAfter > 0 && acc.Len() >= stopAfter {
 				done = true
 				stop()
 				break
 			}
 		}
+	}
+	for _, b := range pending {
+		e.pool.Put(b)
 	}
 	ferr := <-prodErr
 	if done {

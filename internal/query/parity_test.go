@@ -16,6 +16,9 @@ import (
 	"repro/internal/query/hiactor"
 	"repro/internal/query/ir"
 	"repro/internal/query/naive"
+	"repro/internal/storage/gart"
+	"repro/internal/storage/graphar"
+	"repro/internal/storage/livegraph"
 	"repro/internal/storage/vineyard"
 )
 
@@ -45,76 +48,27 @@ func mustExactEqual(t *testing.T, name string, got, want []string) {
 	}
 }
 
-// TestEngineParityAcrossBatchSizesAndParallelism is the determinism contract
-// of the batch runtime: over an SNB-style query mix, every engine returns
-// row-for-row identical results at batch sizes {1, 7, 1024} and any
-// parallelism — naive against itself, Gaia against itself and against
-// HiActor (same physical plan, serial vs data-parallel), and naive against
-// Gaia as an order-insensitive multiset (logical vs optimized plans may
-// differ in row order).
-func TestEngineParityAcrossBatchSizesAndParallelism(t *testing.T) {
-	b := dataset.SNB(dataset.SNBOptions{Persons: 120, Seed: 9})
-	st, err := vineyard.Load(b)
-	if err != nil {
-		t.Fatal(err)
-	}
-	schema := dataset.SNBSchema()
+// parityCase is one query of the determinism contract.
+type parityCase struct {
+	name   string
+	lang   string
+	q      string
+	params map[string]graph.Value
+	// crossEngine also checks naive-vs-Gaia as a multiset; plain LIMIT
+	// without ORDER legitimately keeps different rows per plan shape.
+	crossEngine bool
+}
+
+// runParityMatrix runs every case over the full engine × batch-size ×
+// parallelism matrix against one store: naive against itself, Gaia against
+// itself and against HiActor (same physical plan, serial vs data-parallel),
+// and naive against Gaia as an order-insensitive multiset. This is what pins
+// the batched storage paths row-for-row: a backend with native
+// BatchAdjacency/BatchProps/BatchScan traits must produce exactly what the
+// generic fallbacks produce.
+func runParityMatrix(t *testing.T, st grin.Graph, schema *graph.Schema, cases []parityCase) {
 	batchSizes := []int{1, 7, 1024}
 	pars := []int{1, runtime.NumCPU()}
-
-	cases := []struct {
-		name   string
-		lang   string
-		q      string
-		params map[string]graph.Value
-		// crossEngine also checks naive-vs-Gaia as a multiset; plain LIMIT
-		// without ORDER legitimately keeps different rows per plan shape.
-		crossEngine bool
-	}{
-		{
-			name: "expand-project", lang: "cypher", crossEngine: true,
-			q: `MATCH (p:Person)-[:KNOWS]->(f:Person) RETURN f.firstName`,
-		},
-		{
-			name: "two-hop-filter", lang: "cypher", crossEngine: true,
-			q: `MATCH (p:Person)-[:KNOWS]->(f:Person)-[:LIKES]->(po:Post)
-WHERE p.creationDate > 5 RETURN f.firstName, po.creationDate`,
-		},
-		{
-			name: "group-order-limit", lang: "cypher", crossEngine: true,
-			q: `MATCH (p:Person)-[:KNOWS]->(f:Person)
-WITH p, COUNT(f) AS c
-RETURN p.firstName AS name, c
-ORDER BY c DESC, name
-LIMIT 7`,
-		},
-		{
-			name: "parameterized-point", lang: "cypher", crossEngine: true,
-			q: `MATCH (p:Person)<-[:HAS_CREATOR]-(m:Post)
-WHERE id(p) = $pid RETURN m.creationDate`,
-			params: map[string]graph.Value{"pid": graph.IntValue(11)},
-		},
-		{
-			name: "multi-edge-cbo", lang: "cypher", crossEngine: true,
-			q: `MATCH (m:Post)-[:HAS_TAG]->(t:Tag), (m)-[:HAS_CREATOR]->(p:Person)
-WHERE id(p) = 4 RETURN t.name`,
-		},
-		{
-			name: "order-limit-topk", lang: "cypher", crossEngine: true,
-			q: `MATCH (p:Person)-[:LIKES]->(m:Post)
-RETURN p.firstName AS name, m.creationDate AS d
-ORDER BY d DESC, name
-LIMIT 13`,
-		},
-		{
-			name: "dedup", lang: "gremlin", crossEngine: true,
-			q: `g.V().hasLabel('Person').out('KNOWS').in('KNOWS').dedup().values('firstName')`,
-		},
-		{
-			name: "limit-short-circuit", lang: "cypher", crossEngine: false,
-			q: `MATCH (p:Person)-[:KNOWS]->(f:Person) RETURN f.firstName LIMIT 13`,
-		},
-	}
 
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -174,6 +128,182 @@ LIMIT 13`,
 			} else if len(refNaive) != len(refGaia) {
 				t.Fatalf("row counts differ: naive %d vs gaia %d", len(refNaive), len(refGaia))
 			}
+		})
+	}
+}
+
+// snbParityCases is the SNB-style query mix over the property-bearing
+// backends.
+var snbParityCases = []parityCase{
+	{
+		name: "expand-project", lang: "cypher", crossEngine: true,
+		q: `MATCH (p:Person)-[:KNOWS]->(f:Person) RETURN f.firstName`,
+	},
+	{
+		name: "two-hop-filter", lang: "cypher", crossEngine: true,
+		q: `MATCH (p:Person)-[:KNOWS]->(f:Person)-[:LIKES]->(po:Post)
+WHERE p.creationDate > 5 RETURN f.firstName, po.creationDate`,
+	},
+	{
+		name: "group-order-limit", lang: "cypher", crossEngine: true,
+		q: `MATCH (p:Person)-[:KNOWS]->(f:Person)
+WITH p, COUNT(f) AS c
+RETURN p.firstName AS name, c
+ORDER BY c DESC, name
+LIMIT 7`,
+	},
+	{
+		name: "parameterized-point", lang: "cypher", crossEngine: true,
+		q: `MATCH (p:Person)<-[:HAS_CREATOR]-(m:Post)
+WHERE id(p) = $pid RETURN m.creationDate`,
+		params: map[string]graph.Value{"pid": graph.IntValue(11)},
+	},
+	{
+		name: "multi-edge-cbo", lang: "cypher", crossEngine: true,
+		q: `MATCH (m:Post)-[:HAS_TAG]->(t:Tag), (m)-[:HAS_CREATOR]->(p:Person)
+WHERE id(p) = 4 RETURN t.name`,
+	},
+	{
+		name: "order-limit-topk", lang: "cypher", crossEngine: true,
+		q: `MATCH (p:Person)-[:LIKES]->(m:Post)
+RETURN p.firstName AS name, m.creationDate AS d
+ORDER BY d DESC, name
+LIMIT 13`,
+	},
+	{
+		name: "dedup", lang: "gremlin", crossEngine: true,
+		q: `g.V().hasLabel('Person').out('KNOWS').in('KNOWS').dedup().values('firstName')`,
+	},
+	{
+		name: "limit-short-circuit", lang: "cypher", crossEngine: false,
+		q: `MATCH (p:Person)-[:KNOWS]->(f:Person) RETURN f.firstName LIMIT 13`,
+	},
+}
+
+// snbBackends loads the same SNB batch into every property-bearing backend:
+// vineyard (CSR + columns, all batch traits native), GART (MVCC snapshot,
+// native batch traits over dynamic segments), and GraphAr (disk chunks, pure
+// generic fallbacks).
+func snbBackends(t *testing.T) map[string]grin.Graph {
+	t.Helper()
+	b := dataset.SNB(dataset.SNBOptions{Persons: 120, Seed: 9})
+
+	vy, err := vineyard.Load(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gs := gart.NewStore(dataset.SNBSchema(), 0)
+	if err := gs.LoadBatch(b); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	if err := graphar.Write(dir, b, graphar.Options{ChunkSize: 64}); err != nil {
+		t.Fatal(err)
+	}
+	ga, err := graphar.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ga.Close() })
+
+	return map[string]grin.Graph{"vineyard": vy, "gart": gs.Latest(), "graphar": ga}
+}
+
+// TestEngineParityAcrossBatchSizesAndParallelism is the determinism contract
+// of the batch runtime: over an SNB-style query mix, every engine returns
+// row-for-row identical results at batch sizes {1, 7, 1024} and any
+// parallelism, on every property-bearing storage backend.
+func TestEngineParityAcrossBatchSizesAndParallelism(t *testing.T) {
+	schema := dataset.SNBSchema()
+	for name, st := range snbBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			runParityMatrix(t, st, schema, snbParityCases)
+		})
+	}
+}
+
+// TestEngineParityStructuralAllBackends runs a property-free (structural)
+// query mix over ALL five storage backends, including the simple-graph
+// stores (csr, livegraph) that have no property trait: scans fall back to
+// full-range iteration, expansions exercise BatchAdjacency or its fallback,
+// and id() degrades to internal IDs where the index trait is absent. This
+// pins the graceful-degradation matrix end to end.
+func TestEngineParityStructuralAllBackends(t *testing.T) {
+	simple := dataset.Datagen("parity", 200, 4, 3)
+	b := simple.ToBatch()
+	schema := b.Schema
+
+	stores := map[string]grin.Graph{}
+
+	vy, err := vineyard.Load(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores["vineyard"] = vy
+
+	gs := gart.NewStore(schema, 0)
+	if err := gs.LoadBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	stores["gart"] = gs.Latest()
+
+	dir := t.TempDir()
+	if err := graphar.Write(dir, b, graphar.Options{ChunkSize: 64}); err != nil {
+		t.Fatal(err)
+	}
+	ga, err := graphar.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ga.Close() })
+	stores["graphar"] = ga
+
+	cg, err := simple.ToCSR(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores["csr"] = cg
+
+	lg := livegraph.NewStore(simple.N)
+	for i := range simple.Src {
+		if err := lg.AddEdge(simple.Src[i], simple.Dst[i], 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stores["livegraph"] = lg
+
+	cases := []parityCase{
+		{
+			name: "expand-ids", lang: "cypher", crossEngine: true,
+			q: `MATCH (a:V)-[:E]->(b:V) RETURN id(a) AS x, id(b) AS y`,
+		},
+		{
+			name: "both-direction", lang: "cypher", crossEngine: true,
+			q: `MATCH (a:V)-[:E]-(b:V) RETURN id(a) AS x, id(b) AS y`,
+		},
+		{
+			name: "two-hop-count", lang: "cypher", crossEngine: true,
+			q: `MATCH (a:V)-[:E]->(b:V)-[:E]->(c:V) RETURN COUNT(c) AS n`,
+		},
+		{
+			name: "order-limit", lang: "cypher", crossEngine: true,
+			q: `MATCH (a:V)-[:E]->(b:V) RETURN id(b) AS x ORDER BY x DESC, id(a) LIMIT 9`,
+		},
+		{
+			name: "gremlin-dedup", lang: "gremlin", crossEngine: true,
+			q: `g.V().out('E').in('E').dedup().count()`,
+		},
+		{
+			name: "limit-short-circuit", lang: "cypher", crossEngine: false,
+			q: `MATCH (a:V)-[:E]->(b:V) RETURN id(b) LIMIT 13`,
+		},
+	}
+
+	for name, st := range stores {
+		t.Run(name, func(t *testing.T) {
+			runParityMatrix(t, st, schema, cases)
 		})
 	}
 }

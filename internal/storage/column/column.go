@@ -141,6 +141,54 @@ func (c *Column) Set(row int, v graph.Value) error {
 	return nil
 }
 
+// Gather fills out[i] with the value at rows[i] (NullValue for NULL or
+// out-of-range rows). The kind switch is hoisted out of the row loop, so a
+// batched property gather touches only the typed payload array — the fast
+// path behind the grin.BatchProps trait.
+func (c *Column) Gather(rows []int, out []graph.Value) {
+	ok := func(r int) bool {
+		return r >= 0 && r < c.numRows && (c.nulls == nil || !c.nulls[r])
+	}
+	switch c.kind {
+	case graph.KindInt:
+		for i, r := range rows {
+			if ok(r) {
+				out[i] = graph.Value{K: graph.KindInt, I: c.ints[r]}
+			} else {
+				out[i] = graph.NullValue
+			}
+		}
+	case graph.KindFloat:
+		for i, r := range rows {
+			if ok(r) {
+				out[i] = graph.Value{K: graph.KindFloat, F: c.floats[r]}
+			} else {
+				out[i] = graph.NullValue
+			}
+		}
+	case graph.KindString:
+		for i, r := range rows {
+			if ok(r) {
+				out[i] = graph.Value{K: graph.KindString, S: c.strs[r]}
+			} else {
+				out[i] = graph.NullValue
+			}
+		}
+	case graph.KindBool:
+		for i, r := range rows {
+			if ok(r) {
+				out[i] = graph.BoolValue(c.bools[r])
+			} else {
+				out[i] = graph.NullValue
+			}
+		}
+	default:
+		for i := range rows {
+			out[i] = graph.NullValue
+		}
+	}
+}
+
 // Floats exposes the raw float payload for zero-copy fast paths (edge weight
 // columns); nil for non-float columns.
 func (c *Column) Floats() []float64 {

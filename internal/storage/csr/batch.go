@@ -1,0 +1,25 @@
+package csr
+
+import (
+	"repro/internal/graph"
+	"repro/internal/grin"
+)
+
+var (
+	_ grin.BatchAdjacency = (*Graph)(nil)
+	_ grin.BatchScan      = (*Graph)(nil)
+)
+
+// ExpandBatch implements grin.BatchAdjacency by slicing the offset arrays
+// directly: one contiguous copy per frontier vertex per direction, no
+// per-edge dispatch.
+func (g *Graph) ExpandBatch(frontier []graph.VID, dir graph.Direction, out *grin.AdjBatch) {
+	grin.ExpandCSROffsets(frontier, dir, out, g.outOff, g.out, g.inOff, g.in)
+}
+
+// ScanBatch implements grin.BatchScan. The simple-graph model has no labels,
+// so every label scans the full vertex range — the same behavior as the
+// predicate-trait scan.
+func (g *Graph) ScanBatch(_ graph.LabelID, start graph.VID, buf []graph.VID) (int, graph.VID) {
+	return grin.FillRange(start, graph.VID(g.n), buf)
+}

@@ -46,9 +46,11 @@ type Store struct {
 }
 
 var (
-	_ grin.Graph        = (*Store)(nil)
-	_ grin.WeightReader = (*Store)(nil)
-	_ grin.Named        = (*Store)(nil)
+	_ grin.Graph          = (*Store)(nil)
+	_ grin.WeightReader   = (*Store)(nil)
+	_ grin.Named          = (*Store)(nil)
+	_ grin.BatchAdjacency = (*Store)(nil)
+	_ grin.BatchScan      = (*Store)(nil)
 )
 
 // NewStore creates a store over n vertices (simple-graph model: vertices are
@@ -179,6 +181,43 @@ func (s *Store) walk(a *vertexAdj, yield func(graph.VID, graph.EID) bool) bool {
 		}
 	}
 	return true
+}
+
+// ExpandBatch implements grin.BatchAdjacency: one read lock covers the
+// whole frontier's block-chain walks (the scalar path locks per vertex), and
+// live records append straight into the arrays without per-edge callbacks.
+func (s *Store) ExpandBatch(frontier []graph.VID, dir graph.Direction, out *grin.AdjBatch) {
+	out.Begin(len(frontier))
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	walk := func(a *vertexAdj) {
+		for b := a.head; b != nil; b = b.next {
+			for i := 0; i < b.n; i++ {
+				r := &b.recs[i]
+				if r.invalidTxn != ^uint64(0) {
+					continue
+				}
+				out.Nbrs = append(out.Nbrs, r.nbr)
+				out.Edges = append(out.Edges, r.eid)
+			}
+		}
+	}
+	for _, v := range frontier {
+		if dir == graph.Both || dir == graph.Out {
+			walk(&s.out[v])
+		}
+		if dir == graph.Both || dir == graph.In {
+			walk(&s.in[v])
+		}
+		out.EndVertex()
+	}
+}
+
+// ScanBatch implements grin.BatchScan. The simple-graph model has no labels,
+// so every label scans the full pre-allocated vertex range — the same
+// sequence the generic full-scan fallback produces.
+func (s *Store) ScanBatch(_ graph.LabelID, start graph.VID, buf []graph.VID) (int, graph.VID) {
+	return grin.FillRange(start, graph.VID(len(s.out)), buf)
 }
 
 // EdgeWeight implements grin.WeightReader.

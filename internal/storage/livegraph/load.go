@@ -1,0 +1,74 @@
+package livegraph
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// LoadBatch builds a Store holding the *topology* of a property-graph batch.
+// Internal IDs follow the same deterministic assignment vineyard uses —
+// stable sort by (label, external ID) — so the two stores agree on vertex
+// numbering for the same batch. Labels and properties are dropped:
+// livegraph is the simple-graph comparator, so label scans cover every
+// vertex and property access degrades per the GRIN capability matrix. Edge
+// weights are kept when the edge label carries a float "weight" property.
+func LoadBatch(b *graph.Batch) (*Store, error) {
+	schema := b.Schema
+	if schema == nil {
+		return nil, fmt.Errorf("livegraph: batch has no schema")
+	}
+	vs := make([]graph.VertexRecord, len(b.Vertices))
+	copy(vs, b.Vertices)
+	sort.SliceStable(vs, func(i, j int) bool {
+		if vs[i].Label != vs[j].Label {
+			return vs[i].Label < vs[j].Label
+		}
+		return vs[i].ExtID < vs[j].ExtID
+	})
+	lookup := make([]map[int64]graph.VID, schema.NumVertexLabels())
+	for l := range lookup {
+		lookup[l] = map[int64]graph.VID{}
+	}
+	for i, v := range vs {
+		if _, dup := lookup[v.Label][v.ExtID]; dup {
+			return nil, fmt.Errorf("livegraph: duplicate vertex %s/%d", schema.VertexLabelName(v.Label), v.ExtID)
+		}
+		lookup[v.Label][v.ExtID] = graph.VID(i)
+	}
+	resolve := func(label graph.LabelID, ext int64) (graph.VID, bool) {
+		if label != graph.AnyLabel {
+			v, ok := lookup[label][ext]
+			return v, ok
+		}
+		for _, m := range lookup {
+			if v, ok := m[ext]; ok {
+				return v, true
+			}
+		}
+		return graph.NilVID, false
+	}
+
+	s := NewStore(len(vs))
+	for i, e := range b.Edges {
+		el := schema.Edges[e.Label]
+		src, ok := resolve(el.Src, e.Src)
+		if !ok {
+			return nil, fmt.Errorf("livegraph: edge %d (%s): unknown source %d", i, el.Name, e.Src)
+		}
+		dst, ok := resolve(el.Dst, e.Dst)
+		if !ok {
+			return nil, fmt.Errorf("livegraph: edge %d (%s): unknown destination %d", i, el.Name, e.Dst)
+		}
+		w := 1.0
+		if p := schema.EdgePropID(e.Label, "weight"); p != graph.NoProp &&
+			int(p) < len(e.Props) && e.Props[p].K == graph.KindFloat {
+			w = e.Props[p].F
+		}
+		if err := s.AddEdge(src, dst, w); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,142 @@
+package vineyard
+
+import (
+	"repro/internal/graph"
+	"repro/internal/grin"
+)
+
+var (
+	_ grin.BatchAdjacency = (*Store)(nil)
+	_ grin.BatchProps     = (*Store)(nil)
+	_ grin.BatchScan      = (*Store)(nil)
+)
+
+// ExpandBatch implements grin.BatchAdjacency by slicing the CSR/CSC offset
+// arrays directly: the arrays are sized once from the offset deltas and each
+// frontier vertex contributes one contiguous copy per direction.
+func (st *Store) ExpandBatch(frontier []graph.VID, dir graph.Direction, out *grin.AdjBatch) {
+	grin.ExpandCSROffsets(frontier, dir, out, st.outOff, st.out, st.inOff, st.in)
+}
+
+// ScanBatch implements grin.BatchScan by filling straight from the label's
+// contiguous ID range.
+func (st *Store) ScanBatch(label graph.LabelID, start graph.VID, buf []graph.VID) (int, graph.VID) {
+	lo, hi, ok := st.LabelRange(label)
+	if !ok {
+		return 0, graph.NilVID
+	}
+	if start < lo {
+		start = lo
+	}
+	return grin.FillRange(start, hi, buf)
+}
+
+// GatherVertexProp implements grin.BatchProps: label-contiguous runs of the
+// input resolve the property column once and gather through the column's
+// typed payload (column.Gather), skipping the per-value label probe and
+// interface dispatch of the scalar path.
+func (st *Store) GatherVertexProp(vs []graph.VID, prop string, out []graph.Value) {
+	var rows []int
+	for i := 0; i < len(vs); {
+		if vs[i] == graph.NilVID {
+			out[i] = graph.NullValue
+			i++
+			continue
+		}
+		l := st.VertexLabel(vs[i])
+		// Extend the run while the label stays the same.
+		lo, hi := st.labelStart[l], st.labelEnd(l)
+		j := i + 1
+		for j < len(vs) && vs[j] != graph.NilVID && vs[j] >= lo && vs[j] < hi {
+			j++
+		}
+		pid := st.schema.VertexPropID(l, prop)
+		if pid == graph.NoProp {
+			for k := i; k < j; k++ {
+				out[k] = graph.NullValue
+			}
+			i = j
+			continue
+		}
+		if cap(rows) < j-i {
+			rows = make([]int, j-i)
+		}
+		rows = rows[:j-i]
+		for k := i; k < j; k++ {
+			rows[k-i] = int(vs[k] - lo)
+		}
+		st.vcols[l][pid].Gather(rows, out[i:j])
+		i = j
+	}
+}
+
+// labelEnd returns the exclusive end of a label's contiguous ID range.
+func (st *Store) labelEnd(l graph.LabelID) graph.VID {
+	if int(l)+1 < len(st.labelStart) {
+		return st.labelStart[l+1]
+	}
+	return graph.VID(len(st.extIDs))
+}
+
+// GatherEdgeProp implements grin.BatchProps; label runs gather through the
+// edge label's typed column.
+func (st *Store) GatherEdgeProp(es []graph.EID, prop string, out []graph.Value) {
+	var rows []int
+	for i := 0; i < len(es); {
+		if es[i] == graph.NilEID {
+			out[i] = graph.NullValue
+			i++
+			continue
+		}
+		l := st.elabels[es[i]]
+		j := i + 1
+		for j < len(es) && es[j] != graph.NilEID && st.elabels[es[j]] == l {
+			j++
+		}
+		pid := st.schema.EdgePropID(l, prop)
+		if pid == graph.NoProp {
+			for k := i; k < j; k++ {
+				out[k] = graph.NullValue
+			}
+			i = j
+			continue
+		}
+		if cap(rows) < j-i {
+			rows = make([]int, j-i)
+		}
+		rows = rows[:j-i]
+		for k := i; k < j; k++ {
+			rows[k-i] = int(st.erow[es[k]])
+		}
+		st.ecols[l][pid].Gather(rows, out[i:j])
+		i = j
+	}
+}
+
+// GatherVertexLabels implements grin.BatchProps with a run-cached range
+// probe.
+func (st *Store) GatherVertexLabels(vs []graph.VID, out []graph.LabelID) {
+	last, lo, hi := graph.AnyLabel, graph.NilVID, graph.NilVID
+	for i, v := range vs {
+		if v == graph.NilVID {
+			out[i] = graph.AnyLabel
+			continue
+		}
+		if last == graph.AnyLabel || v < lo || v >= hi {
+			last = st.VertexLabel(v)
+			lo, hi = st.labelStart[last], st.labelEnd(last)
+		}
+		out[i] = last
+	}
+}
+
+// GatherEdgeLabels implements grin.BatchProps straight off the label array.
+func (st *Store) GatherEdgeLabels(es []graph.EID, out []graph.LabelID) {
+	for i, e := range es {
+		if e == graph.NilEID {
+			out[i] = graph.AnyLabel
+			continue
+		}
+		out[i] = st.elabels[e]
+	}
+}
