@@ -35,6 +35,19 @@ func main() {
 	if len(ids) == 0 {
 		ids = bench.IDs()
 	}
+	// Validate every requested ID before running any experiment: a typo in
+	// the last argument must not surface after minutes of benchmarking.
+	known := map[string]bool{}
+	for _, id := range bench.IDs() {
+		known[id] = true
+	}
+	for _, id := range ids {
+		if !known[id] {
+			fmt.Fprintf(os.Stderr, "flexbench: unknown experiment %q (run `flexbench -list` for the available IDs)\n", id)
+			fmt.Fprintln(os.Stderr, "usage: flexbench [-quick] [-json file] [-list] [experiment ...]")
+			os.Exit(2)
+		}
+	}
 	fmt.Printf("flexbench: GOMAXPROCS=%d (scaling experiments need >1 CPU to separate)\n\n", runtime.GOMAXPROCS(0))
 	var tables []*bench.Table
 	for _, id := range ids {

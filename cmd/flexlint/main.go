@@ -1,0 +1,94 @@
+// Command flexlint is the multichecker for the repository's architectural
+// invariants: trait-only storage access (grinboundary), reproducible
+// execution (determinism), typed-column discipline (valuebox), safe
+// concurrency and pooling (parallelsafety), and an honest backend
+// capability matrix (traitcomplete).
+//
+// Usage:
+//
+//	go run ./cmd/flexlint ./...
+//	go run ./cmd/flexlint -only grinboundary,determinism ./internal/query/...
+//	go run ./cmd/flexlint -list
+//
+// Findings print as file:line:col: message (analyzer) and any finding makes
+// the exit status 1, so CI can gate on a clean tree. Intentional findings
+// are suppressed inline with
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on the offending line or the line above; the reason is mandatory and a
+// suppression naming an unknown analyzer is itself a finding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%s\n    %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		var selected []*analysis.Analyzer
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "flexlint: unknown analyzer %q (use -list)\n", name)
+				os.Exit(2)
+			}
+			selected = append(selected, a)
+		}
+		analyzers = selected
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flexlint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flexlint:", err)
+		os.Exit(2)
+	}
+	// Suppressions may target any analyzer in the suite, not just the ones
+	// selected by -only: a partial run must not flag the others' escapes.
+	known := make([]string, 0, len(lint.All()))
+	for _, a := range lint.All() {
+		known = append(known, a.Name)
+	}
+	findings, err := analysis.RunKnown(pkgs, analyzers, known)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flexlint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "flexlint: %d finding(s) across %d package(s)\n", len(findings), len(pkgs))
+		os.Exit(1)
+	}
+}

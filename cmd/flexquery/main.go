@@ -40,10 +40,36 @@ func main() {
 	batch := flag.Int("batch", 0, "rows per batch (0: engine default)")
 	explain := flag.Bool("explain", false, "print the logical plan instead of executing")
 	flag.Parse()
-	if flag.NArg() != 1 {
+	usage := func(msg string) {
+		fmt.Fprintln(os.Stderr, "flexquery: "+msg)
 		fmt.Fprintln(os.Stderr,
 			"usage: flexquery [-persons n] [-lang cypher|gremlin] [-store vineyard|gart|livegraph] [-par n] [-batch n] [-explain] <query>")
 		os.Exit(2)
+	}
+	if flag.NArg() != 1 {
+		usage("expected exactly one query argument")
+	}
+	// Validate every flag before the dataset build: an unknown store or a
+	// negative tuning knob must fail in milliseconds, not after generating
+	// and loading an SNB graph.
+	switch *store {
+	case "vineyard", "gart", "livegraph":
+	default:
+		usage(fmt.Sprintf("unknown store %q (want vineyard, gart or livegraph)", *store))
+	}
+	switch *lang {
+	case "cypher", "gremlin":
+	default:
+		usage(fmt.Sprintf("unknown language %q (want cypher or gremlin)", *lang))
+	}
+	if *par < 0 {
+		usage(fmt.Sprintf("-par %d is negative (0 means GOMAXPROCS)", *par))
+	}
+	if *batch < 0 {
+		usage(fmt.Sprintf("-batch %d is negative (0 means the engine default)", *batch))
+	}
+	if *persons <= 0 {
+		usage(fmt.Sprintf("-persons %d must be positive", *persons))
 	}
 	query := flag.Arg(0)
 
@@ -60,8 +86,6 @@ func main() {
 		}
 	case "livegraph":
 		st, err = livegraph.LoadBatch(b)
-	default:
-		err = fmt.Errorf("unknown store %q (want vineyard, gart or livegraph)", *store)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -74,8 +98,6 @@ func main() {
 		plan, err = cypher.Parse(query, schema)
 	case "gremlin":
 		plan, err = gremlin.Parse(query, schema)
-	default:
-		err = fmt.Errorf("unknown language %q", *lang)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -224,10 +224,10 @@ func (f *Fragment) Graph() grin.Graph { return f.g }
 // directly into the dense per-destination scratch — GRAPE's in-memory
 // aggregation — instead of buffering raw messages.
 type Context struct {
-	frag    *Fragment
-	out     [][]Message // per destination fragment (no-combiner path)
-	sc      []*denseScratch
-	comb    func(a, b float64) float64
+	frag  *Fragment
+	out   [][]Message // per destination fragment (no-combiner path)
+	sc    []*denseScratch
+	comb  func(a, b float64) float64
 	rerun bool
 	step  int
 

@@ -1,0 +1,149 @@
+// Package analysis is a dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary, sized for this repository's
+// architectural linters (cmd/flexlint). The toolchain image carries no
+// x/tools module, so the framework is rebuilt on the standard library:
+// packages are located with `go list`, dependencies are imported from the
+// build cache's gc export data, and only the packages under analysis are
+// typechecked from source.
+//
+// Analyzers written against this package look exactly like x/tools
+// analyzers — an Analyzer value with a Run(*Pass) hook reporting
+// Diagnostics — so they can migrate to the real framework wholesale if the
+// dependency ever lands.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and in //lint:allow
+	// suppressions. Lowercase, no spaces.
+	Name string
+	// Doc is a one-paragraph description of the invariant the analyzer
+	// enforces, shown by `flexlint -list`.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's syntax and type information to an analyzer.
+type Pass struct {
+	// Analyzer is the analyzer being run.
+	Analyzer *Analyzer
+	// Path is the package's import path (testdata packages keep their
+	// testdata/src-relative path, so path-scoped analyzers apply there too).
+	Path string
+	// Fset maps positions for Files and for all imported packages.
+	Fset *token.FileSet
+	// Files is the package's parsed syntax, comments included.
+	Files []*ast.File
+	// Pkg is the typechecked package.
+	Pkg *types.Package
+	// TypesInfo records types and uses for every expression in Files.
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Report emits a finding.
+func (p *Pass) Report(d Diagnostic) { p.report(d) }
+
+// Reportf emits a finding with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Finding is a resolved diagnostic: position plus the analyzer that raised
+// it, ready for printing and for suppression matching.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String formats the finding the way compilers do, so editors link it.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+}
+
+// Run applies analyzers to pkgs and returns surviving findings, sorted by
+// position. Findings carrying a //lint:allow suppression for their analyzer
+// on the same or preceding line are dropped; malformed suppressions are
+// reported as findings of the pseudo-analyzer "lint". The analyzers being
+// run are also the set of valid suppression targets; use RunKnown when
+// running a subset of a larger suite.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	known := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		known[i] = a.Name
+	}
+	return RunKnown(pkgs, analyzers, known)
+}
+
+// RunKnown is Run with an explicit set of analyzer names that suppressions
+// may legitimately target. A partial run (flexlint -only) passes the full
+// suite's names here, so suppressions of analyzers that merely are not
+// running this time are not misreported as naming unknown analyzers.
+func RunKnown(pkgs []*Package, analyzers []*Analyzer, known []string) ([]Finding, error) {
+	var out []Finding
+	for _, pkg := range pkgs {
+		sup := collectSuppressions(pkg.Fset, pkg.Files, known)
+		out = append(out, sup.malformed...)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Path:      pkg.Path,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.report = func(d Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				if sup.allows(a.Name, pos) {
+					return
+				}
+				out = append(out, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+			}
+		}
+	}
+	sortFindings(out)
+	return out, nil
+}
+
+func sortFindings(fs []Finding) {
+	// Insertion sort keeps the dependency surface flat; finding counts are
+	// tiny (a clean tree has zero).
+	for i := 1; i < len(fs); i++ {
+		for j := i; j > 0 && lessFinding(fs[j], fs[j-1]); j-- {
+			fs[j], fs[j-1] = fs[j-1], fs[j]
+		}
+	}
+}
+
+func lessFinding(a, b Finding) bool {
+	if a.Pos.Filename != b.Pos.Filename {
+		return a.Pos.Filename < b.Pos.Filename
+	}
+	if a.Pos.Line != b.Pos.Line {
+		return a.Pos.Line < b.Pos.Line
+	}
+	if a.Pos.Column != b.Pos.Column {
+		return a.Pos.Column < b.Pos.Column
+	}
+	return a.Analyzer < b.Analyzer
+}

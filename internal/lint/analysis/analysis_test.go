@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestSuppression(t *testing.T) {
+	src := `package p
+
+func a() {} // offending line 3
+
+//lint:allow demo covered by design doc
+func b() {} // line 6: suppressed by preceding line
+
+func c() {} //lint:allow demo trailing comment form
+
+func d() {} //lint:allow demo
+`
+	f, err := parser.ParseFile(resolver.fset, "sup.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &Package{Path: "fixture/sup", Fset: resolver.fset, Files: nil}
+	pkg.Files = append(pkg.Files, f)
+
+	lines := []int{3, 6, 8, 10}
+	demo := &Analyzer{Name: "demo", Doc: "test analyzer", Run: func(p *Pass) error {
+		file := p.Files[0]
+		tf := p.Fset.File(file.Pos())
+		for _, line := range lines {
+			p.Reportf(tf.LineStart(line), "finding on line %d", line)
+		}
+		return nil
+	}}
+
+	findings, err := Run([]*Package{pkg}, []*Analyzer{demo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var demoLines []int
+	sawMalformed := false
+	for _, f := range findings {
+		switch f.Analyzer {
+		case "demo":
+			demoLines = append(demoLines, f.Pos.Line)
+		case "lint":
+			// Line 10's suppression has no reason and must surface.
+			sawMalformed = true
+			if !strings.Contains(f.Message, "no reason") {
+				t.Errorf("malformed-suppression message = %q", f.Message)
+			}
+		}
+	}
+	// Line 3 is unsuppressed; 6 and 8 are suppressed; 10's suppression is
+	// malformed, so the finding stands alongside the lint finding.
+	want := []int{3, 10}
+	if len(demoLines) != len(want) || demoLines[0] != want[0] || demoLines[1] != want[1] {
+		t.Errorf("surviving finding lines = %v, want %v", demoLines, want)
+	}
+	if !sawMalformed {
+		t.Error("reason-less suppression did not produce a lint finding")
+	}
+}
+
+func TestUnknownAnalyzerSuppression(t *testing.T) {
+	src := `package p
+
+//lint:allow nosuch because reasons
+func a() {}
+`
+	f, err := parser.ParseFile(resolver.fset, "unknown.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &Package{Path: "fixture/unknown", Fset: resolver.fset}
+	pkg.Files = append(pkg.Files, f)
+	noop := &Analyzer{Name: "noop", Doc: "noop", Run: func(p *Pass) error { return nil }}
+	findings, err := Run([]*Package{pkg}, []*Analyzer{noop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || findings[0].Analyzer != "lint" ||
+		!strings.Contains(findings[0].Message, "unknown analyzer") {
+		t.Errorf("findings = %v, want one lint finding about an unknown analyzer", findings)
+	}
+}
+
+func TestLoadTypechecks(t *testing.T) {
+	pkgs, err := Load(".", "repro/internal/graph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.Types.Scope().Lookup("Value") == nil {
+		t.Error("repro/internal/graph loaded without type Value in scope")
+	}
+	if len(pkg.Info.Uses) == 0 {
+		t.Error("loader returned no use information")
+	}
+}
+
+func TestFindingOrder(t *testing.T) {
+	fs := []Finding{
+		{Analyzer: "b", Pos: token.Position{Filename: "x.go", Line: 9}},
+		{Analyzer: "a", Pos: token.Position{Filename: "x.go", Line: 2}},
+		{Analyzer: "a", Pos: token.Position{Filename: "a.go", Line: 5}},
+	}
+	sortFindings(fs)
+	if fs[0].Pos.Filename != "a.go" || fs[1].Pos.Line != 2 || fs[2].Pos.Line != 9 {
+		t.Errorf("sortFindings order wrong: %v", fs)
+	}
+}

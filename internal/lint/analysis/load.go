@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+)
+
+// Package is one loaded, typechecked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// The resolver is process-wide: one file set, one gc importer, one export
+// data cache. Sharing it across Load calls (and across analysistest runs in
+// one test binary) means each dependency's export data is located and
+// decoded once.
+var resolver = struct {
+	sync.Mutex
+	fset    *token.FileSet
+	exports map[string]string // import path → export data file
+	imp     types.Importer
+	dir     string // module-relative working directory for go commands
+}{
+	fset:    token.NewFileSet(),
+	exports: map[string]string{},
+}
+
+// Fset returns the file set shared by every package the process loads.
+func Fset() *token.FileSet { return resolver.fset }
+
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+func goList(dir string, args ...string) ([]listEntry, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", args, err, stderr.String())
+	}
+	var entries []listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding: %v", args, err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// prefetchExports records export data files for every dependency of the
+// patterns in one go invocation. Compilation happens through the build
+// cache, so repeated runs are warm.
+func prefetchExports(dir string, patterns []string) error {
+	entries, err := goList(dir, append([]string{"-deps", "-export", "-json=ImportPath,Export"}, patterns...)...)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.Export != "" {
+			resolver.exports[e.ImportPath] = e.Export
+		}
+	}
+	return nil
+}
+
+// lookupExport resolves one import path to its export data, consulting the
+// cache first and falling back to a targeted go list (stdlib packages a
+// testdata file imports may sit outside the prefetched dependency closure).
+// Called by the gc importer with the resolver lock held by the typechecking
+// caller — go/types drives imports synchronously.
+func lookupExport(path string) (io.ReadCloser, error) {
+	if f, ok := resolver.exports[path]; ok {
+		return os.Open(f)
+	}
+	entries, err := goList(resolver.dir, "-export", "-json=ImportPath,Export", path)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if e.Export != "" {
+			resolver.exports[e.ImportPath] = e.Export
+		}
+	}
+	if f, ok := resolver.exports[path]; ok {
+		return os.Open(f)
+	}
+	return nil, fmt.Errorf("no export data for %q", path)
+}
+
+func initResolver(dir string) {
+	resolver.dir = dir
+	if resolver.imp == nil {
+		resolver.imp = importer.ForCompiler(resolver.fset, "gc", lookupExport)
+	}
+}
+
+// Load locates the packages matching patterns (relative to dir), typechecks
+// each from source against its dependencies' export data, and returns them
+// in go list order. Test files are not loaded: the invariants flexlint
+// enforces concern production code, and benchmarks are deliberately outside
+// the determinism rules.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	resolver.Lock()
+	defer resolver.Unlock()
+	initResolver(dir)
+	if err := prefetchExports(dir, patterns); err != nil {
+		return nil, err
+	}
+	targets, err := goList(dir, append([]string{"-json=ImportPath,Dir,GoFiles"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(resolver.fset, filepath.Join(t.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		pkg, err := check(t.ImportPath, files)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Dir = t.Dir
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// CheckFiles typechecks already-parsed files (from the shared Fset) as
+// package path — the entry point analysistest uses for testdata packages,
+// whose imports resolve against the real module's export data.
+func CheckFiles(dir, path string, files []*ast.File) (*Package, error) {
+	resolver.Lock()
+	defer resolver.Unlock()
+	initResolver(dir)
+	return check(path, files)
+}
+
+func check(path string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: resolver.imp}
+	tpkg, err := conf.Check(path, resolver.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typechecking %s: %w", path, err)
+	}
+	return &Package{Path: path, Fset: resolver.fset, Files: files, Types: tpkg, Info: info}, nil
+}

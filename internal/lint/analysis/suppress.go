@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppressions are written inline as
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on the offending line or the line directly above it. The reason is
+// mandatory: a suppression without one is itself a finding, so the tree
+// never accumulates unexplained escapes.
+const allowPrefix = "//lint:allow"
+
+type suppressionSet struct {
+	// byFile maps filename → line → analyzer names allowed on that line.
+	byFile    map[string]map[int][]string
+	malformed []Finding
+}
+
+func collectSuppressions(fset *token.FileSet, files []*ast.File, names []string) *suppressionSet {
+	known := map[string]bool{}
+	for _, n := range names {
+		known[n] = true
+	}
+	s := &suppressionSet{byFile: map[string]map[int][]string{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(strings.TrimPrefix(c.Text, allowPrefix))
+				switch {
+				case len(fields) == 0:
+					s.malformed = append(s.malformed, Finding{
+						Analyzer: "lint", Pos: pos,
+						Message: "malformed suppression: want //lint:allow <analyzer> <reason>",
+					})
+					continue
+				case !known[fields[0]]:
+					s.malformed = append(s.malformed, Finding{
+						Analyzer: "lint", Pos: pos,
+						Message: "suppression names unknown analyzer " + strings.TrimSpace(fields[0]),
+					})
+					continue
+				case len(fields) < 2:
+					s.malformed = append(s.malformed, Finding{
+						Analyzer: "lint", Pos: pos,
+						Message: "suppression of " + fields[0] + " has no reason; explain why the finding is intentional",
+					})
+					continue
+				}
+				lines := s.byFile[pos.Filename]
+				if lines == nil {
+					lines = map[int][]string{}
+					s.byFile[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], fields[0])
+			}
+		}
+	}
+	return s
+}
+
+// allows reports whether analyzer is suppressed at pos: an allow comment on
+// the finding's own line (trailing comment) or on the line directly above.
+func (s *suppressionSet) allows(analyzer string, pos token.Position) bool {
+	lines := s.byFile[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[line] {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}

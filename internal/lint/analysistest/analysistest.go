@@ -1,0 +1,169 @@
+// Package analysistest runs an analyzer over small fixture packages and
+// checks its diagnostics against expectations embedded in the fixtures —
+// the same contract as golang.org/x/tools/go/analysis/analysistest, rebuilt
+// on this repository's dependency-free analysis framework.
+//
+// Fixtures live under <package under test>/testdata/src/<importpath>/ and
+// may import real module packages (repro/internal/graph, sync, ...): their
+// imports are resolved against the module's compiled export data, so
+// fixtures typecheck exactly like production code. An expectation is a
+// trailing comment
+//
+//	// want "regexp" "another regexp"
+//
+// with one quoted regular expression per diagnostic expected on that line.
+// The run fails on any unmatched expectation and any unexpected diagnostic,
+// so every test pins positive and negative cases at line granularity.
+package analysistest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+)
+
+// TestData returns the calling test's testdata/src root.
+func TestData(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(wd, "testdata", "src")
+}
+
+// want is one expectation: a pattern at a file line.
+type want struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// Run loads testdata/src/<path> for each path, runs the analyzer, and
+// reports mismatches between diagnostics and want comments as test errors.
+// Driver-level //lint:allow suppressions are honored, so fixtures can pin
+// the suppression contract too.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	for _, path := range paths {
+		runOne(t, testdata, a, path)
+	}
+}
+
+func runOne(t *testing.T, testdata string, a *analysis.Analyzer, path string) {
+	t.Helper()
+	dir := filepath.Join(testdata, filepath.FromSlash(path))
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("%s: no fixture files in %s (%v)", path, dir, err)
+	}
+	fset := analysis.Fset()
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+	wants := collectWants(t, fset, files)
+	pkg, err := analysis.CheckFiles(dir, path, files)
+	if err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	findings, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	for _, f := range findings {
+		if !claim(wants, f) {
+			t.Errorf("%s: unexpected diagnostic: %s", path, f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: no diagnostic at %s:%d matching %q", path, filepath.Base(w.file), w.line, w.pattern)
+		}
+	}
+}
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, lit := range splitQuoted(m[1]) {
+					text, err := strconv.Unquote(lit)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want literal %s: %v", pos.Filename, pos.Line, lit, err)
+					}
+					re, err := regexp.Compile(text)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, text, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted extracts the "..." literals of a want comment tail.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		i := strings.IndexByte(s, '"')
+		if i < 0 {
+			return out
+		}
+		j := i + 1
+		for j < len(s) {
+			if s[j] == '\\' {
+				j += 2
+				continue
+			}
+			if s[j] == '"' {
+				break
+			}
+			j++
+		}
+		if j >= len(s) {
+			return out
+		}
+		out = append(out, s[i:j+1])
+		s = s[j+1:]
+	}
+}
+
+// claim marks the first unmatched want on the finding's line that matches
+// its message.
+func claim(wants []*want, f analysis.Finding) bool {
+	for _, w := range wants {
+		if w.matched || w.line != f.Pos.Line || w.file != f.Pos.Filename {
+			continue
+		}
+		if w.pattern.MatchString(f.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,89 @@
+// Package determinism enforces the runtime's reproducibility contract: all
+// three engines must return row-for-row identical results at any
+// parallelism and batch size (the parity matrix PRs 2–3 pinned). The two
+// classic ways Go code breaks that silently are ranging over a map on a
+// path that feeds output rows, and reading wall-clock time or global
+// randomness during execution.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer flags nondeterminism sources on query-execution paths.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "on query-execution paths (exec, gaia, hiactor, naive, parallel), flag range over " +
+		"maps (iteration order can reach output rows — iterate a sorted key slice, or " +
+		"suppress with a reason when the loop is provably order-independent) and any use " +
+		"of time.Now or math/rand outside benchmarks",
+	Run: run,
+}
+
+// hotPaths are the execution-path package markers. Benchmarks live in
+// _test.go files, which the loader never parses, so they are exempt by
+// construction.
+var hotPaths = []string{
+	"/query/exec",
+	"/query/gaia",
+	"/query/hiactor",
+	"/query/naive",
+	"/internal/parallel",
+}
+
+func applies(path string) bool {
+	for _, p := range hotPaths {
+		if strings.Contains("/"+path, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	if !applies(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			target, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if target == "math/rand" || target == "math/rand/v2" {
+				pass.Reportf(imp.Pos(),
+					"execution path imports %s; query results must not depend on randomness — thread an explicit seed through the plan if sampling is required",
+					target)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						pass.Reportf(n.Range,
+							"range over map %s on an execution path: iteration order is nondeterministic and can reach output rows; iterate sorted keys instead",
+							types.ExprString(n.X))
+					}
+				}
+			case *ast.SelectorExpr:
+				obj := pass.TypesInfo.Uses[n.Sel]
+				if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "time" {
+					switch fn.Name() {
+					case "Now", "Since", "Until":
+						pass.Reportf(n.Pos(),
+							"time.%s on an execution path makes results and traces run-dependent; timing belongs in benchmarks",
+							fn.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

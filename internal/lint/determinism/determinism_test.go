@@ -1,0 +1,15 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), determinism.Analyzer,
+		"repro/internal/query/exec/detfix", // execution path: findings fire
+		"repro/internal/tools/detfix",      // off-path package: same code, no findings
+	)
+}

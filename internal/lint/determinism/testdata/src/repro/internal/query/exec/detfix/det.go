@@ -1,0 +1,42 @@
+// Package detfix exercises every nondeterminism source the analyzer knows
+// on a package whose import path sits on an execution path (/query/exec).
+package detfix
+
+import (
+	"sort"
+	"time"
+
+	_ "math/rand" // want "execution path imports math/rand"
+)
+
+// Sum ranges over a map on the hot path — iteration order can reach output
+// rows.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want "range over map m on an execution path"
+		total += v
+	}
+	return total
+}
+
+// SortedKeys is the sanctioned pattern: collect, sort, then range the slice.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//lint:allow determinism populates a slice that is sorted before use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for range keys { // ranging a slice is fine
+	}
+	return keys
+}
+
+// Stamp reads the wall clock during execution.
+func Stamp() time.Time {
+	return time.Now() // want "time.Now on an execution path"
+}
+
+// Elapsed is fine: time.Duration values are data, only the clock reads are
+// flagged.
+func Elapsed(d time.Duration) float64 { return d.Seconds() }

@@ -1,0 +1,18 @@
+// Package detfix holds the same constructs as the hot-path fixture, but its
+// import path is not an execution path, so the analyzer must stay silent:
+// map iteration and clock reads are fine in loaders, tools and tests.
+package detfix
+
+import "time"
+
+// Sum may range a map here: no query rows derive from the order.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Stamp may read the clock here.
+func Stamp() time.Time { return time.Now() }

@@ -1,0 +1,76 @@
+// Package grinboundary enforces the stack's central composition rule
+// (paper §2, §4.1): execution layers talk to storage only through GRIN
+// traits. A query or analytics package that imports a concrete backend has
+// punched through the boundary — it will keep working against that one
+// store and silently stop composing with the other four.
+package grinboundary
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer flags imports of concrete storage backends from runtime
+// packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "grinboundary",
+	Doc: "runtime packages (internal/query/..., internal/analytics/...) must access storage " +
+		"through internal/grin traits, never by importing a concrete backend " +
+		"(internal/storage/{vineyard,csr,gart,livegraph,graphar})",
+	Run: run,
+}
+
+// backends are the concrete stores behind the GRIN boundary. The column and
+// graphar-format packages are deliberately absent: columns are a shared
+// data-layout library and loaders compose stores by design.
+var backends = []string{
+	"internal/storage/vineyard",
+	"internal/storage/csr",
+	"internal/storage/gart",
+	"internal/storage/livegraph",
+	"internal/storage/graphar",
+}
+
+// allowlist maps runtime package paths that may import backends to the
+// reason why — loaders and store-specific test fixtures. It is empty today:
+// the one historical leak (procedures' update workload taking *gart.Store)
+// was closed by expressing updates against a mutation interface.
+var allowlist = map[string]string{}
+
+// runtimePaths marks the layers the boundary protects.
+var runtimePaths = []string{"/internal/query/", "/internal/analytics/"}
+
+func run(pass *analysis.Pass) error {
+	path := "/" + pass.Path + "/"
+	applies := false
+	for _, p := range runtimePaths {
+		if strings.Contains(path, p) {
+			applies = true
+			break
+		}
+	}
+	if !applies {
+		return nil
+	}
+	if _, ok := allowlist[pass.Path]; ok {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			target, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			for _, b := range backends {
+				if strings.HasSuffix(target, b) || strings.Contains(target, b+"/") {
+					pass.Reportf(imp.Pos(),
+						"runtime package imports concrete backend %q; go through internal/grin traits instead",
+						target)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,9 @@
+// Package loaderfix sits outside the runtime layers (it is neither under
+// internal/query nor internal/analytics), so importing a concrete backend
+// is its job, not a violation.
+package loaderfix
+
+import (
+	_ "repro/internal/storage/csr"
+	_ "repro/internal/storage/livegraph"
+)

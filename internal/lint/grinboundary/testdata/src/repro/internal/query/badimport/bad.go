@@ -1,0 +1,9 @@
+// Package badimport punches through the GRIN boundary: it sits on a
+// runtime path (internal/query/...) yet imports concrete backends.
+package badimport
+
+import (
+	_ "repro/internal/storage/csr" // want "runtime package imports concrete backend \"repro/internal/storage/csr\""
+
+	_ "repro/internal/storage/gart" //lint:allow grinboundary fixture pins that driver suppressions reach analysistest runs
+)

@@ -1,0 +1,19 @@
+// Package cleanok is a runtime package that stays on the trait path: it
+// reaches storage only through internal/grin, so the boundary analyzer has
+// nothing to say.
+package cleanok
+
+import (
+	"repro/internal/graph"
+	"repro/internal/grin"
+)
+
+// Expand counts one vertex's out-neighbors through the trait interface.
+func Expand(g grin.Graph, v graph.VID) int {
+	n := 0
+	g.Neighbors(v, graph.Out, func(graph.VID, graph.EID) bool {
+		n++
+		return true
+	})
+	return n
+}

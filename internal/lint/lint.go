@@ -1,0 +1,26 @@
+// Package lint assembles the flexlint analyzer suite: the architectural
+// invariants PRs 1–3 established (trait-only storage access, deterministic
+// batch reassembly, pooled-arena discipline) as machine-checked rules.
+// cmd/flexlint is the multichecker driver; each analyzer lives in its own
+// package with analysistest fixtures.
+package lint
+
+import (
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/determinism"
+	"repro/internal/lint/grinboundary"
+	"repro/internal/lint/parallelsafety"
+	"repro/internal/lint/traitcomplete"
+	"repro/internal/lint/valuebox"
+)
+
+// All returns the full analyzer suite in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		grinboundary.Analyzer,
+		determinism.Analyzer,
+		valuebox.Analyzer,
+		parallelsafety.Analyzer,
+		traitcomplete.Analyzer,
+	}
+}

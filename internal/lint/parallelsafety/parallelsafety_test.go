@@ -1,0 +1,13 @@
+package parallelsafety_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/parallelsafety"
+)
+
+func TestParallelSafety(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), parallelsafety.Analyzer,
+		"repro/internal/psfix")
+}

@@ -1,0 +1,9 @@
+// Package tcfix holds a trait gap on a package that is not a storage
+// backend: the pairing rule only applies behind the GRIN boundary, so the
+// analyzer must stay silent here.
+package tcfix
+
+// TopoGap would be a finding under internal/storage.
+type TopoGap struct{}
+
+func (TopoGap) Neighbors() {}

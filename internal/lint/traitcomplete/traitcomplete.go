@@ -1,0 +1,158 @@
+// Package traitcomplete keeps README's backend capability matrix honest:
+// the vectorized runtime dispatches the batched GRIN traits once per
+// frontier, so a backend that implements a scalar trait but silently relies
+// on the generic fallback for its batched counterpart hides a per-batch
+// fast path the engines expect. Every such gap must be either closed with a
+// native implementation or declared with a `// grin:fallback` marker on the
+// type, which is what the matrix's "fallback" cells point at.
+package traitcomplete
+
+import (
+	"go/ast"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer flags backend types with scalar traits whose batched
+// counterparts are neither implemented nor declared fallback.
+var Analyzer = &analysis.Analyzer{
+	Name: "traitcomplete",
+	Doc: "every storage backend type implementing a scalar GRIN trait must implement its " +
+		"batched counterpart (BatchAdjacency/BatchProps/BatchScan) or carry a " +
+		"// grin:fallback marker on the type declaration",
+	Run: run,
+}
+
+// backendPaths are the concrete store packages the rule applies to.
+var backendPaths = []string{
+	"/storage/vineyard",
+	"/storage/csr",
+	"/storage/gart",
+	"/storage/livegraph",
+	"/storage/graphar",
+}
+
+// pairs maps a scalar trait's marker method to the batched method that must
+// accompany it. A type with any method of the scalar set is treated as
+// implementing the trait; signatures are checked by the compiler when the
+// type is used through grin, so names suffice here.
+var pairs = []struct {
+	scalar  []string // any of these methods ⇒ type implements the scalar trait
+	trait   string   // scalar trait name, for the message
+	batched string   // required batched method
+	btrait  string   // batched trait name, for the message
+}{
+	{[]string{"Neighbors"}, "Graph (topology)", "ExpandBatch", "BatchAdjacency"},
+	{[]string{"VertexProp"}, "PropertyReader", "GatherVertexProp", "BatchProps"},
+	{[]string{"ScanVertices", "LabelRange"}, "PredicatePush/Index (scan)", "ScanBatch", "BatchScan"},
+}
+
+const marker = "grin:fallback"
+
+func applies(path string) bool {
+	for _, p := range backendPaths {
+		if strings.Contains("/"+path, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	if !applies(pass.Path) {
+		return nil
+	}
+	methods := map[string]map[string]bool{} // type name → method set
+	specs := map[string]*ast.TypeSpec{}
+	fallback := map[string]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Recv == nil || len(d.Recv.List) == 0 {
+					continue
+				}
+				name := receiverType(d.Recv.List[0].Type)
+				if name == "" {
+					continue
+				}
+				if methods[name] == nil {
+					methods[name] = map[string]bool{}
+				}
+				methods[name][d.Name.Name] = true
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					specs[ts.Name.Name] = ts
+					if hasMarker(d.Doc) || hasMarker(ts.Doc) || hasMarker(ts.Comment) {
+						fallback[ts.Name.Name] = true
+					}
+				}
+			}
+		}
+	}
+	for name, ms := range methods {
+		if fallback[name] {
+			continue
+		}
+		for _, p := range pairs {
+			if ms[p.batched] {
+				continue
+			}
+			scalarName := ""
+			for _, s := range p.scalar {
+				if ms[s] {
+					scalarName = s
+					break
+				}
+			}
+			if scalarName == "" {
+				continue
+			}
+			pos := pass.Files[0].Pos()
+			if ts, ok := specs[name]; ok {
+				pos = ts.Pos()
+			}
+			pass.Reportf(pos,
+				"backend type %s implements scalar trait %s (%s) but not batched %s.%s; implement it or mark the type with // grin:fallback <reason>",
+				name, p.trait, scalarName, p.btrait, p.batched)
+		}
+	}
+	return nil
+}
+
+func hasMarker(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.Contains(c.Text, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// receiverType unwraps a method receiver to its base type name.
+func receiverType(e ast.Expr) string {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x.Name
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.IndexListExpr:
+			e = x.X
+		default:
+			return ""
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Package boxfix exercises the Value-boxing allocation patterns on a
+// hot-path import path (/query/exec).
+package boxfix
+
+import "repro/internal/graph"
+
+// PerRowMake allocates a fresh boxed row per iteration — the pattern typed
+// columns exist to remove.
+func PerRowMake(n int) [][]graph.Value {
+	var rows [][]graph.Value
+	for i := 0; i < n; i++ {
+		row := make([]graph.Value, 3) // want "make\\(\\[\\]graph.Value, ...\\) inside a hot loop"
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// PerRowLiteral builds a boxed literal per iteration.
+func PerRowLiteral(vids []graph.VID) [][]graph.Value {
+	var rows [][]graph.Value
+	for _, v := range vids {
+		rows = append(rows, []graph.Value{graph.IntValue(int64(v))}) // want "\\[\\]graph.Value literal allocated inside a hot loop"
+	}
+	return rows
+}
+
+// PerRowClone converts (clones) a boxed row per iteration.
+func PerRowClone(rows [][]graph.Value) {
+	for _, r := range rows {
+		_ = []graph.Value(r) // want "\\[\\]graph.Value conversion inside a hot loop"
+	}
+}
+
+// PerRowBox boxes a scalar into the empty interface per iteration.
+func PerRowBox(xs []int64) {
+	for _, x := range xs {
+		_ = interface{}(x) // want "interface.. boxing inside a hot loop"
+	}
+}
+
+// Hoisted is the sanctioned shape: one arena allocated outside the loop and
+// reused across iterations.
+func Hoisted(n int) []graph.Value {
+	row := make([]graph.Value, 3)
+	for i := 0; i < n; i++ {
+		row[0] = graph.IntValue(int64(i))
+	}
+	return row
+}
+
+// ClosureResets shows that a function literal resets loop depth: the
+// closure's body runs on its own schedule, so an allocation there is not a
+// per-iteration allocation of the enclosing loop.
+func ClosureResets(n int) []func() []graph.Value {
+	var fns []func() []graph.Value
+	for i := 0; i < n; i++ {
+		fns = append(fns, func() []graph.Value {
+			return make([]graph.Value, 1)
+		})
+	}
+	return fns
+}
+
+// Suppressed pins the escape hatch: retained per distinct key, not per row.
+func Suppressed(keys []int) map[int][]graph.Value {
+	out := map[int][]graph.Value{}
+	for _, k := range keys {
+		//lint:allow valuebox retained per distinct key in the result map, not per row
+		out[k] = make([]graph.Value, 1)
+	}
+	return out
+}

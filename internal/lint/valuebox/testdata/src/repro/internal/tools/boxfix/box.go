@@ -1,0 +1,15 @@
+// Package boxfix allocates boxed rows in loops on a package whose import
+// path is not a hot path: loaders and tools may box freely, so the analyzer
+// must stay silent here.
+package boxfix
+
+import "repro/internal/graph"
+
+// PerRowMake is the exact pattern the hot-path fixture flags.
+func PerRowMake(n int) [][]graph.Value {
+	var rows [][]graph.Value
+	for i := 0; i < n; i++ {
+		rows = append(rows, make([]graph.Value, 3))
+	}
+	return rows
+}

@@ -1,0 +1,133 @@
+// Package valuebox is the static groundwork for the roadmap's "kill
+// graph.Value boxing" item: it flags the allocation patterns that keep the
+// hot path on tagged unions — fresh []graph.Value slices and explicit
+// interface{} boxing inside stage/worker loops. Each finding names the
+// typed-column alternative, so the findings double as the migration
+// worklist for typed column vectors.
+package valuebox
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer flags per-row Value-boxing allocations in hot loops.
+var Analyzer = &analysis.Analyzer{
+	Name: "valuebox",
+	Doc: "in hot-path packages (exec, gaia, hiactor, naive), flag []graph.Value allocations " +
+		"and explicit interface{} conversions inside stage/worker loops; the typed-column " +
+		"alternative is a storage/column-style vector (or a batch arena) hoisted out of the loop",
+	Run: run,
+}
+
+var hotPaths = []string{
+	"/query/exec",
+	"/query/gaia",
+	"/query/hiactor",
+	"/query/naive",
+}
+
+func applies(path string) bool {
+	for _, p := range hotPaths {
+		if strings.Contains("/"+path, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	if !applies(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		walk(pass, f, 0)
+	}
+	return nil
+}
+
+// walk descends the syntax tracking how many for/range statements enclose
+// the node. Function literals reset the depth: a closure built inside a
+// loop runs on its own schedule, and its own loops are tracked when the
+// walk enters its body.
+func walk(pass *analysis.Pass, n ast.Node, loopDepth int) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			walk(pass, n.Body, 0)
+			return false
+		case *ast.ForStmt:
+			if n.Init != nil {
+				walk(pass, n.Init, loopDepth)
+			}
+			walk(pass, n.Body, loopDepth+1)
+			return false
+		case *ast.RangeStmt:
+			walk(pass, n.Body, loopDepth+1)
+			return false
+		case *ast.CompositeLit:
+			if loopDepth > 0 && isValueSlice(pass.TypesInfo.TypeOf(n)) {
+				pass.Reportf(n.Pos(),
+					"[]graph.Value literal allocated inside a hot loop; hoist a typed column (or batch arena) out of the loop and reuse it")
+			}
+		case *ast.CallExpr:
+			if loopDepth == 0 {
+				return true
+			}
+			checkCall(pass, n)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	// make([]graph.Value, ...) — a fresh boxed arena per iteration.
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "make" {
+		if isValueSlice(pass.TypesInfo.TypeOf(call)) {
+			pass.Reportf(call.Pos(),
+				"make([]graph.Value, ...) inside a hot loop; hoist a typed column (or batch arena) out of the loop and reuse it")
+		}
+		return
+	}
+	// Conversions: T(x). Flag []graph.Value(nil) (the append-clone idiom
+	// allocates per iteration) and interface{}(x) boxing.
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return
+	}
+	if isValueSlice(tv.Type) {
+		pass.Reportf(call.Pos(),
+			"[]graph.Value conversion inside a hot loop clones a boxed row; keep rows in the batch arena or use a typed column")
+		return
+	}
+	if iface, ok := tv.Type.Underlying().(*types.Interface); ok && iface.NumMethods() == 0 {
+		if arg := pass.TypesInfo.TypeOf(call.Args[0]); arg != nil {
+			if _, already := arg.Underlying().(*types.Interface); !already {
+				pass.Reportf(call.Pos(),
+					"interface{} boxing inside a hot loop; use a kind-switched typed path (storage/column) instead of the empty interface")
+			}
+		}
+	}
+}
+
+// isValueSlice reports whether t is a slice of repro/internal/graph.Value
+// (through named slice types like exec.Row only when the expression
+// allocates — callers gate on allocation forms).
+func isValueSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	named, ok := sl.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Value" &&
+		strings.HasSuffix(named.Obj().Pkg().Path(), "internal/graph")
+}

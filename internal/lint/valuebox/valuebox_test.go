@@ -1,0 +1,15 @@
+package valuebox_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/valuebox"
+)
+
+func TestValueBox(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), valuebox.Analyzer,
+		"repro/internal/query/exec/boxfix", // hot path: loop allocations fire
+		"repro/internal/tools/boxfix",      // off-path package: no findings
+	)
+}

@@ -137,9 +137,15 @@ func (p *BatchPool) Get(width, capRows int) *Batch {
 	return b
 }
 
-// Put recycles a batch's arena.
+// Put recycles a batch's arena. The arena's Values are deliberately not
+// cleared: a pooled morsel arena is overwritten on the next Get/Append
+// cycle, retention is bounded by pool size × arena size, and a per-morsel
+// memset of the hottest arena in the engine would cost more than the
+// references it frees (row values overwhelmingly reference store-resident
+// strings that are alive regardless).
 func (p *BatchPool) Put(b *Batch) {
 	if b != nil {
+		//lint:allow parallelsafety bounded retention of store-backed values; clearing per morsel would memset the hottest arena in the engine
 		p.pool.Put(b)
 	}
 }

@@ -138,6 +138,7 @@ func Compile(p *ir.Plan, opt Options) (*Compiled, error) {
 		idx   int
 	}
 	var cas []ca
+	//lint:allow determinism order-independent: the collected pairs are sorted by column index before use
 	for a, i := range c.Cols {
 		if len(a) > 0 && a[0] == '#' {
 			continue // hidden columns
@@ -241,6 +242,7 @@ func (c *Compiled) compileOp(op *ir.Op, first bool, opt Options) error {
 
 func (c *Compiled) snapshotCols() Columns {
 	cols := make(Columns, len(c.Cols))
+	//lint:allow determinism map-to-map copy; no ordered output derives from the iteration
 	for k, v := range c.Cols {
 		cols[k] = v
 	}
@@ -590,7 +592,7 @@ func (c *Compiled) compileGetVertex(op *ir.Op) error {
 			var vLabs []graph.LabelID
 			if pr != nil && vlabel != graph.AnyLabel {
 				s := gatherPool.Get().(*gatherScratch)
-				defer gatherPool.Put(s)
+				defer putGather(s)
 				s.vids = growVIDs(s.vids, rows)
 				for i := 0; i < rows; i++ {
 					s.vids[i] = in.Value(i, nIdx).Vertex()

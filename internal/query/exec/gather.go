@@ -38,6 +38,21 @@ type gatherScratch struct {
 
 var gatherPool = sync.Pool{New: func() any { return new(gatherScratch) }}
 
+// release drops the scratch's reference-holding contents: vals elements box
+// strings and lists gathered for one batch, which must not stay reachable
+// from the pool. The plain ID and label arenas keep their memory for reuse.
+func (s *gatherScratch) release() {
+	clear(s.vals[:cap(s.vals)])
+}
+
+// putGather returns a gather scratch to the pool with its boxed values
+// cleared; all Put sites go through it so pooled scratch never pins row
+// values.
+func putGather(s *gatherScratch) {
+	s.release()
+	gatherPool.Put(s)
+}
+
 // growVIDs returns s resized to n valid slots, reusing capacity.
 func growVIDs(s []graph.VID, n int) []graph.VID {
 	if cap(s) < n {
@@ -105,7 +120,7 @@ func evalColumn(env *Env, prog *expr.Bound, in *Batch, dst []graph.Value) error 
 			}
 			if uniform && kind != 0 {
 				s := gatherPool.Get().(*gatherScratch)
-				defer gatherPool.Put(s)
+				defer putGather(s)
 				var err error
 				if kind == graph.KindVertex {
 					s.vids = growVIDs(s.vids, n)

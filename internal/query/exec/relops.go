@@ -41,7 +41,7 @@ func (c *Compiled) compileProject(op *ir.Op) error {
 				out.AppendRow()
 			}
 			s := gatherPool.Get().(*gatherScratch)
-			defer gatherPool.Put(s)
+			defer putGather(s)
 			s.vals = growValues(s.vals, n)
 			for k, p := range progs {
 				if err := evalColumn(env, p, in, s.vals); err != nil {
@@ -233,11 +233,17 @@ func (c *Compiled) compileGroupBy(op *ir.Op) error {
 					}
 				}
 				if g == nil {
+					// Accumulator state is allocated once per distinct group,
+					// not per row; moving it to typed columns is the
+					// roadmap's kill-boxing item.
 					g = &groupAccum{
-						keys:   append([]graph.Value(nil), kv...),
-						count:  make([]int64, len(aggs)),
-						sum:    make([]float64, len(aggs)),
-						min:    make([]graph.Value, len(aggs)),
+						//lint:allow valuebox per distinct group, not per row; group keys must be retained
+						keys:  append([]graph.Value(nil), kv...),
+						count: make([]int64, len(aggs)),
+						sum:   make([]float64, len(aggs)),
+						//lint:allow valuebox per distinct group, not per row
+						min: make([]graph.Value, len(aggs)),
+						//lint:allow valuebox per distinct group, not per row
 						max:    make([]graph.Value, len(aggs)),
 						coll:   make([][]graph.Value, len(aggs)),
 						seenIn: make([]bool, len(aggs)),
@@ -352,6 +358,7 @@ func (c *Compiled) compileDedup(op *ir.Op) error {
 				if dup {
 					continue
 				}
+				//lint:allow valuebox retained per distinct row in the dedup set; row views into the arena would dangle across batches
 				key := make([]graph.Value, len(idxs))
 				for j, ix := range idxs {
 					key[j] = row[ix]
@@ -425,6 +432,7 @@ func (c *Compiled) compileMatchContinuation(op *ir.Op) error {
 // appendPatternEdges lowers pattern edges in written order.
 func (c *Compiled) appendPatternEdges(pattern []ir.PatternEdge) error {
 	bound := map[string]bool{}
+	//lint:allow determinism populates a set; membership is order-independent
 	for a := range c.Cols {
 		bound[a] = true
 	}

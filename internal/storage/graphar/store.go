@@ -17,6 +17,11 @@ import (
 // external ID), edge IDs are per-label row numbers offset by a label base.
 // This is the "GraphAr as a direct GRIN data source" configuration of
 // Fig 7(a): correct on every workload, slowest backend by design.
+//
+// grin:fallback — the batched traits deliberately stay on the generic
+// helpers: every access may fault a chunk in from disk, so a native batch
+// path would still pay per-element cache lookups and README's capability
+// matrix documents the backend as "fallback" across the board.
 type Store struct {
 	dir    string
 	meta   *Meta
