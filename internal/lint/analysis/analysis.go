@@ -17,6 +17,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"time"
 )
 
 // Analyzer describes one invariant checker.
@@ -27,6 +28,11 @@ type Analyzer struct {
 	// Doc is a one-paragraph description of the invariant the analyzer
 	// enforces, shown by `flexlint -list`.
 	Doc string
+	// Targets lists the go-list package patterns (relative to the module
+	// root) the analyzer inspects or needs loaded for cross-package
+	// summaries. nil means the whole tree: a driver running a subset of
+	// analyzers may load only the union of their targets.
+	Targets []string
 	// Run inspects one package and reports findings through the pass.
 	Run func(*Pass) error
 }
@@ -46,6 +52,10 @@ type Pass struct {
 	Pkg *types.Package
 	// TypesInfo records types and uses for every expression in Files.
 	TypesInfo *types.Info
+	// All is the full package set of the run, in load order. Flow-aware
+	// analyzers build their call graph over it, so a helper defined in a
+	// sibling package is summarized rather than treated as opaque.
+	All []*Package
 
 	report func(Diagnostic)
 }
@@ -96,11 +106,25 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 // suite's names here, so suppressions of analyzers that merely are not
 // running this time are not misreported as naming unknown analyzers.
 func RunKnown(pkgs []*Package, analyzers []*Analyzer, known []string) ([]Finding, error) {
+	findings, _, err := RunKnownTimed(pkgs, analyzers, known)
+	return findings, err
+}
+
+// Timing is one analyzer's wall time summed over every package of a run.
+type Timing struct {
+	Analyzer string
+	Elapsed  time.Duration
+}
+
+// RunKnownTimed is RunKnown reporting per-analyzer wall time alongside the
+// findings (flexlint -debug=t).
+func RunKnownTimed(pkgs []*Package, analyzers []*Analyzer, known []string) ([]Finding, []Timing, error) {
 	var out []Finding
+	elapsed := make([]time.Duration, len(analyzers))
 	for _, pkg := range pkgs {
 		sup := collectSuppressions(pkg.Fset, pkg.Files, known)
 		out = append(out, sup.malformed...)
-		for _, a := range analyzers {
+		for ai, a := range analyzers {
 			pass := &Pass{
 				Analyzer:  a,
 				Path:      pkg.Path,
@@ -108,6 +132,7 @@ func RunKnown(pkgs []*Package, analyzers []*Analyzer, known []string) ([]Finding
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
+				All:       pkgs,
 			}
 			pass.report = func(d Diagnostic) {
 				pos := pkg.Fset.Position(d.Pos)
@@ -116,13 +141,20 @@ func RunKnown(pkgs []*Package, analyzers []*Analyzer, known []string) ([]Finding
 				}
 				out = append(out, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
 			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+			start := time.Now()
+			err := a.Run(pass)
+			elapsed[ai] += time.Since(start)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
 			}
 		}
 	}
 	sortFindings(out)
-	return out, nil
+	timings := make([]Timing, len(analyzers))
+	for i, a := range analyzers {
+		timings[i] = Timing{Analyzer: a.Name, Elapsed: elapsed[i]}
+	}
+	return out, timings, nil
 }
 
 func sortFindings(fs []Finding) {

@@ -1,0 +1,288 @@
+// Package boxflow is the flow-aware upgrade of valuebox: where valuebox
+// flags boxed []graph.Value allocations written directly inside a hot loop,
+// boxflow follows calls out of the loop. Each function in the loaded set is
+// summarized bottom-up — does calling it unconditionally allocate boxed
+// values? — with the grow idiom (an allocation guarded by a cap/len/nil
+// check) classified as amortized and excluded, and //lint:allow boxflow
+// suppressions on the allocation site excluded too (one reasoned allow
+// inside a helper covers every call chain through it). A call inside a hot
+// loop whose callee's summary is non-empty is reported with the chain down
+// to the allocating expression, so helpers like putGather (which only
+// clears) stay silent while a helper that hides a per-row make([]graph.Value)
+// is named wherever a loop reaches it.
+package boxflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+	"sync"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/flow"
+)
+
+// Analyzer reports interprocedural boxing escapes into hot loops.
+var Analyzer = &analysis.Analyzer{
+	Name: "boxflow",
+	Doc: "in hot-path packages (exec, gaia, hiactor, naive), flag calls inside stage/worker " +
+		"loops whose callees (transitively) allocate []graph.Value or box into interface{} " +
+		"unconditionally; cap/len-guarded grow helpers are amortized and exempt, and a " +
+		"//lint:allow boxflow on the allocation inside the helper silences every chain through it",
+	Targets: []string{"./internal/query/...", "./internal/grin", "./internal/graph"},
+	Run:     run,
+}
+
+var hotPaths = []string{
+	"/query/exec",
+	"/query/gaia",
+	"/query/hiactor",
+	"/query/naive",
+}
+
+func applies(path string) bool {
+	for _, p := range hotPaths {
+		if strings.Contains("/"+path, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// alloc is one unconditional boxing allocation inside a function, with the
+// call chain (outermost first) that reached it.
+type alloc struct {
+	pos   token.Pos
+	what  string
+	chain []string
+}
+
+// memoized summaries per call graph.
+var memo struct {
+	sync.Mutex
+	graph   *flow.Graph
+	funcs   map[*flow.Func][]alloc
+	allowed map[*analysis.Package]map[string]map[int]bool // file → lines with boxflow allows
+}
+
+func run(pass *analysis.Pass) error {
+	if !applies(pass.Path) {
+		return nil
+	}
+	g := flow.Of(pass.All)
+	memo.Lock()
+	if memo.graph != g {
+		memo.graph = g
+		memo.funcs = map[*flow.Func][]alloc{}
+		memo.allowed = map[*analysis.Package]map[string]map[int]bool{}
+	}
+	memo.Unlock()
+	for _, fn := range g.Funcs {
+		if fn.Pkg.Path != pass.Path {
+			continue
+		}
+		for _, c := range fn.Calls {
+			if c.LoopDepth == 0 {
+				continue
+			}
+			callee := c.Callee
+			if callee == nil {
+				continue
+			}
+			allocs := summarize(callee, map[*flow.Func]bool{})
+			if len(allocs) == 0 {
+				continue
+			}
+			a := allocs[0]
+			chain := append([]string{callee.Obj.Name()}, a.chain...)
+			pass.Reportf(c.Site.Pos(),
+				"call to %s inside a hot loop allocates boxed values per call (%s at %s); hoist the allocation out of the loop, reuse scratch, or allow the site inside the helper with a reason",
+				strings.Join(chain, " → "), a.what, pass.Fset.Position(a.pos))
+		}
+	}
+	return nil
+}
+
+// summarize computes (and memoizes) a function's unconditional boxing
+// allocations, including those reached through its own static calls.
+func summarize(fn *flow.Func, visiting map[*flow.Func]bool) []alloc {
+	memo.Lock()
+	if s, ok := memo.funcs[fn]; ok {
+		memo.Unlock()
+		return s
+	}
+	memo.Unlock()
+	if visiting[fn] {
+		return nil // recursion: the cycle's own allocs surface on the first pass
+	}
+	visiting[fn] = true
+	var allocs []alloc
+	allowed := allowedLines(fn.Pkg)
+	collectAllocs(fn.Pkg, fn.Decl.Body, false, func(pos token.Pos, what string) {
+		p := fn.Pkg.Fset.Position(pos)
+		if lines := allowed[p.Filename]; lines != nil && (lines[p.Line] || lines[p.Line-1]) {
+			return
+		}
+		allocs = append(allocs, alloc{pos: pos, what: what})
+	})
+	// Transitive: a static callee with a non-empty summary allocates on
+	// every call, wherever the call sits inside this function.
+	for _, c := range fn.Calls {
+		if c.Callee == nil || c.Callee == fn {
+			continue
+		}
+		sub := summarize(c.Callee, visiting)
+		if len(sub) == 0 {
+			continue
+		}
+		a := sub[0]
+		allocs = append(allocs, alloc{
+			pos:   a.pos,
+			what:  a.what,
+			chain: append([]string{c.Callee.Obj.Name()}, a.chain...),
+		})
+	}
+	delete(visiting, fn)
+	memo.Lock()
+	memo.funcs[fn] = allocs
+	memo.Unlock()
+	return allocs
+}
+
+// allowedLines collects the lines of a package carrying a boxflow allow
+// comment — the suppression-aware part of the summaries. The syntax is the
+// driver's (//lint:allow boxflow <reason>), checked here only for the
+// analyzer name: reason enforcement stays with the driver.
+func allowedLines(pkg *analysis.Package) map[string]map[int]bool {
+	memo.Lock()
+	if m, ok := memo.allowed[pkg]; ok {
+		memo.Unlock()
+		return m
+	}
+	memo.Unlock()
+	m := map[string]map[int]bool{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//lint:allow ")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 || fields[0] != "boxflow" {
+					continue
+				}
+				p := pkg.Fset.Position(c.Pos())
+				if m[p.Filename] == nil {
+					m[p.Filename] = map[int]bool{}
+				}
+				m[p.Filename][p.Line] = true
+			}
+		}
+	}
+	memo.Lock()
+	memo.allowed[pkg] = m
+	memo.Unlock()
+	return m
+}
+
+// collectAllocs walks a body reporting unconditional boxing allocations:
+// make([]graph.Value, ...), []graph.Value literals, and explicit
+// interface{} boxing. An allocation under an if whose condition
+// mentions cap(), len() or nil is the amortized grow idiom and is skipped
+// (guarded=true). Function literal bodies are NOT walked: constructing a
+// closure allocates nothing boxed — a stage builder that returns a Map
+// closure is clean even when the closure's body allocates (the closure's
+// own loops are covered at its call sites through the flow graph).
+func collectAllocs(pkg *analysis.Package, n ast.Node, guarded bool, emit func(token.Pos, string)) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.IfStmt:
+			g := guarded || isGrowGuard(n.Cond)
+			if n.Init != nil {
+				collectAllocs(pkg, n.Init, guarded, emit)
+			}
+			collectAllocs(pkg, n.Cond, guarded, emit)
+			collectAllocs(pkg, n.Body, g, emit)
+			if n.Else != nil {
+				collectAllocs(pkg, n.Else, g, emit)
+			}
+			return false
+		case *ast.CompositeLit:
+			if !guarded && isValueSlice(pkg.Info.TypeOf(n)) {
+				emit(n.Pos(), "[]graph.Value literal")
+			}
+		case *ast.CallExpr:
+			if guarded {
+				return true
+			}
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "make" {
+				if isValueSlice(pkg.Info.TypeOf(n)) {
+					emit(n.Pos(), "make([]graph.Value, ...)")
+				}
+				return true
+			}
+			tv, ok := pkg.Info.Types[n.Fun]
+			if !ok || !tv.IsType() || len(n.Args) != 1 {
+				return true
+			}
+			// A conversion to a []graph.Value-underlying type is a free
+			// slice-header copy (Go has no allocating slice conversions), so
+			// Row(b.data[lo:hi]) is not an allocation — unlike valuebox,
+			// which flags the []graph.Value(nil) append-clone idiom by its
+			// conversion marker, summaries here must count real allocations
+			// only.
+			if isValueSlice(tv.Type) {
+				return true
+			}
+			if iface, ok := tv.Type.Underlying().(*types.Interface); ok && iface.NumMethods() == 0 {
+				if arg := pkg.Info.TypeOf(n.Args[0]); arg != nil {
+					if _, already := arg.Underlying().(*types.Interface); !already {
+						emit(n.Pos(), "interface{} boxing")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isGrowGuard recognizes the amortized-growth condition shapes:
+// cap(s) < n, len(s) == 0, s == nil, and boolean combinations thereof.
+func isGrowGuard(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && (id.Name == "cap" || id.Name == "len") {
+				found = true
+			}
+		case *ast.Ident:
+			if n.Name == "nil" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isValueSlice reports whether t is a slice of repro/internal/graph.Value.
+func isValueSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	named, ok := sl.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Value" &&
+		strings.HasSuffix(named.Obj().Pkg().Path(), "internal/graph")
+}

@@ -1,0 +1,15 @@
+package boxflow_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/boxflow"
+)
+
+func TestBoxFlow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), boxflow.Analyzer,
+		"repro/internal/query/exec/boxflowfix", // hot path: helper chains fire
+		"repro/internal/tools/boxflowfix",      // off-path package: no findings
+	)
+}

@@ -1,0 +1,71 @@
+// Package boxflowfix exercises boxflow: helpers that hide a boxed
+// allocation are caught through any number of hops into a hot loop, while
+// clear-only helpers, amortized grow helpers, and reasoned allows stay
+// silent.
+package boxflowfix
+
+import "repro/internal/graph"
+
+type batch struct {
+	vals []graph.Value
+	rows int
+}
+
+// allocValues hides a per-call boxed allocation behind a helper.
+func allocValues(n int) []graph.Value {
+	return make([]graph.Value, n)
+}
+
+// through adds one more hop; the finding names the whole chain.
+func through(n int) []graph.Value {
+	return allocValues(n)
+}
+
+// boxAny boxes into the empty interface per call.
+func boxAny(v int) any {
+	return any(v)
+}
+
+// clearValues is the putGather shape: writes zero Values, allocates nothing.
+func clearValues(vals []graph.Value) {
+	for i := range vals {
+		vals[i] = graph.Value{}
+	}
+}
+
+// growValues is the amortized grow idiom: the allocation only runs when
+// capacity is exhausted.
+func growValues(s []graph.Value, n int) []graph.Value {
+	if cap(s) < n {
+		return make([]graph.Value, n, n*2)
+	}
+	return s[:n]
+}
+
+// pooledValues allocates, but the site carries a reasoned allow: one
+// suppression inside the helper covers every call chain through it.
+func pooledValues(n int) []graph.Value {
+	return make([]graph.Value, n) //lint:allow boxflow pooled: every caller returns the slice to a sync.Pool
+}
+
+// row is the Batch.Row shape: a named slice of graph.Value.
+type row []graph.Value
+
+// rowView converts an arena window to the named row type — a free slice
+// header copy, not an allocation.
+func (b *batch) rowView(i int) row {
+	return row(b.vals[i : i+1 : i+1])
+}
+
+func drive(b *batch) {
+	for i := 0; i < b.rows; i++ {
+		_ = allocValues(8) // want "call to allocValues inside a hot loop"
+		_ = through(8)     // want "call to through → allocValues inside a hot loop"
+		_ = boxAny(i)      // want "call to boxAny inside a hot loop"
+		clearValues(b.vals)
+		b.vals = growValues(b.vals, i)
+		_ = pooledValues(8)
+		_ = b.rowView(i) // slice conversion: free, no finding
+	}
+	_ = allocValues(16) // outside the loop: setup cost, no finding
+}

@@ -1,0 +1,17 @@
+// Package boxflowfix (tools variant): identical allocation-through-helper
+// shape outside the hot-path packages; boxflow must stay silent.
+package boxflowfix
+
+import "repro/internal/graph"
+
+func allocValues(n int) []graph.Value {
+	return make([]graph.Value, n)
+}
+
+func drive(rows int) int {
+	total := 0
+	for i := 0; i < rows; i++ {
+		total += len(allocValues(i)) // no finding: not a hot-path package
+	}
+	return total
+}

@@ -22,7 +22,8 @@ var Analyzer = &analysis.Analyzer{
 		"maps (iteration order can reach output rows — iterate a sorted key slice, or " +
 		"suppress with a reason when the loop is provably order-independent) and any use " +
 		"of time.Now or math/rand outside benchmarks",
-	Run: run,
+	Targets: []string{"./internal/query/...", "./internal/parallel"},
+	Run:     run,
 }
 
 // hotPaths are the execution-path package markers. Benchmarks live in

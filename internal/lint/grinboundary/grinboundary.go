@@ -19,7 +19,8 @@ var Analyzer = &analysis.Analyzer{
 	Doc: "runtime packages (internal/query/..., internal/analytics/...) must access storage " +
 		"through internal/grin traits, never by importing a concrete backend " +
 		"(internal/storage/{vineyard,csr,gart,livegraph,graphar})",
-	Run: run,
+	Targets: []string{"./internal/query/...", "./internal/analytics/..."},
+	Run:     run,
 }
 
 // backends are the concrete stores behind the GRIN boundary. The column and

@@ -1,14 +1,18 @@
 // Package lint assembles the flexlint analyzer suite: the architectural
 // invariants PRs 1–3 established (trait-only storage access, deterministic
-// batch reassembly, pooled-arena discipline) as machine-checked rules.
-// cmd/flexlint is the multichecker driver; each analyzer lives in its own
-// package with analysistest fixtures.
+// batch reassembly, pooled-arena discipline) as machine-checked rules,
+// plus the flow-aware analyzers built on internal/lint/flow (lock pairing
+// across calls, interprocedural boxing escapes). cmd/flexlint is the
+// multichecker driver; each analyzer lives in its own package with
+// analysistest fixtures.
 package lint
 
 import (
 	"repro/internal/lint/analysis"
+	"repro/internal/lint/boxflow"
 	"repro/internal/lint/determinism"
 	"repro/internal/lint/grinboundary"
+	"repro/internal/lint/lockflow"
 	"repro/internal/lint/parallelsafety"
 	"repro/internal/lint/traitcomplete"
 	"repro/internal/lint/valuebox"
@@ -22,5 +26,7 @@ func All() []*analysis.Analyzer {
 		valuebox.Analyzer,
 		parallelsafety.Analyzer,
 		traitcomplete.Analyzer,
+		lockflow.Analyzer,
+		boxflow.Analyzer,
 	}
 }

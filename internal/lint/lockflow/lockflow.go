@@ -1,0 +1,747 @@
+// Package lockflow checks acquire/release pairing across calls in the
+// storage layer: sync.Mutex/RWMutex Lock/Unlock, and the generic paired
+// resources of the MVCC stores (Acquire/Release, Pin/Unpin). Unlike a
+// single-function matcher it walks each function's control flow with a
+// held-lock state — branches cloned, defers credited at return — and maps
+// callee lock effects through the flow layer's call-edge summaries, so a
+// lock leaked on an error path, released twice through a deferred unlock,
+// or held across a caller-supplied callback (the reentrancy deadlock) is
+// reported at the exact statement.
+package lockflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+	"sync"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/flow"
+)
+
+// Analyzer reports lock/resource pairing defects in internal/storage.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockflow",
+	Doc: "in internal/storage packages, track Lock/RLock/Unlock/RUnlock (and Acquire/Release, " +
+		"Pin/Unpin resource pairs) through branches, defers and calls: report locks leaked on " +
+		"return paths, double acquires and upgrades, mismatched or double releases, lock-state " +
+		"divergence across branches, and locks held across caller-supplied callbacks",
+	Targets: []string{"./internal/storage/...", "./internal/grin", "./internal/graph"},
+	Run:     run,
+}
+
+func applies(path string) bool {
+	return strings.Contains("/"+path, "/storage/")
+}
+
+// lockKind discriminates what is held: a write lock, a read lock, or a
+// generic paired resource.
+type lockKind byte
+
+const (
+	kindWrite lockKind = 'W'
+	kindRead  lockKind = 'R'
+	kindPair  lockKind = 'P'
+)
+
+func (k lockKind) String() string {
+	switch k {
+	case kindWrite:
+		return "write lock"
+	case kindRead:
+		return "read lock"
+	}
+	return "resource"
+}
+
+// pairs maps acquire method names to their kind. Mutex methods pair only
+// when declared in package sync; the generic resource pairs only when the
+// method's receiver type is declared in a storage package.
+var pairs = map[string]lockKind{
+	"Lock":    kindWrite,
+	"RLock":   kindRead,
+	"Acquire": kindPair,
+	"Pin":     kindPair,
+}
+
+// releases maps release method names back to their kind and acquire name.
+var releases = map[string]struct {
+	kind    lockKind
+	acquire string
+}{
+	"Unlock":  {kindWrite, "Lock"},
+	"RUnlock": {kindRead, "RLock"},
+	"Release": {kindPair, "Acquire"},
+	"Unpin":   {kindPair, "Pin"},
+}
+
+// summary is one function's net lock effect as seen by its callers: locks
+// held at exit (net acquires) and released-without-acquiring (unlock
+// helpers), rooted at receiver/parameter names; may is everything the
+// function (transitively) acquires; dyn marks a (transitive) call through a
+// function value that could not be resolved to a body — the reentrancy
+// hazard when invoked with a lock held.
+type summary struct {
+	net      map[string]lockKind
+	released map[string]lockKind
+	may      map[string]lockKind
+	dyn      bool
+}
+
+// Summaries are memoized per call graph, so one process analyzing the tree
+// and a test binary's fixture runs never mix state.
+var memo struct {
+	sync.Mutex
+	graph *flow.Graph
+	funcs map[*flow.Func]*summary
+	lits  map[*ast.FuncLit]*summary
+}
+
+func run(pass *analysis.Pass) error {
+	if !applies(pass.Path) {
+		return nil
+	}
+	g := flow.Of(pass.All)
+	memo.Lock()
+	if memo.graph != g {
+		memo.graph = g
+		memo.funcs = map[*flow.Func]*summary{}
+		memo.lits = map[*ast.FuncLit]*summary{}
+	}
+	memo.Unlock()
+	for _, fn := range g.Funcs {
+		if fn.Pkg.Path != pass.Path {
+			continue
+		}
+		w := newWalker(pass, fn)
+		st := newState()
+		if !w.walkStmts(fn.Decl.Body.List, st) {
+			w.atExit(fn.Decl.Body.Rbrace, st)
+		}
+	}
+	return nil
+}
+
+// state is the held-lock lattice at one program point. held maps a
+// canonical lock path (flow.Canon of the receiver, suffixed "#<pair>" for
+// generic resources) to the kind held; deferred holds releases scheduled by
+// defer statements, credited when a path exits.
+type state struct {
+	held     map[string]lockKind
+	deferred map[string]lockKind
+}
+
+func newState() *state {
+	return &state{held: map[string]lockKind{}, deferred: map[string]lockKind{}}
+}
+
+func (s *state) clone() *state {
+	c := newState()
+	for k, v := range s.held {
+		c.held[k] = v
+	}
+	for k, v := range s.deferred {
+		c.deferred[k] = v
+	}
+	return c
+}
+
+func sameHeld(a, b map[string]lockKind) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// lockName strips the resource-pair suffix for messages.
+func lockName(key string) string { return strings.SplitN(key, "#", 2)[0] }
+
+func heldNames(held map[string]lockKind) string {
+	var names []string
+	for k := range held {
+		names = append(names, lockName(k))
+	}
+	// Deterministic message: insertion sort, the sets are tiny.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return strings.Join(names, ", ")
+}
+
+// walker evaluates one function body. With a nil pass it runs in summary
+// mode: no reports, but exit states, may-acquires and dynamic calls are
+// recorded for callers.
+type walker struct {
+	pass  *analysis.Pass
+	fn    *flow.Func
+	sites map[*ast.CallExpr]*flow.Call
+
+	exits []map[string]lockKind // held-minus-deferred at each exit
+	rel   map[string]lockKind   // released-without-holding (unlock helpers)
+	may   map[string]lockKind
+	dyn   bool
+}
+
+func newWalker(pass *analysis.Pass, fn *flow.Func) *walker {
+	sites := make(map[*ast.CallExpr]*flow.Call, len(fn.Calls))
+	for _, c := range fn.Calls {
+		sites[c.Site] = c
+	}
+	return &walker{pass: pass, fn: fn, sites: sites,
+		rel: map[string]lockKind{}, may: map[string]lockKind{}}
+}
+
+func (w *walker) reportf(pos token.Pos, format string, args ...any) {
+	if w.pass != nil {
+		w.pass.Reportf(pos, format, args...)
+	}
+}
+
+// atExit settles one path's end: deferred releases are credited against the
+// held set; a held lock with no matching deferred release leaks, a deferred
+// release with no held lock double-releases.
+func (w *walker) atExit(pos token.Pos, st *state) {
+	net := map[string]lockKind{}
+	for k, kind := range st.held {
+		if dk, ok := st.deferred[k]; ok {
+			if dk != kind {
+				w.reportf(pos, "deferred release of %s releases the %s but the %s is held on this path",
+					lockName(k), dk, kind)
+			}
+			continue
+		}
+		net[k] = kind
+	}
+	for k, dk := range st.deferred {
+		if _, ok := st.held[k]; !ok {
+			w.reportf(pos, "deferred %s release of %s runs with the lock already released on this path (double release)",
+				dk, lockName(k))
+		}
+	}
+	if len(net) > 0 && w.pass != nil {
+		// Leaked locks: functions that intentionally return holding a lock
+		// are summarized for their callers, so only report when analyzing a
+		// function whose callers cannot balance it — i.e. always report;
+		// intentional lock-returning helpers carry a suppression.
+		w.reportf(pos, "returns with %s still held (no deferred release on this path)", heldNames(net))
+	}
+	w.exits = append(w.exits, net)
+}
+
+// walkStmts walks a statement list; the returned bool is true when every
+// path through the list terminated (return/panic).
+func (w *walker) walkStmts(list []ast.Stmt, st *state) bool {
+	for _, s := range list {
+		if w.walkStmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *walker) walkStmt(s ast.Stmt, st *state) bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		w.exprCalls(s.X, st)
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				w.atExit(s.Pos(), st)
+				return true
+			}
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.exprCalls(e, st)
+		}
+		for _, e := range s.Lhs {
+			w.exprCalls(e, st)
+		}
+	case *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt:
+		w.exprCallsNode(s, st)
+	case *ast.DeferStmt:
+		w.walkDefer(s, st)
+	case *ast.GoStmt:
+		for _, a := range s.Call.Args {
+			w.exprCalls(a, st)
+		}
+		// A goroutine body starts with nothing held; walk it with a fresh
+		// sub-walker so its own pairing is checked (graphar's reader tasks)
+		// without its exits or acquires bleeding into the enclosing
+		// function's summary — its locking is concurrent, not nested.
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			gw := newWalker(w.pass, w.fn)
+			gst := newState()
+			if !gw.walkStmts(lit.Body.List, gst) {
+				gw.atExit(lit.Body.Rbrace, gst)
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.exprCalls(e, st)
+		}
+		w.atExit(s.Pos(), st)
+		return true
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		w.exprCalls(s.Cond, st)
+		thenSt := st.clone()
+		thenDone := w.walkStmts(s.Body.List, thenSt)
+		elseSt := st.clone()
+		elseDone := false
+		if s.Else != nil {
+			elseDone = w.walkStmt(s.Else, elseSt)
+		}
+		return w.merge(s.End(), st, []*state{thenSt, elseSt}, []bool{thenDone, elseDone})
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			w.exprCalls(s.Cond, st)
+		}
+		body := st.clone()
+		w.walkStmts(s.Body.List, body)
+		if s.Post != nil {
+			w.walkStmt(s.Post, body)
+		}
+		if !sameHeld(st.held, body.held) {
+			w.reportf(s.Pos(), "loop body changes the held-lock set across iterations (%q vs %q); acquire and release must balance within one iteration",
+				heldNames(st.held), heldNames(body.held))
+		}
+	case *ast.RangeStmt:
+		w.exprCalls(s.X, st)
+		body := st.clone()
+		w.walkStmts(s.Body.List, body)
+		if !sameHeld(st.held, body.held) {
+			w.reportf(s.Pos(), "loop body changes the held-lock set across iterations (%q vs %q); acquire and release must balance within one iteration",
+				heldNames(st.held), heldNames(body.held))
+		}
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			w.exprCalls(s.Tag, st)
+		}
+		return w.walkCases(s.End(), s.Body, st, !hasDefault(s.Body))
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		w.exprCallsNode(s.Assign, st)
+		return w.walkCases(s.End(), s.Body, st, !hasDefault(s.Body))
+	case *ast.SelectStmt:
+		return w.walkCases(s.End(), s.Body, st, false)
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, st)
+	}
+	return false
+}
+
+func hasDefault(body *ast.BlockStmt) bool {
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// walkCases clones the state per case clause and merges the fallthrough
+// survivors. fallthrough statements are rare in this tree and treated as
+// normal case ends.
+func (w *walker) walkCases(end token.Pos, body *ast.BlockStmt, st *state, implicitDefault bool) bool {
+	var branches []*state
+	var done []bool
+	for _, c := range body.List {
+		cs := st.clone()
+		var terminated bool
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				w.exprCalls(e, st)
+			}
+			terminated = w.walkStmts(c.Body, cs)
+		case *ast.CommClause:
+			if c.Comm != nil {
+				w.walkStmt(c.Comm, cs)
+			}
+			terminated = w.walkStmts(c.Body, cs)
+		}
+		branches = append(branches, cs)
+		done = append(done, terminated)
+	}
+	if implicitDefault {
+		branches = append(branches, st.clone())
+		done = append(done, false)
+	}
+	return w.merge(end, st, branches, done)
+}
+
+// merge folds branch states back into st. Terminated branches (every path
+// returned) drop out; surviving branches must agree on the held set.
+func (w *walker) merge(pos token.Pos, st *state, branches []*state, done []bool) bool {
+	var live []*state
+	for i, b := range branches {
+		if !done[i] {
+			live = append(live, b)
+		}
+	}
+	if len(live) == 0 {
+		return true
+	}
+	first := live[0]
+	for _, b := range live[1:] {
+		if !sameHeld(first.held, b.held) {
+			w.reportf(pos, "held-lock state diverges across branches (%q vs %q); every surviving path must hold the same locks",
+				heldNames(first.held), heldNames(b.held))
+			break
+		}
+	}
+	st.held = first.held
+	// Deferred releases union: defers registered in any branch run at
+	// return regardless of the branch taken afterwards... they run only if
+	// registered, so the union is the optimistic view that avoids false
+	// leak reports after conditional defers.
+	for _, b := range live {
+		for k, v := range b.deferred {
+			st.deferred[k] = v
+		}
+	}
+	return false
+}
+
+// walkDefer records deferred releases: a direct mu.Unlock(), a literal
+// whose body releases, or a helper whose summary releases.
+func (w *walker) walkDefer(s *ast.DeferStmt, st *state) {
+	for _, a := range s.Call.Args {
+		w.exprCalls(a, st)
+	}
+	if key, kind, isRelease, ok := w.lockOp(s.Call); ok {
+		if key == "" {
+			return // untrackable receiver
+		}
+		if isRelease {
+			st.deferred[key] = kind
+		} else {
+			w.reportf(s.Pos(), "deferred %s acquire of %s; deferring an acquire is almost certainly a typo for the release", kind, lockName(key))
+		}
+		return
+	}
+	if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+		sum := w.litSummary(lit)
+		for k, kind := range sum.released {
+			st.deferred[k] = kind
+		}
+		// Net acquires inside a deferred literal have no sane meaning for
+		// the caller; ignore them.
+		return
+	}
+	if c := w.sites[s.Call]; c != nil {
+		if sum := w.calleeSummary(c); sum != nil {
+			for k, kind := range mapRoots(w.fn, c, sum.released) {
+				st.deferred[k] = kind
+			}
+		}
+	}
+}
+
+// exprCalls processes every call in an expression in syntactic order,
+// without descending into function literal bodies (a literal's body runs
+// when it is called, and is accounted for through summaries).
+func (w *walker) exprCalls(e ast.Expr, st *state) {
+	if e == nil {
+		return
+	}
+	w.exprCallsNode(e, st)
+}
+
+func (w *walker) exprCallsNode(n ast.Node, st *state) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			w.handleCall(n, st)
+		}
+		return true
+	})
+}
+
+// handleCall transfers one call's lock effect onto the state.
+func (w *walker) handleCall(call *ast.CallExpr, st *state) {
+	if key, kind, isRelease, ok := w.lockOp(call); ok {
+		if !ok2(key) {
+			return // untrackable receiver: conservatively ignored
+		}
+		if isRelease {
+			w.release(call, st, key, kind)
+		} else {
+			w.acquire(call, st, key, kind)
+		}
+		return
+	}
+	c := w.sites[call]
+	if c == nil {
+		return
+	}
+	sum := w.calleeSummary(c)
+	if sum == nil {
+		if c.Dynamic && len(st.held) > 0 {
+			w.reportf(call.Pos(), "caller-supplied function invoked while %s is held; a callback that re-enters the store deadlocks",
+				heldNames(st.held))
+		}
+		if c.Dynamic {
+			w.dyn = true
+		}
+		return
+	}
+	if sum.dyn {
+		w.dyn = true
+		if len(st.held) > 0 {
+			w.reportf(call.Pos(), "%s may invoke a caller-supplied callback, and %s is held here; a callback that re-enters the store deadlocks",
+				calleeName(c), heldNames(st.held))
+		}
+	}
+	mayHere := mapRoots(w.fn, c, sum.may)
+	for k, kind := range mayHere {
+		w.may[k] = kind
+		if hk, held := st.held[k]; held {
+			w.reportf(call.Pos(), "%s acquires %s (%s), which is already held here as a %s (deadlock)",
+				calleeName(c), lockName(k), kind, hk)
+		}
+	}
+	for k := range mapRoots(w.fn, c, sum.released) {
+		delete(st.held, k)
+	}
+	for k, kind := range mapRoots(w.fn, c, sum.net) {
+		st.held[k] = kind
+	}
+}
+
+// ok2 reports whether a lock key is trackable.
+func ok2(key string) bool { return key != "" }
+
+func (w *walker) acquire(call *ast.CallExpr, st *state, key string, kind lockKind) {
+	w.may[key] = kind
+	if held, ok := st.held[key]; ok {
+		switch {
+		case kind == kindWrite && held == kindWrite:
+			w.reportf(call.Pos(), "%s.Lock() while the write lock is already held on this path (self-deadlock)", lockName(key))
+		case kind == kindWrite && held == kindRead:
+			w.reportf(call.Pos(), "%s.Lock() while the read lock is held upgrades and self-deadlocks", lockName(key))
+		case kind == kindRead && held == kindWrite:
+			w.reportf(call.Pos(), "%s.RLock() while the write lock is held self-deadlocks", lockName(key))
+		case kind == kindRead && held == kindRead:
+			w.reportf(call.Pos(), "recursive %s.RLock() can deadlock against a writer waiting between the two acquires", lockName(key))
+		default:
+			w.reportf(call.Pos(), "%s acquired while already held on this path", lockName(key))
+		}
+		return
+	}
+	st.held[key] = kind
+}
+
+func (w *walker) release(call *ast.CallExpr, st *state, key string, kind lockKind) {
+	if held, ok := st.held[key]; ok {
+		if held != kind {
+			w.reportf(call.Pos(), "releasing %s as a %s but the %s is held (mismatched release)", lockName(key), kind, held)
+		}
+		delete(st.held, key)
+		return
+	}
+	if w.pass != nil {
+		w.reportf(call.Pos(), "%s released but not held on this path (double release, or a release helper — suppress with a reason if intentional)", lockName(key))
+	}
+	w.rel[key] = kind
+}
+
+// lockOp classifies a call as an acquire or release of a tracked pair.
+// ok=false when the call is no lock operation at all; key=="" when it is
+// one but the receiver has no canonical path.
+func (w *walker) lockOp(call *ast.CallExpr) (key string, kind lockKind, isRelease bool, ok bool) {
+	sel, okSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !okSel || len(call.Args) != 0 {
+		return "", 0, false, false
+	}
+	name := sel.Sel.Name
+	acqKind, isAcq := pairs[name]
+	relInfo, isRel := releases[name]
+	if !isAcq && !isRel {
+		return "", 0, false, false
+	}
+	obj, _ := w.fn.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if obj == nil {
+		return "", 0, false, false
+	}
+	kindHere := acqKind
+	if isRel {
+		kindHere = relInfo.kind
+	}
+	if kindHere == kindPair {
+		// Generic resource pairs apply only to methods declared in storage
+		// packages; elsewhere (semaphores, external APIs) the convention
+		// does not hold.
+		if obj.Pkg() == nil || !applies(obj.Pkg().Path()) {
+			return "", 0, false, false
+		}
+	} else if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", 0, false, false
+	}
+	key = w.fn.Canon(sel.X)
+	if key != "" && kindHere == kindPair {
+		// Pin/Unpin and Acquire/Release on one receiver pair independently.
+		suffix := name
+		if isRel {
+			suffix = relInfo.acquire
+		}
+		key += "#" + suffix
+	}
+	return key, kindHere, isRel, true
+}
+
+func calleeName(c *flow.Call) string {
+	if c.CalleeObj != nil {
+		return c.CalleeObj.Name()
+	}
+	return "the callee"
+}
+
+// calleeSummary resolves a call's lock summary: a declared function in the
+// loaded set, or a local function literal.
+func (w *walker) calleeSummary(c *flow.Call) *summary {
+	if c.Lit != nil {
+		return w.litSummary(c.Lit)
+	}
+	if c.Callee != nil {
+		return funcSummary(c.Callee)
+	}
+	return nil
+}
+
+func (w *walker) litSummary(lit *ast.FuncLit) *summary {
+	memo.Lock()
+	if s, ok := memo.lits[lit]; ok {
+		memo.Unlock()
+		return s
+	}
+	// Mark in-progress to cut recursion.
+	memo.lits[lit] = &summary{}
+	memo.Unlock()
+	// A local literal shares the enclosing function's variable namespace,
+	// so its summary roots need no mapping.
+	sw := newWalker(nil, w.fn)
+	st := newState()
+	if !sw.walkStmts(lit.Body.List, st) {
+		sw.atExit(lit.Body.Rbrace, st)
+	}
+	s := sw.finish()
+	memo.Lock()
+	memo.lits[lit] = s
+	memo.Unlock()
+	return s
+}
+
+func funcSummary(fn *flow.Func) *summary {
+	memo.Lock()
+	if s, ok := memo.funcs[fn]; ok {
+		memo.Unlock()
+		return s
+	}
+	memo.funcs[fn] = &summary{} // in-progress: recursion sees no effect
+	memo.Unlock()
+	sw := newWalker(nil, fn)
+	st := newState()
+	if !sw.walkStmts(fn.Decl.Body.List, st) {
+		sw.atExit(fn.Decl.Body.Rbrace, st)
+	}
+	s := sw.finish()
+	memo.Lock()
+	memo.funcs[fn] = s
+	memo.Unlock()
+	return s
+}
+
+// finish folds a summary-mode walk into a summary. The net effect is the
+// exit state when all exits agree; disagreeing exits (a defect reported
+// when the function itself is analyzed) summarize as no-effect.
+func (w *walker) finish() *summary {
+	s := &summary{may: w.may, released: w.rel, dyn: w.dyn}
+	if len(w.exits) > 0 {
+		agree := true
+		for _, e := range w.exits[1:] {
+			if !sameHeld(w.exits[0], e) {
+				agree = false
+				break
+			}
+		}
+		if agree {
+			s.net = w.exits[0]
+		}
+	}
+	return s
+}
+
+// mapRoots translates a callee summary's lock paths into the caller's
+// namespace: a path rooted at the callee's receiver or a parameter name is
+// rebased onto the canonical path of the corresponding call-site argument;
+// paths rooted elsewhere (package-level locks) pass through unchanged.
+// Untranslatable entries (argument with no canonical path) are dropped —
+// the conservative choice is silence, not a guess.
+func mapRoots(caller *flow.Func, c *flow.Call, locks map[string]lockKind) map[string]lockKind {
+	if len(locks) == 0 {
+		return nil
+	}
+	callee := c.Callee
+	if callee == nil {
+		return locks
+	}
+	names := callee.ParamNames()
+	exprs := argExprs(c)
+	roots := map[string]string{}
+	for i, n := range names {
+		if i < len(exprs) {
+			roots[n] = caller.Canon(exprs[i])
+		}
+	}
+	out := map[string]lockKind{}
+	for path, kind := range locks {
+		root, rest, _ := strings.Cut(path, ".")
+		mapped, isParam := roots[root]
+		if !isParam {
+			out[path] = kind
+			continue
+		}
+		if mapped == "" {
+			continue
+		}
+		if rest != "" {
+			mapped += "." + rest
+		}
+		out[mapped] = kind
+	}
+	return out
+}
+
+// argExprs aligns call-site expressions with the callee's receiver+params.
+func argExprs(c *flow.Call) []ast.Expr {
+	var exprs []ast.Expr
+	if sel, ok := ast.Unparen(c.Site.Fun).(*ast.SelectorExpr); ok && c.CalleeObj != nil {
+		if sig, ok := c.CalleeObj.Type().(*types.Signature); ok && sig.Recv() != nil {
+			exprs = append(exprs, sel.X)
+		}
+	}
+	return append(exprs, c.Site.Args...)
+}

@@ -1,0 +1,15 @@
+package lockflow_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/lockflow"
+)
+
+func TestLockFlow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), lockflow.Analyzer,
+		"repro/internal/storage/lockfix", // storage path: the walk fires
+		"repro/internal/tools/lockfix",   // off-path package: no findings
+	)
+}

@@ -1,0 +1,225 @@
+// Package lockfix exercises lockflow: every want comment pins a defect the
+// flow-aware walk must catch, every unannotated function is a pattern the
+// storage backends actually use and must stay silent.
+package lockfix
+
+import "sync"
+
+type store struct {
+	mu   sync.RWMutex
+	n    int
+	vals map[int]int
+}
+
+// --- leaks on error paths ---
+
+func (s *store) leakOnError(fail bool) bool {
+	s.mu.Lock()
+	if fail {
+		return false // want "returns with s.mu still held"
+	}
+	s.mu.Unlock()
+	return true
+}
+
+func (s *store) deferBalanced(fail bool) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if fail {
+		return false
+	}
+	s.n++
+	return true
+}
+
+// --- double acquires, upgrades, recursive reads ---
+
+func (s *store) doubleLock() {
+	s.mu.Lock()
+	s.mu.Lock() // want "self-deadlock"
+	s.mu.Unlock()
+}
+
+func (s *store) upgrade() {
+	s.mu.RLock()
+	s.mu.Lock() // want "upgrades and self-deadlocks"
+	s.mu.RUnlock()
+}
+
+func (s *store) readUnderWrite() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mu.RLock() // want "while the write lock is held self-deadlocks"
+	return s.n
+}
+
+func (s *store) recursiveRead() int {
+	s.mu.RLock()
+	s.mu.RLock() // want "recursive s.mu.RLock"
+	n := s.n
+	s.mu.RUnlock()
+	return n
+}
+
+// --- release defects ---
+
+func (s *store) mismatch() {
+	s.mu.Lock()
+	s.mu.RUnlock() // want "mismatched release"
+}
+
+func (s *store) doubleRelease() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+	s.mu.Unlock()
+} // want "double release"
+
+func (s *store) deferredAcquireTypo() {
+	defer s.mu.Lock() // want "typo"
+	s.n++
+}
+
+// --- branch and loop shape ---
+
+func (s *store) divergent(c bool) {
+	if c {
+		s.mu.Lock()
+	} // want "diverges across branches"
+	s.n++
+	s.mu.Unlock() // consistent with the first surviving branch; only the divergence reports
+}
+
+func (s *store) loopLeak(items []int) {
+	for range items { // want "changes the held-lock set across iterations"
+		s.mu.Lock()
+	}
+}
+
+// earlyUnlockBranch is the graphar read pattern: the hit path releases and
+// returns, the miss path releases after. Both balance; no finding.
+func (s *store) earlyUnlockBranch(k int) (int, bool) {
+	s.mu.RLock()
+	if v, ok := s.vals[k]; ok {
+		s.mu.RUnlock()
+		return v, true
+	}
+	s.mu.RUnlock()
+	return 0, false
+}
+
+// --- callbacks under locks ---
+
+func (s *store) eachHeld(yield func(int) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for v := range s.vals {
+		if !yield(v) { // want "caller-supplied function invoked while s.mu is held"
+			return
+		}
+	}
+}
+
+// walkAll invokes the callback with nothing held: clean here, but its
+// summary records the dynamic call for callers that do hold a lock.
+func (s *store) walkAll(yield func(int) bool) {
+	for v := range s.vals {
+		if !yield(v) {
+			return
+		}
+	}
+}
+
+func (s *store) eachViaHelper(yield func(int) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.walkAll(yield) // want "walkAll may invoke a caller-supplied callback"
+}
+
+// --- cross-function lock effects ---
+
+func (s *store) lockAndBump() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+func (s *store) nestedAcquire() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lockAndBump() // want "lockAndBump acquires s.mu .write lock., which is already held"
+}
+
+// lockForWrite intentionally returns holding the lock; its callers release.
+func (s *store) lockForWrite() {
+	s.mu.Lock()
+} //lint:allow lockflow intentionally returns holding the write lock; callers release
+
+func (s *store) writeOne(v int) {
+	s.lockForWrite()
+	s.n = v
+	s.mu.Unlock()
+}
+
+func (s *store) writeLeaky(a, b int) {
+	s.lockForWrite()
+	s.vals[a] = b
+} // want "returns with s.mu still held"
+
+// unlockOnly is a release helper; its own imbalance is by design.
+func (s *store) unlockOnly() {
+	s.mu.Unlock() //lint:allow lockflow release helper; pairs with lockForWrite
+}
+
+func (s *store) writeViaHelpers(v int) {
+	s.lockForWrite()
+	s.n = v
+	s.unlockOnly()
+}
+
+// --- deferred literals and helpers ---
+
+func (s *store) deferLit() {
+	s.mu.Lock()
+	defer func() { s.mu.Unlock() }()
+	s.n++
+}
+
+func (s *store) deferHelper() {
+	s.lockForWrite()
+	defer s.unlockOnly()
+	s.n++
+}
+
+// --- generic resource pairs (Acquire/Release, Pin/Unpin) ---
+
+type snap struct{ refs int }
+
+func (p *snap) Acquire() { p.refs++ }
+func (p *snap) Release() { p.refs-- }
+func (p *snap) Pin()     { p.refs++ }
+func (p *snap) Unpin()   { p.refs-- }
+
+func useSnap(sn *snap, fail bool) bool {
+	sn.Acquire()
+	if fail {
+		return false // want "returns with sn still held"
+	}
+	sn.Release()
+	return true
+}
+
+func pinned(sn *snap) int {
+	sn.Pin()
+	defer sn.Unpin()
+	return sn.refs
+}
+
+// pinWhileAcquired holds both halves of the pair family on one receiver;
+// they pair independently, so this balances.
+func pinWhileAcquired(sn *snap) {
+	sn.Acquire()
+	sn.Pin()
+	sn.Unpin()
+	sn.Release()
+}

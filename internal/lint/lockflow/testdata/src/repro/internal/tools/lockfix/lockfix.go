@@ -1,0 +1,19 @@
+// Package lockfix (tools variant) leaks a lock outside internal/storage:
+// lockflow is scoped to the storage layer and must stay silent here.
+package lockfix
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (b *box) leakElsewhere(fail bool) bool {
+	b.mu.Lock()
+	if fail {
+		return false // no finding: not a storage package
+	}
+	b.mu.Unlock()
+	return true
+}

@@ -21,7 +21,8 @@ var Analyzer = &analysis.Analyzer{
 	Doc: "every storage backend type implementing a scalar GRIN trait must implement its " +
 		"batched counterpart (BatchAdjacency/BatchProps/BatchScan) or carry a " +
 		"// grin:fallback marker on the type declaration",
-	Run: run,
+	Targets: []string{"./internal/storage/...", "./internal/grin"},
+	Run:     run,
 }
 
 // backendPaths are the concrete store packages the rule applies to.

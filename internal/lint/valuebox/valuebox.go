@@ -20,7 +20,8 @@ var Analyzer = &analysis.Analyzer{
 	Doc: "in hot-path packages (exec, gaia, hiactor, naive), flag []graph.Value allocations " +
 		"and explicit interface{} conversions inside stage/worker loops; the typed-column " +
 		"alternative is a storage/column-style vector (or a batch arena) hoisted out of the loop",
-	Run: run,
+	Targets: []string{"./internal/query/..."},
+	Run:     run,
 }
 
 var hotPaths = []string{

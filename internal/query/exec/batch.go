@@ -33,6 +33,7 @@ type Batch struct {
 func NewBatch(width, capRows int) *Batch {
 	b := &Batch{width: width}
 	if capRows > 0 {
+		//lint:allow boxflow batch arena: one make per batch, amortized over width*capRows values — the design's unit of allocation
 		b.data = make([]graph.Value, 0, width*capRows)
 	}
 	return b

@@ -127,6 +127,11 @@ func Compile(p *ir.Plan, opt Options) (*Compiled, error) {
 	if len(p.Ops) == 0 {
 		return nil, fmt.Errorf("exec: empty plan")
 	}
+	// No-op unless built with -tags lintcheck, where the planshape verifier
+	// front-runs compilation (see lintcheck.go).
+	if err := lintcheckVerify(p); err != nil {
+		return nil, err
+	}
 	for i, op := range p.Ops {
 		if err := c.compileOp(op, i == 0, opt); err != nil {
 			return nil, err

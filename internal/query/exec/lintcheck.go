@@ -1,0 +1,18 @@
+//go:build lintcheck
+
+package exec
+
+import (
+	"repro/internal/query/ir"
+	"repro/internal/query/planshape"
+)
+
+// lintcheckVerify runs the static plan verifier in front of compilation.
+// Built only under the lintcheck tag (CI's `go test -tags lintcheck`), it
+// turns every plan any test compiles into a planshape corpus entry: shape
+// defects the runtime would tolerate until eval time fail loudly at Compile.
+// The import points exec → planshape; planshape itself never imports exec.
+func lintcheckVerify(p *ir.Plan) error {
+	_, err := planshape.Verify(p)
+	return err
+}

@@ -74,6 +74,23 @@ func Bind(e *Expr, b Binder) (*Bound, error) {
 			}
 		}
 	}
+	// Constant fold all-literal lists at bind time: `x IN [1,2,3]` then
+	// evaluates against one shared list value instead of rebuilding (and
+	// reallocating) the list for every row.
+	if out.kind == KindList {
+		items := make([]graph.Value, len(out.args))
+		constant := true
+		for i, a := range out.args {
+			if a.kind != KindLiteral {
+				constant = false
+				break
+			}
+			items[i] = a.val
+		}
+		if constant {
+			return &Bound{kind: KindLiteral, val: graph.ListValue(items)}, nil
+		}
+	}
 	return out, nil
 }
 

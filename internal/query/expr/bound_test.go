@@ -107,3 +107,36 @@ func TestBoundErrors(t *testing.T) {
 		t.Fatalf("nil program: %v %v", ok, err)
 	}
 }
+
+// TestConstantListFoldsAtBind pins the bind-time constant fold: an
+// all-literal list is built once, so evaluating `a IN [...]` allocates
+// nothing per row. Before the fold, Eval rebuilt the list value every call.
+func TestConstantListFoldsAtBind(t *testing.T) {
+	p, err := Bind(MustParse("a IN [1, 10, 100]"), sliceBinder{"a": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &BoundEnv{}
+	row := []graph.Value{graph.IntValue(10)}
+	ok, err := p.EvalBool(env, row)
+	if err != nil || !ok {
+		t.Fatalf("10 IN [1,10,100] = %v, %v", ok, err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := p.EvalBool(env, row); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("constant-list membership allocates %v per row, want 0", allocs)
+	}
+	// A list with a non-literal element must still evaluate per row.
+	p, err = Bind(MustParse("a IN [1, a, 100]"), sliceBinder{"a": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err = p.EvalBool(env, row)
+	if err != nil || !ok {
+		t.Fatalf("10 IN [1,a,100] with a=10 = %v, %v", ok, err)
+	}
+}

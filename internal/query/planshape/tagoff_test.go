@@ -1,0 +1,7 @@
+//go:build !lintcheck
+
+package planshape_test
+
+// lintcheckOn reports whether exec.Compile was built with the planshape
+// verifier front-running it (see exec/lintcheck.go).
+const lintcheckOn = false

@@ -152,8 +152,6 @@ func (s *Store) Degree(v graph.VID, dir graph.Direction) int {
 // measures. The read transaction checks per-edge validity, as LiveGraph's
 // sequential-scan-with-version-check does.
 func (s *Store) Neighbors(v graph.VID, dir graph.Direction, yield func(graph.VID, graph.EID) bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	if dir == graph.Both {
 		if !s.walk(&s.out[v], yield) {
 			return
@@ -168,10 +166,23 @@ func (s *Store) Neighbors(v graph.VID, dir graph.Direction, yield func(graph.VID
 	s.walk(adj, yield)
 }
 
+// walk scans the block chain without holding the read lock across yield:
+// each block's records are copied to a stack scratch under s.mu, which is
+// released before the records are yielded, so a callback may re-enter the
+// store — even through AddEdge's write lock — without self-deadlocking.
+// Blocks are append-only and never recycled, so the chain pointer captured
+// under the lock stays valid across the unlock; each edge's visibility is
+// the one observed when its block was snapshotted.
 func (s *Store) walk(a *vertexAdj, yield func(graph.VID, graph.EID) bool) bool {
-	for b := a.head; b != nil; b = b.next {
-		for i := 0; i < b.n; i++ {
-			r := &b.recs[i]
+	var scratch [blockSize]edgeRec
+	s.mu.RLock()
+	b := a.head
+	for b != nil {
+		n := copy(scratch[:], b.recs[:b.n])
+		next := b.next
+		s.mu.RUnlock()
+		for i := 0; i < n; i++ {
+			r := &scratch[i]
 			if r.invalidTxn != ^uint64(0) {
 				continue
 			}
@@ -179,7 +190,10 @@ func (s *Store) walk(a *vertexAdj, yield func(graph.VID, graph.EID) bool) bool {
 				return false
 			}
 		}
+		s.mu.RLock()
+		b = next
 	}
+	s.mu.RUnlock()
 	return true
 }
 

@@ -2,6 +2,7 @@ package livegraph
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/graph"
 )
@@ -102,4 +103,79 @@ func TestEarlyStop(t *testing.T) {
 	if n != 1 {
 		t.Fatal("early stop ignored in Both")
 	}
+}
+
+// TestReentrantYield pins the no-lock-across-yield contract: a Neighbors
+// callback that mutates the store (AddEdge takes the write lock, DeleteEdge
+// too) must not self-deadlock, and the in-flight scan must still see the
+// snapshot it captured. Before walk released s.mu around yield, this test
+// hung forever.
+func TestReentrantYield(t *testing.T) {
+	s := NewStore(8)
+	for i := graph.VID(1); i <= 3; i++ {
+		if err := s.AddEdge(0, i, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan []graph.VID, 1)
+	go func() {
+		var seen []graph.VID
+		s.Neighbors(0, graph.Out, func(n graph.VID, _ graph.EID) bool {
+			// Re-enter with both lock modes from inside the scan.
+			if err := s.AddEdge(n, 7, 1); err != nil {
+				t.Error(err)
+			}
+			s.Degree(n, graph.Out)
+			seen = append(seen, n)
+			return true
+		})
+		done <- seen
+	}()
+	select {
+	case seen := <-done:
+		if len(seen) != 3 {
+			t.Fatalf("scan saw %v, want the 3 snapshot edges", seen)
+		}
+	case <-timeoutC(t):
+		t.Fatal("Neighbors deadlocked on a re-entrant callback")
+	}
+	// The writes from inside the yield landed.
+	for i := graph.VID(1); i <= 3; i++ {
+		if s.Degree(i, graph.Out) != 1 {
+			t.Fatalf("re-entrant AddEdge(%d,7) lost", i)
+		}
+	}
+}
+
+// TestDeleteDuringYield checks the snapshot semantics of the per-block copy:
+// an edge invalidated mid-scan by the callback still finishes the current
+// block's snapshot, and a fresh scan no longer sees it.
+func TestDeleteDuringYield(t *testing.T) {
+	s := NewStore(4)
+	for i := graph.VID(1); i <= 3; i++ {
+		if err := s.AddEdge(0, i, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first := 0
+	s.Neighbors(0, graph.Out, func(n graph.VID, _ graph.EID) bool {
+		s.DeleteEdge(0, 2) // in the same (only) block: already snapshotted
+		first++
+		return true
+	})
+	if first != 3 {
+		t.Fatalf("snapshot scan saw %d edges, want 3", first)
+	}
+	after := 0
+	s.Neighbors(0, graph.Out, func(graph.VID, graph.EID) bool { after++; return true })
+	if after != 2 {
+		t.Fatalf("post-delete scan saw %d edges, want 2", after)
+	}
+}
+
+// timeoutC returns a channel that fires after a grace period, failing fast
+// instead of letting a deadlock eat the package's whole test timeout.
+func timeoutC(t *testing.T) <-chan time.Time {
+	t.Helper()
+	return time.After(10 * time.Second)
 }
