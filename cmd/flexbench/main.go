@@ -6,7 +6,8 @@
 //	flexbench            # all experiments
 //	flexbench fig7c exp8
 //	flexbench -quick     # scaled-down workloads (seconds, not minutes)
-//	flexbench -json BENCH_query.json fig7e fig7f   # also dump tables as JSON
+//	flexbench -json BENCH_query.json fig7e exp8    # also dump tables as JSON
+//	flexbench -timeout 30s exp2  # bound each query execution inside experiments
 //	flexbench -list
 package main
 
@@ -17,36 +18,52 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
 )
+
+const usageLine = "usage: flexbench [-quick] [-json file] [-timeout d] [-list] [experiment ...]"
+
+// validateArgs rejects unknown experiment IDs and bad flag values before any
+// experiment runs: a typo in the last argument must not surface after minutes
+// of benchmarking. Kept apart from main so the rules are unit-testable.
+func validateArgs(ids, known []string, timeout time.Duration) string {
+	if timeout < 0 {
+		return fmt.Sprintf("-timeout %v is negative (0 means no deadline)", timeout)
+	}
+	knownSet := map[string]bool{}
+	for _, id := range known {
+		knownSet[id] = true
+	}
+	for _, id := range ids {
+		if !knownSet[id] {
+			return fmt.Sprintf("unknown experiment %q (run `flexbench -list` for the available IDs)", id)
+		}
+	}
+	return ""
+}
 
 func main() {
 	list := flag.Bool("list", false, "list experiment IDs")
 	quickFlag := flag.Bool("quick", false, "run scaled-down workloads (same code paths, smaller data)")
 	jsonPath := flag.String("json", "", "write the selected experiments' tables to this file as JSON")
+	timeout := flag.Duration("timeout", 0, "deadline for each query execution inside experiments (0: none)")
 	flag.Parse()
 	if *list {
 		fmt.Println(strings.Join(bench.IDs(), "\n"))
 		return
 	}
 	bench.SetQuick(*quickFlag)
+	bench.SetQueryTimeout(*timeout)
 	ids := flag.Args()
 	if len(ids) == 0 {
 		ids = bench.IDs()
 	}
-	// Validate every requested ID before running any experiment: a typo in
-	// the last argument must not surface after minutes of benchmarking.
-	known := map[string]bool{}
-	for _, id := range bench.IDs() {
-		known[id] = true
-	}
-	for _, id := range ids {
-		if !known[id] {
-			fmt.Fprintf(os.Stderr, "flexbench: unknown experiment %q (run `flexbench -list` for the available IDs)\n", id)
-			fmt.Fprintln(os.Stderr, "usage: flexbench [-quick] [-json file] [-list] [experiment ...]")
-			os.Exit(2)
-		}
+	if msg := validateArgs(ids, bench.IDs(), *timeout); msg != "" {
+		fmt.Fprintln(os.Stderr, "flexbench: "+msg)
+		fmt.Fprintln(os.Stderr, usageLine)
+		os.Exit(2)
 	}
 	fmt.Printf("flexbench: GOMAXPROCS=%d (scaling experiments need >1 CPU to separate)\n\n", runtime.GOMAXPROCS(0))
 	var tables []*bench.Table

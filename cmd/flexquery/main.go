@@ -6,6 +6,7 @@
 //	flexquery -persons 300 -lang cypher 'MATCH (p:Person)-[:KNOWS]->(f:Person) WHERE id(p) = 1 RETURN id(f)'
 //	flexquery -lang gremlin "g.V().hasLabel('Person').count()"
 //	flexquery -store gart -par 8 -batch 512 'MATCH (p:Person)-[:KNOWS]->(f:Person) RETURN f.firstName LIMIT 5'
+//	flexquery -timeout 250ms 'MATCH (a:Person)-[:KNOWS]->(b)-[:KNOWS]->(c) RETURN count(c)'
 //
 // -store selects the storage backend the Gaia engine reads through GRIN:
 // vineyard (immutable CSR + columns, native batch traits), gart (MVCC
@@ -13,13 +14,18 @@
 // cover every vertex and property access fails, exercising the capability
 // fallbacks). -par and -batch tune the engine's worker count and rows per
 // batch, driving the batched scan/expand/gather paths at any morsel shape.
+// -timeout puts a deadline on query execution (not the dataset build): an
+// expired query fails with exec.ErrDeadlineExceeded, the lifecycle contract
+// every engine honors.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/grin"
@@ -32,18 +38,49 @@ import (
 	"repro/internal/storage/vineyard"
 )
 
+// validateFlags rejects bad flag combinations before any expensive work; the
+// returned message feeds the usage error. Kept apart from main so the
+// validation rules are unit-testable.
+func validateFlags(store, lang string, par, batch, persons int, timeout time.Duration) string {
+	switch store {
+	case "vineyard", "gart", "livegraph":
+	default:
+		return fmt.Sprintf("unknown store %q (want vineyard, gart or livegraph)", store)
+	}
+	switch lang {
+	case "cypher", "gremlin":
+	default:
+		return fmt.Sprintf("unknown language %q (want cypher or gremlin)", lang)
+	}
+	if par < 0 {
+		return fmt.Sprintf("-par %d is negative (0 means GOMAXPROCS)", par)
+	}
+	if batch < 0 {
+		return fmt.Sprintf("-batch %d is negative (0 means the engine default)", batch)
+	}
+	if persons <= 0 {
+		return fmt.Sprintf("-persons %d must be positive", persons)
+	}
+	if timeout < 0 {
+		return fmt.Sprintf("-timeout %v is negative (0 means no deadline)", timeout)
+	}
+	return ""
+}
+
+const usageLine = "usage: flexquery [-persons n] [-lang cypher|gremlin] [-store vineyard|gart|livegraph] [-par n] [-batch n] [-timeout d] [-explain] <query>"
+
 func main() {
 	persons := flag.Int("persons", 200, "SNB scale (persons)")
 	lang := flag.String("lang", "cypher", "query language: cypher or gremlin")
 	store := flag.String("store", "vineyard", "storage backend: vineyard, gart or livegraph")
 	par := flag.Int("par", 0, "engine parallelism (0: GOMAXPROCS)")
 	batch := flag.Int("batch", 0, "rows per batch (0: engine default)")
+	timeout := flag.Duration("timeout", 0, "query execution deadline (0: none)")
 	explain := flag.Bool("explain", false, "print the logical plan instead of executing")
 	flag.Parse()
 	usage := func(msg string) {
 		fmt.Fprintln(os.Stderr, "flexquery: "+msg)
-		fmt.Fprintln(os.Stderr,
-			"usage: flexquery [-persons n] [-lang cypher|gremlin] [-store vineyard|gart|livegraph] [-par n] [-batch n] [-explain] <query>")
+		fmt.Fprintln(os.Stderr, usageLine)
 		os.Exit(2)
 	}
 	if flag.NArg() != 1 {
@@ -52,24 +89,8 @@ func main() {
 	// Validate every flag before the dataset build: an unknown store or a
 	// negative tuning knob must fail in milliseconds, not after generating
 	// and loading an SNB graph.
-	switch *store {
-	case "vineyard", "gart", "livegraph":
-	default:
-		usage(fmt.Sprintf("unknown store %q (want vineyard, gart or livegraph)", *store))
-	}
-	switch *lang {
-	case "cypher", "gremlin":
-	default:
-		usage(fmt.Sprintf("unknown language %q (want cypher or gremlin)", *lang))
-	}
-	if *par < 0 {
-		usage(fmt.Sprintf("-par %d is negative (0 means GOMAXPROCS)", *par))
-	}
-	if *batch < 0 {
-		usage(fmt.Sprintf("-batch %d is negative (0 means the engine default)", *batch))
-	}
-	if *persons <= 0 {
-		usage(fmt.Sprintf("-persons %d must be positive", *persons))
+	if msg := validateFlags(*store, *lang, *par, *batch, *persons, *timeout); msg != "" {
+		usage(msg)
 	}
 	query := flag.Arg(0)
 
@@ -107,8 +128,17 @@ func main() {
 		fmt.Println(plan)
 		return
 	}
+	// The deadline covers query execution only: the interactive contract is
+	// "this query gets d of engine time", not "minus however long the
+	// dataset build took".
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	eng := gaia.NewEngine(st, gaia.Options{Parallelism: *par, BatchSize: *batch})
-	rows, out, err := eng.Submit(plan, nil)
+	rows, out, err := eng.Submit(ctx, plan, nil)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestValidateFlags pins the upfront flag validation: every bad value is
+// rejected with a message naming the offending flag before any dataset work,
+// and the documented defaults pass.
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		store   string
+		lang    string
+		par     int
+		batch   int
+		persons int
+		timeout time.Duration
+		want    string // substring of the usage message; "" means valid
+	}{
+		{name: "defaults", store: "vineyard", lang: "cypher", persons: 200},
+		{name: "gart gremlin tuned", store: "gart", lang: "gremlin", par: 8, batch: 512, persons: 50, timeout: time.Second},
+		{name: "livegraph", store: "livegraph", lang: "cypher", persons: 10},
+		{name: "bad store", store: "neo4j", lang: "cypher", persons: 200, want: `unknown store "neo4j"`},
+		{name: "bad lang", store: "vineyard", lang: "sparql", persons: 200, want: `unknown language "sparql"`},
+		{name: "negative par", store: "vineyard", lang: "cypher", par: -1, persons: 200, want: "-par -1"},
+		{name: "negative batch", store: "vineyard", lang: "cypher", batch: -4, persons: 200, want: "-batch -4"},
+		{name: "zero persons", store: "vineyard", lang: "cypher", persons: 0, want: "-persons 0"},
+		{name: "negative timeout", store: "vineyard", lang: "cypher", persons: 200, timeout: -time.Second, want: "-timeout -1s"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := validateFlags(tc.store, tc.lang, tc.par, tc.batch, tc.persons, tc.timeout)
+			if tc.want == "" {
+				if got != "" {
+					t.Fatalf("validateFlags = %q, want valid", got)
+				}
+				return
+			}
+			if !strings.Contains(got, tc.want) {
+				t.Fatalf("validateFlags = %q, want it to mention %q", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestUsageLineMentionsEveryFlag keeps the usage message in sync with the
+// flags main registers — a new knob must show up in the error users see.
+func TestUsageLineMentionsEveryFlag(t *testing.T) {
+	for _, f := range []string{"-persons", "-lang", "-store", "-par", "-batch", "-timeout", "-explain"} {
+		if !strings.Contains(usageLine, f) {
+			t.Errorf("usage line does not mention %s: %q", f, usageLine)
+		}
+	}
+}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -37,7 +38,7 @@ func main() {
 		log.Fatal(err)
 	}
 	start := time.Now()
-	rows, err := engine.Call("twohop", nil)
+	rows, err := engine.Call(context.Background(), "twohop", nil)
 	if err != nil {
 		log.Fatal(err)
 	}

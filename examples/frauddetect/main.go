@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -49,7 +50,7 @@ RETURN id(v)`, store.Schema())
 		}
 		store.Commit()
 		// ...then run the mandatory check before accepting it.
-		rows, err := engine.Call("detect", map[string]graph.Value{"acct": graph.IntValue(order.Account)})
+		rows, err := engine.Call(context.Background(), "detect", map[string]graph.Value{"acct": graph.IntValue(order.Account)})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -36,7 +37,7 @@ ORDER BY posts DESC LIMIT 5`, store.Schema())
 		log.Fatal(err)
 	}
 	engine := gaia.NewEngine(store, gaia.Options{})
-	rows, _, err := engine.Submit(plan, nil)
+	rows, _, err := engine.Submit(context.Background(), plan, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

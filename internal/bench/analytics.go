@@ -335,7 +335,7 @@ func Exp8() (*Table, error) {
 	}
 	var innerErr error
 	dFlex := timeIt(5, func() {
-		if _, err2 := he.Call("twohop", nil); err2 != nil {
+		if _, err2 := he.Call(benchCtx, "twohop", nil); err2 != nil {
 			innerErr = err2
 		}
 	})

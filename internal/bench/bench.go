@@ -5,6 +5,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -94,6 +95,19 @@ func speedup(base, fast time.Duration) string {
 	return fmt.Sprintf("%.1fx", float64(base)/float64(fast))
 }
 
+// queryTimeout bounds one experiment's query executions (0: none). Wired by
+// flexbench's -timeout flag into the engines' query deadlines: every
+// Submit/Call inside the experiment runs under the same expiring context.
+var queryTimeout time.Duration
+
+// SetQueryTimeout installs a per-experiment deadline for the queries the
+// experiments execute. Not safe to toggle concurrently with Run.
+func SetQueryTimeout(d time.Duration) { queryTimeout = d }
+
+// benchCtx is the context experiments submit queries under; Run installs a
+// deadline-carrying context when a query timeout is set.
+var benchCtx = context.Background()
+
 // Registry maps experiment IDs to runners.
 var registry = map[string]func() (*Table, error){}
 
@@ -106,6 +120,12 @@ func Run(id string) (*Table, error) {
 	fn, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("bench: unknown experiment %q (known: %s)", id, strings.Join(IDs(), ", "))
+	}
+	if queryTimeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), queryTimeout)
+		defer cancel()
+		benchCtx = ctx
+		defer func() { benchCtx = context.Background() }()
 	}
 	return fn()
 }

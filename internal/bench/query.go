@@ -89,7 +89,7 @@ func Fig7e() (*Table, error) {
 			}
 			run := func(opt optimizer.Options) time.Duration {
 				return timeIt(2, func() {
-					if _, _, err2 := eng.SubmitWith(plan, nil, opt); err2 != nil {
+					if _, _, err2 := eng.SubmitWith(benchCtx, plan, nil, opt); err2 != nil {
 						err = err2
 					}
 				})
@@ -139,13 +139,13 @@ func Fig7f() (*Table, error) {
 		params := q.Params(r, sc)
 		var innerErr error
 		dFlex := timeIt(3, func() {
-			if _, err2 := he.Call(q.Name, params); err2 != nil {
+			if _, err2 := he.Call(benchCtx, q.Name, params); err2 != nil {
 				innerErr = err2
 			}
 		})
 		snap := gs.Latest()
 		dBase := timeIt(1, func() {
-			if _, _, err2 := naive.Run(plan, snap, params); err2 != nil {
+			if _, _, err2 := naive.Run(benchCtx, plan, snap, params); err2 != nil {
 				innerErr = err2
 			}
 		})
@@ -190,11 +190,11 @@ func Fig7f() (*Table, error) {
 		return float64(total) / time.Since(start).Seconds()
 	}
 	flexQPS := thpt(func(q procedures.Query, params map[string]graph.Value) {
-		_, _ = he.Call(q.Name, params)
+		_, _ = he.Call(benchCtx, q.Name, params)
 	})
 	baseQPS := thpt(func(q procedures.Query, params map[string]graph.Value) {
 		plan, _ := cypher.Parse(q.Cypher, schema)
-		_, _, _ = naive.Run(plan, gs.Latest(), params)
+		_, _, _ = naive.Run(benchCtx, plan, gs.Latest(), params)
 	})
 	tab.Notes = append(tab.Notes,
 		fmt.Sprintf("throughput: Flex %.0f ops/s vs baseline %.0f ops/s (%.2fx); paper: 2.45x, avg latency 8.92x", flexQPS, baseQPS, flexQPS/baseQPS),
@@ -224,12 +224,12 @@ func Fig7g() (*Table, error) {
 		params := q.Params(r, sc)
 		var innerErr error
 		dFlex := timeIt(2, func() {
-			if _, _, err2 := eng.Submit(plan, params); err2 != nil {
+			if _, _, err2 := eng.Submit(benchCtx, plan, params); err2 != nil {
 				innerErr = err2
 			}
 		})
 		dBase := timeIt(1, func() {
-			if _, _, err2 := naive.Run(plan, st, params); err2 != nil {
+			if _, _, err2 := naive.Run(benchCtx, plan, st, params); err2 != nil {
 				innerErr = err2
 			}
 		})
@@ -291,7 +291,7 @@ RETURN id(v)`
 				defer wg.Done()
 				for i := w; i < n; i += threads {
 					o := orders[i%len(orders)]
-					_, _ = he.Call("detect", map[string]graph.Value{"acct": graph.IntValue(o.Account)})
+					_, _ = he.Call(benchCtx, "detect", map[string]graph.Value{"acct": graph.IntValue(o.Account)})
 				}
 			}(w)
 		}

@@ -95,7 +95,7 @@ WITH t, COUNT(m) AS cnt RETURN t.name, cnt ORDER BY cnt DESC LIMIT 10`, dataset.
 		// BI query on Gaia.
 		eng := gaia.NewEngine(be.g, gaia.Options{Parallelism: 4})
 		d2 := timeIt(2, func() {
-			if _, _, err2 := eng.Submit(biPlan, nil); err2 != nil {
+			if _, _, err2 := eng.Submit(benchCtx, biPlan, nil); err2 != nil {
 				err = err2
 			}
 		})
@@ -164,7 +164,7 @@ func grinPageRank(g grin.Graph, iters int) []float64 {
 	for v := range rank {
 		rank[v] = 1 / float64(n)
 	}
-	aa, hasArray := g.(grin.AdjArray)
+	aa, hasArray := grin.AsAdjArray(g)
 	for it := 0; it < iters; it++ {
 		for v := range next {
 			next[v] = 0.15 / float64(n)

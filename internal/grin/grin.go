@@ -185,8 +185,27 @@ func (t Trait) String() string {
 	return fmt.Sprintf("trait(%d)", uint8(t))
 }
 
-// Has reports whether g provides the trait, by type assertion.
+// TraitMasker is implemented by wrapping backends (fault injection, future
+// remote-fragment proxies) whose Go method set is wider than the store they
+// wrap: HasTrait reports the capability set of the *inner* store, so
+// capability discovery through Has/As* stays honest. A wrapper over a
+// topology-only store must not advertise property traits just because its
+// wrapper type has the methods.
+type TraitMasker interface {
+	// HasTrait reports whether the trait is really available.
+	HasTrait(t Trait) bool
+}
+
+// Has reports whether g provides the trait, by type assertion — or, for
+// masking wrappers, by asking the wrapper.
 func Has(g Graph, t Trait) bool {
+	if m, ok := g.(TraitMasker); ok {
+		return m.HasTrait(t)
+	}
+	return hasByAssertion(g, t)
+}
+
+func hasByAssertion(g Graph, t Trait) bool {
 	switch t {
 	case TraitTopology:
 		return g != nil
@@ -247,6 +266,111 @@ type ErrMissingTrait struct {
 func (e *ErrMissingTrait) Error() string {
 	return fmt.Sprintf("grin: backend %q does not provide trait %q required by %s",
 		e.Backend, e.Trait, e.Engine)
+}
+
+// The As* accessors are the canonical way runtime code discovers optional
+// traits: a plain type assertion on a masking wrapper (TraitMasker) would
+// see the wrapper's full method set and call into a capability the inner
+// store lacks. Each accessor answers (impl, true) only when the trait is
+// genuinely available. The trait assertion runs first so the common case — a
+// concrete backend that is not a masker — costs the same single assertion a
+// direct type switch would; the masker consultation happens only on success.
+
+// unmasked reports whether a graph whose method set provides t really offers
+// it: true for plain backends, the wrapper's answer for TraitMaskers.
+func unmasked(g Graph, t Trait) bool {
+	m, ok := g.(TraitMasker)
+	return !ok || m.HasTrait(t)
+}
+
+// AsAdjArray returns the zero-copy adjacency trait when available.
+func AsAdjArray(g Graph) (AdjArray, bool) {
+	aa, ok := g.(AdjArray)
+	if !ok || !unmasked(g, TraitAdjArray) {
+		return nil, false
+	}
+	return aa, true
+}
+
+// AsPropertyReader returns the property trait when available.
+func AsPropertyReader(g Graph) (PropertyReader, bool) {
+	pr, ok := g.(PropertyReader)
+	if !ok || !unmasked(g, TraitProperty) {
+		return nil, false
+	}
+	return pr, true
+}
+
+// AsWeightReader returns the weight trait when available.
+func AsWeightReader(g Graph) (WeightReader, bool) {
+	wr, ok := g.(WeightReader)
+	if !ok || !unmasked(g, TraitWeight) {
+		return nil, false
+	}
+	return wr, true
+}
+
+// AsIndex returns the index trait when available.
+func AsIndex(g Graph) (Index, bool) {
+	idx, ok := g.(Index)
+	if !ok || !unmasked(g, TraitIndex) {
+		return nil, false
+	}
+	return idx, true
+}
+
+// AsPredicatePush returns the predicate-pushdown trait when available.
+func AsPredicatePush(g Graph) (PredicatePush, bool) {
+	pp, ok := g.(PredicatePush)
+	if !ok || !unmasked(g, TraitPredicate) {
+		return nil, false
+	}
+	return pp, true
+}
+
+// AsPartitioned returns the partition trait when available.
+func AsPartitioned(g Graph) (Partitioned, bool) {
+	p, ok := g.(Partitioned)
+	if !ok || !unmasked(g, TraitPartition) {
+		return nil, false
+	}
+	return p, true
+}
+
+// AsVersioned returns the MVCC trait when available.
+func AsVersioned(g Graph) (Versioned, bool) {
+	v, ok := g.(Versioned)
+	if !ok || !unmasked(g, TraitVersioned) {
+		return nil, false
+	}
+	return v, true
+}
+
+// AsBatchAdjacency returns the batched adjacency trait when available.
+func AsBatchAdjacency(g Graph) (BatchAdjacency, bool) {
+	ba, ok := g.(BatchAdjacency)
+	if !ok || !unmasked(g, TraitBatchAdjacency) {
+		return nil, false
+	}
+	return ba, true
+}
+
+// AsBatchProps returns the batched property trait when available.
+func AsBatchProps(g Graph) (BatchProps, bool) {
+	bp, ok := g.(BatchProps)
+	if !ok || !unmasked(g, TraitBatchProps) {
+		return nil, false
+	}
+	return bp, true
+}
+
+// AsBatchScan returns the batched scan trait when available.
+func AsBatchScan(g Graph) (BatchScan, bool) {
+	bs, ok := g.(BatchScan)
+	if !ok || !unmasked(g, TraitBatchScan) {
+		return nil, false
+	}
+	return bs, true
 }
 
 // Require verifies that g provides every trait in required, returning an

@@ -11,7 +11,7 @@ import (
 // iterator trait. Engines use this helper so the trait dispatch lives in one
 // place.
 func ForEachNeighbor(g Graph, v graph.VID, dir graph.Direction, yield func(nbr graph.VID, e graph.EID) bool) {
-	if aa, ok := g.(AdjArray); ok {
+	if aa, ok := AsAdjArray(g); ok {
 		// AdjSlice is defined per single direction; expand Both into two
 		// passes so in-edges are not silently dropped.
 		if dir == graph.Both {
@@ -44,7 +44,7 @@ func ForEachNeighbor(g Graph, v graph.VID, dir graph.Direction, yield func(nbr g
 // their Degree is itself a full adjacency walk, so pre-sizing would traverse
 // twice.
 func CollectNeighbors(g Graph, v graph.VID, dir graph.Direction) []Target {
-	if aa, ok := g.(AdjArray); ok {
+	if aa, ok := AsAdjArray(g); ok {
 		if dir == graph.Both {
 			o, i := aa.AdjSlice(v, graph.Out), aa.AdjSlice(v, graph.In)
 			out := make([]Target, 0, len(o)+len(i))
@@ -67,12 +67,12 @@ func CollectNeighbors(g Graph, v graph.VID, dir graph.Direction) []Target {
 // Per-vertex neighbor order always matches Neighbors (Both: out-edges then
 // in-edges).
 func ExpandBatch(g Graph, frontier []graph.VID, dir graph.Direction, out *AdjBatch) {
-	if ba, ok := g.(BatchAdjacency); ok {
+	if ba, ok := AsBatchAdjacency(g); ok {
 		ba.ExpandBatch(frontier, dir, out)
 		return
 	}
 	out.Begin(len(frontier))
-	if aa, ok := g.(AdjArray); ok {
+	if aa, ok := AsAdjArray(g); ok {
 		for _, v := range frontier {
 			if dir == graph.Both || dir == graph.Out {
 				for _, t := range aa.AdjSlice(v, graph.Out) {
@@ -105,11 +105,11 @@ func ExpandBatch(g Graph, frontier []graph.VID, dir graph.Direction, out *AdjBat
 // Absent properties and NilVID elements gather as NULL; a store with no
 // property trait at all is an error (matching scalar property access).
 func GatherVertexProp(g Graph, vs []graph.VID, prop string, out []graph.Value) error {
-	if bp, ok := g.(BatchProps); ok {
+	if bp, ok := AsBatchProps(g); ok {
 		bp.GatherVertexProp(vs, prop, out)
 		return nil
 	}
-	pr, ok := g.(PropertyReader)
+	pr, ok := AsPropertyReader(g)
 	if !ok {
 		return fmt.Errorf("grin: store lacks property trait")
 	}
@@ -136,11 +136,11 @@ func GatherVertexProp(g Graph, vs []graph.VID, prop string, out []graph.Value) e
 // GatherEdgeProp fills out[i] with property prop of es[i]; see
 // GatherVertexProp for trait dispatch and NULL semantics.
 func GatherEdgeProp(g Graph, es []graph.EID, prop string, out []graph.Value) error {
-	if bp, ok := g.(BatchProps); ok {
+	if bp, ok := AsBatchProps(g); ok {
 		bp.GatherEdgeProp(es, prop, out)
 		return nil
 	}
-	pr, ok := g.(PropertyReader)
+	pr, ok := AsPropertyReader(g)
 	if !ok {
 		return fmt.Errorf("grin: store lacks property trait")
 	}
@@ -167,11 +167,11 @@ func GatherEdgeProp(g Graph, es []graph.EID, prop string, out []graph.Value) err
 // GatherVertexLabels fills out[i] with the label of vs[i]. Stores without a
 // property trait gather AnyLabel (they have no label catalog).
 func GatherVertexLabels(g Graph, vs []graph.VID, out []graph.LabelID) {
-	if bp, ok := g.(BatchProps); ok {
+	if bp, ok := AsBatchProps(g); ok {
 		bp.GatherVertexLabels(vs, out)
 		return
 	}
-	pr, ok := g.(PropertyReader)
+	pr, ok := AsPropertyReader(g)
 	for i, v := range vs {
 		if !ok || v == graph.NilVID {
 			out[i] = graph.AnyLabel
@@ -184,11 +184,11 @@ func GatherVertexLabels(g Graph, vs []graph.VID, out []graph.LabelID) {
 // GatherEdgeLabels fills out[i] with the label of es[i]; see
 // GatherVertexLabels.
 func GatherEdgeLabels(g Graph, es []graph.EID, out []graph.LabelID) {
-	if bp, ok := g.(BatchProps); ok {
+	if bp, ok := AsBatchProps(g); ok {
 		bp.GatherEdgeLabels(es, out)
 		return
 	}
-	pr, ok := g.(PropertyReader)
+	pr, ok := AsPropertyReader(g)
 	for i, e := range es {
 		if !ok || e == graph.NilEID {
 			out[i] = graph.AnyLabel
@@ -202,7 +202,7 @@ func GatherEdgeLabels(g Graph, es []graph.EID, out []graph.LabelID) {
 // O(1) label range, then the predicate trait, then a full scan with label
 // filtering through the property trait.
 func ScanLabel(g Graph, label graph.LabelID, yield func(graph.VID) bool) {
-	if idx, ok := g.(Index); ok {
+	if idx, ok := AsIndex(g); ok {
 		if lo, hi, rangeOK := idx.LabelRange(label); rangeOK {
 			for v := lo; v < hi; v++ {
 				if !yield(v) {
@@ -212,11 +212,11 @@ func ScanLabel(g Graph, label graph.LabelID, yield func(graph.VID) bool) {
 			return
 		}
 	}
-	if pp, ok := g.(PredicatePush); ok {
+	if pp, ok := AsPredicatePush(g); ok {
 		pp.ScanVertices(label, nil, yield)
 		return
 	}
-	pr, hasProps := g.(PropertyReader)
+	pr, hasProps := AsPropertyReader(g)
 	n := graph.VID(g.NumVertices())
 	for v := graph.VID(0); v < n; v++ {
 		if label != graph.AnyLabel && hasProps && pr.VertexLabel(v) != label {
@@ -239,7 +239,7 @@ func ScanLabelBatches(g Graph, label graph.LabelID, buf []graph.VID, emit func([
 	if len(buf) == 0 {
 		return
 	}
-	if bs, ok := g.(BatchScan); ok {
+	if bs, ok := AsBatchScan(g); ok {
 		cursor := graph.VID(0)
 		for {
 			n, next := bs.ScanBatch(label, cursor, buf)
@@ -252,7 +252,7 @@ func ScanLabelBatches(g Graph, label graph.LabelID, buf []graph.VID, emit func([
 			cursor = next
 		}
 	}
-	if idx, ok := g.(Index); ok {
+	if idx, ok := AsIndex(g); ok {
 		if lo, hi, rangeOK := idx.LabelRange(label); rangeOK {
 			for {
 				n, next := FillRange(lo, hi, buf)
@@ -284,7 +284,7 @@ func ScanLabelBatches(g Graph, label graph.LabelID, buf []graph.VID, emit func([
 // Weight returns the edge weight via the weight trait, falling back to 1.0
 // for unweighted backends.
 func Weight(g Graph, e graph.EID) float64 {
-	if wr, ok := g.(WeightReader); ok {
+	if wr, ok := AsWeightReader(g); ok {
 		return wr.EdgeWeight(e)
 	}
 	return 1.0

@@ -223,3 +223,31 @@ func pinWhileAcquired(sn *snap) {
 	sn.Unpin()
 	sn.Release()
 }
+
+// --- recover blocks under held locks ---
+
+// recoverBalanced mirrors the exec stage guards: the deferred recover block
+// and the deferred unlock coexist — the walk credits the unlock on every
+// return path, panicking or not, and must not flag the recover itself.
+func (s *store) recoverBalanced() (err bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer func() {
+		if r := recover(); r != nil {
+			err = true
+		}
+	}()
+	s.n++
+	return false
+}
+
+// recoverLeak still leaks on the early return: a recover block is not an
+// unlock, so the defer-recover must not be credited as a release.
+func (s *store) recoverLeak(fail bool) {
+	s.mu.Lock()
+	defer func() { recover() }()
+	if fail {
+		return // want "returns with s.mu still held"
+	}
+	s.mu.Unlock()
+}

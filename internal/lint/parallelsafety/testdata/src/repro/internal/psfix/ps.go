@@ -3,7 +3,11 @@
 // no path filter — these invariants hold everywhere.
 package psfix
 
-import "sync"
+import (
+	"context"
+	"errors"
+	"sync"
+)
 
 // guarded carries a mutex by value, so copying a guarded copies the lock.
 type guarded struct {
@@ -105,4 +109,43 @@ func PutCleared(b *boxed) {
 // PutArena parks a plain-value arena: nothing to clear, nothing pinned.
 func PutArena(a *arena) {
 	pool.Put(a)
+}
+
+// CtxCancelable exits through the context's done channel — the ctx-done
+// select every engine driver goroutine uses is a valid cancel path, not an
+// orphan.
+func CtxCancelable(ctx context.Context, work func()) {
+	go func() {
+		select {
+		case <-ctx.Done():
+		default:
+			work()
+		}
+	}()
+}
+
+// CtxDerived derives its teardown context inside the goroutine; the
+// context-typed value alone marks the cancel path.
+func CtxDerived(ctx context.Context, work func(context.Context)) {
+	go func() {
+		segCtx, stop := context.WithCancel(ctx)
+		defer stop()
+		work(segCtx)
+	}()
+}
+
+// RecoveredWorker isolates panics behind a recover block and exits through
+// its reply channel: the recover must neither hide the join path nor be
+// flagged itself.
+func RecoveredWorker(work func() error) <-chan error {
+	out := make(chan error, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				out <- errors.New("panic isolated")
+			}
+		}()
+		out <- work()
+	}()
+	return out
 }

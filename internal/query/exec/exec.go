@@ -99,6 +99,12 @@ type Env struct {
 	Params map[string]graph.Value
 	// BatchSize is the target rows per batch (0: DefaultBatchSize).
 	BatchSize int
+	// MaxRows caps the rows a query may process across all pipeline
+	// segments (0: unlimited). Exceeding it fails the query with
+	// ErrBudgetExceeded — the admission-control degradation path.
+	MaxRows int64
+	// life holds the bound context and budget counters; Drive installs it.
+	life *lifecycle
 }
 
 // EffectiveBatchSize resolves the batch-size knob.
@@ -354,7 +360,7 @@ func (c *Compiled) compileScan(op *ir.Op, opt Options) error {
 				return out.flushIfFull()
 			}
 			if idEq != nil {
-				if store, ok := env.Graph.(grin.Index); ok {
+				if store, ok := grin.AsIndex(env.Graph); ok {
 					want, err := idEqValue(env, idEq)
 					if err != nil {
 						return err
@@ -373,6 +379,13 @@ func (c *Compiled) compileScan(op *ir.Op, opt Options) error {
 			buf := make([]graph.VID, env.EffectiveBatchSize())
 			var scanErr error
 			grin.ScanLabelBatches(env.Graph, label, buf, func(vs []graph.VID) bool {
+				// Cooperative cancellation once per ID chunk: a highly
+				// selective predicate may emit no batches for a long time, so
+				// the source itself must observe the deadline.
+				if err := env.Alive(); err != nil {
+					scanErr = err
+					return false
+				}
 				for _, v := range vs {
 					var err error
 					if fullB == nil {
@@ -455,7 +468,7 @@ func (c *Compiled) compileExpandFused(op *ir.Op) error {
 			// boundary in one ExpandBatch call, label filters gather their
 			// columns in one call each, and only the pushed predicate (if
 			// any) runs per output row.
-			pr, _ := env.Graph.(grin.PropertyReader)
+			pr, _ := grin.AsPropertyReader(env.Graph)
 			benv := env.boundEnv()
 			s := expandPool.Get().(*expandScratch)
 			defer expandPool.Put(s)
@@ -531,7 +544,7 @@ func (c *Compiled) compileExpandEdge(op *ir.Op) error {
 		Name:    "EXPAND_EDGE(" + op.FromAlias + ")",
 		InWidth: inWidth, OutWidth: width,
 		Map: func(env *Env, in, out *Batch) error {
-			pr, _ := env.Graph.(grin.PropertyReader)
+			pr, _ := grin.AsPropertyReader(env.Graph)
 			s := expandPool.Get().(*expandScratch)
 			defer expandPool.Put(s)
 			s.frontier, s.rows = s.frontier[:0], s.rows[:0]
@@ -588,7 +601,7 @@ func (c *Compiled) compileGetVertex(op *ir.Op) error {
 		Name:    "GET_VERTEX(" + op.Alias + ")",
 		InWidth: inWidth, OutWidth: width,
 		Map: func(env *Env, in, out *Batch) error {
-			pr, _ := env.Graph.(grin.PropertyReader)
+			pr, _ := grin.AsPropertyReader(env.Graph)
 			benv := env.boundEnv()
 			rows := in.Len()
 			// The target-label filter gathers the whole neighbor column's

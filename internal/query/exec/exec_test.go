@@ -1,6 +1,8 @@
 package exec_test
 
 import (
+	"context"
+
 	"sync/atomic"
 	"testing"
 
@@ -127,7 +129,7 @@ func TestLimitShortCircuitsSource(t *testing.T) {
 	}
 	for _, bs := range []int{1, 64, 1024} {
 		cs.scanned.Store(0)
-		rows, err := c.Run(&exec.Env{Graph: cs, BatchSize: bs})
+		rows, err := c.Run(context.Background(), &exec.Env{Graph: cs, BatchSize: bs})
 		if err != nil {
 			t.Fatalf("bs=%d: %v", bs, err)
 		}
@@ -160,7 +162,7 @@ func TestScanIDFallbackSinglePass(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rows, err := c.Run(&exec.Env{Graph: cs})
+	rows, err := c.Run(context.Background(), &exec.Env{Graph: cs})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +172,7 @@ func TestScanIDFallbackSinglePass(t *testing.T) {
 		t.Fatalf("fallback rows: %v", rows)
 	}
 	// And the indexed store agrees without scanning.
-	rowsIdx, err := c.Run(&exec.Env{Graph: st})
+	rowsIdx, err := c.Run(context.Background(), &exec.Env{Graph: st})
 	if err != nil {
 		t.Fatal(err)
 	}

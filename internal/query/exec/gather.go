@@ -99,7 +99,7 @@ func evalColumn(env *Env, prog *expr.Bound, in *Batch, dst []graph.Value) error 
 			}
 			return nil
 		}
-		if _, hasProps := env.Graph.(grin.PropertyReader); hasProps || grin.Has(env.Graph, grin.TraitBatchProps) {
+		if _, hasProps := grin.AsPropertyReader(env.Graph); hasProps || grin.Has(env.Graph, grin.TraitBatchProps) {
 			// The column must be uniformly vertex or uniformly edge: the
 			// per-row path errors on other kinds, and a mixed column would
 			// need per-row label resolution anyway.

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -400,6 +401,11 @@ func (c *Compiled) compileMatch(op *ir.Op, first bool) error {
 			buf := make([]graph.VID, env.EffectiveBatchSize())
 			var scanErr error
 			grin.ScanLabelBatches(env.Graph, label0, buf, func(vs []graph.VID) bool {
+				// Cooperative cancellation once per ID chunk (see compileScan).
+				if err := env.Alive(); err != nil {
+					scanErr = err
+					return false
+				}
 				for _, v := range vs {
 					row := out.appendRow()
 					row[idx0] = graph.VertexValue(v)
@@ -489,7 +495,7 @@ func (c *Compiled) compileAdjacencyCheck(pe ir.PatternEdge) error {
 		Map: func(env *Env, in, out *Batch) error {
 			// Batched verification: expand the whole src column once, then
 			// probe each row's slot range for its dst endpoint.
-			pr, _ := env.Graph.(grin.PropertyReader)
+			pr, _ := grin.AsPropertyReader(env.Graph)
 			s := expandPool.Get().(*expandScratch)
 			defer expandPool.Put(s)
 			s.frontier, s.rows = s.frontier[:0], s.rows[:0]
@@ -605,11 +611,16 @@ func runSegmentSerial(env *Env, seg []Stage, feed func(EmitBatch) error, outWidt
 		bufs[k] = NewBatch(st.OutWidth, 0)
 	}
 	emit := func(b *Batch) (bool, error) {
+		// Once-per-morsel lifecycle bookkeeping: deadline/cancellation check
+		// plus the row-budget charge.
+		if err := env.ChargeRows(b.Len()); err != nil {
+			return false, err
+		}
 		cur := b
 		for k := range seg {
 			buf := bufs[k]
 			buf.Reset()
-			if err := seg[k].Map(env, cur, buf); err != nil {
+			if err := seg[k].RunMap(env, cur, buf); err != nil {
 				return false, err
 			}
 			cur = buf
@@ -637,15 +648,25 @@ type SegmentRunner func(env *Env, seg []Stage, feed func(EmitBatch) error, width
 // barriers, delegating segment execution to run. It is the single
 // segmentation and morsel-partitioning authority, shared by the serial
 // driver and Gaia, so both evaluate the row stream in identical units.
-func (c *Compiled) Drive(env *Env, run SegmentRunner) (*Batch, error) {
+//
+// ctx is the query's lifecycle authority: Drive binds it into env, every
+// driver checks it once per morsel, and a fired deadline or cancellation
+// surfaces as ErrDeadlineExceeded/ErrCanceled. Stage callbacks run behind
+// the Run* panic guards, so an operator or storage-trait panic fails this
+// query with a typed *PanicError instead of killing the process.
+func (c *Compiled) Drive(ctx context.Context, env *Env, run SegmentRunner) (*Batch, error) {
 	stages := c.Stages
 	if len(stages) == 0 || stages[0].Source == nil {
 		return nil, fmt.Errorf("exec: plan has no source")
 	}
+	env.bind(ctx)
 	morsel := MorselRows(env.EffectiveBatchSize())
 	var acc *Batch
 	i := 0
 	for i < len(stages) {
+		if err := env.Alive(); err != nil {
+			return nil, err
+		}
 		st := stages[i]
 		switch {
 		case st.Source != nil || st.Map != nil:
@@ -664,8 +685,8 @@ func (c *Compiled) Drive(env *Env, run SegmentRunner) (*Batch, error) {
 			var feed func(EmitBatch) error
 			if st.Source != nil {
 				seg = stages[i+1 : j]
-				src := st.Source
-				feed = MorselFeed(func(emit EmitBatch) error { return src(env, emit) }, morsel)
+				src := &stages[i]
+				feed = MorselFeed(func(emit EmitBatch) error { return src.RunSource(env, emit) }, morsel)
 			} else {
 				seg = stages[i:j]
 				feed = ChunkFeed(acc, morsel)
@@ -682,7 +703,7 @@ func (c *Compiled) Drive(env *Env, run SegmentRunner) (*Batch, error) {
 			i = j
 		case st.Blocking != nil:
 			var err error
-			acc, err = st.Blocking(env, acc)
+			acc, err = stages[i].RunBlocking(env, acc)
 			if err != nil {
 				return nil, err
 			}
@@ -696,13 +717,13 @@ func (c *Compiled) Drive(env *Env, run SegmentRunner) (*Batch, error) {
 
 // RunBatch drives the compiled plan serially — the execution mode of the
 // naive engine and of one HiActor actor — returning the final batch.
-func (c *Compiled) RunBatch(env *Env) (*Batch, error) {
-	return c.Drive(env, runSegmentSerial)
+func (c *Compiled) RunBatch(ctx context.Context, env *Env) (*Batch, error) {
+	return c.Drive(ctx, env, runSegmentSerial)
 }
 
 // Run drives the compiled plan serially and materializes the result rows.
-func (c *Compiled) Run(env *Env) ([]Row, error) {
-	acc, err := c.RunBatch(env)
+func (c *Compiled) Run(ctx context.Context, env *Env) ([]Row, error) {
+	acc, err := c.RunBatch(ctx, env)
 	if err != nil {
 		return nil, err
 	}

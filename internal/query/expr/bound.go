@@ -25,9 +25,35 @@ type Binder interface {
 
 // BoundEnv is the per-execution state a bound program needs: the store (for
 // property access) and the query parameters. Rows are passed per evaluation.
+// The optional-trait handles a program touches (property reads, external-ID
+// lookups) are memoized on first use, so evaluating a predicate over a whole
+// batch performs each trait discovery once rather than once per row.
 type BoundEnv struct {
 	Graph  grin.Graph
 	Params map[string]graph.Value
+
+	pr            grin.PropertyReader
+	idx           grin.Index
+	prSet, idxSet bool
+	prOK, idxOK   bool
+}
+
+// propertyReader resolves and memoizes the store's property trait.
+func (env *BoundEnv) propertyReader() (grin.PropertyReader, bool) {
+	if !env.prSet {
+		env.pr, env.prOK = grin.AsPropertyReader(env.Graph)
+		env.prSet = true
+	}
+	return env.pr, env.prOK
+}
+
+// index resolves and memoizes the store's external-ID index trait.
+func (env *BoundEnv) index() (grin.Index, bool) {
+	if !env.idxSet {
+		env.idx, env.idxOK = grin.AsIndex(env.Graph)
+		env.idxSet = true
+	}
+	return env.idx, env.idxOK
 }
 
 // Bound is a compiled expression program: the same tree shape as Expr, but
@@ -122,7 +148,11 @@ func (p *Bound) Eval(env *BoundEnv, row []graph.Value) (graph.Value, error) {
 		if p.ref.Prop == "" {
 			return v, nil
 		}
-		return PropValue(env.Graph, v, p.ref.Prop)
+		pr, ok := env.propertyReader()
+		if !ok {
+			return graph.NullValue, fmt.Errorf("expr: store lacks property trait")
+		}
+		return propValueVia(pr, v, p.ref.Prop)
 	case KindList:
 		items := make([]graph.Value, len(p.args))
 		for i, a := range p.args {
@@ -206,7 +236,7 @@ func (p *Bound) evalCall(env *BoundEnv, row []graph.Value) (graph.Value, error) 
 		if err != nil {
 			return graph.NullValue, err
 		}
-		if idx, ok := env.Graph.(grin.Index); ok && v.K == graph.KindVertex {
+		if idx, ok := env.index(); ok && v.K == graph.KindVertex {
 			return intVal(idx.ExternalID(v.Vertex())), nil
 		}
 		return intVal(v.I), nil
@@ -215,7 +245,7 @@ func (p *Bound) evalCall(env *BoundEnv, row []graph.Value) (graph.Value, error) 
 		if err != nil {
 			return graph.NullValue, err
 		}
-		pr, ok := env.Graph.(grin.PropertyReader)
+		pr, ok := env.propertyReader()
 		if !ok {
 			return graph.NullValue, fmt.Errorf("expr: label() needs property trait")
 		}

@@ -32,10 +32,16 @@ type Env struct {
 // PropValue reads a property of a bound vertex or edge element by name,
 // resolving the property ID through the element's label.
 func PropValue(g grin.Graph, elem graph.Value, prop string) (graph.Value, error) {
-	pr, ok := g.(grin.PropertyReader)
+	pr, ok := grin.AsPropertyReader(g)
 	if !ok {
 		return graph.NullValue, fmt.Errorf("expr: store lacks property trait")
 	}
+	return propValueVia(pr, elem, prop)
+}
+
+// propValueVia is PropValue with the property trait already resolved — the
+// per-row path for bound programs, which memoize the trait per batch.
+func propValueVia(pr grin.PropertyReader, elem graph.Value, prop string) (graph.Value, error) {
 	switch elem.K {
 	case graph.KindVertex:
 		v := elem.Vertex()
@@ -217,7 +223,7 @@ func (e *Expr) evalCall(env *Env) (graph.Value, error) {
 		if err != nil {
 			return graph.NullValue, err
 		}
-		if idx, ok := env.Graph.(grin.Index); ok && v.K == graph.KindVertex {
+		if idx, ok := grin.AsIndex(env.Graph); ok && v.K == graph.KindVertex {
 			return intVal(idx.ExternalID(v.Vertex())), nil
 		}
 		return intVal(v.I), nil
@@ -226,7 +232,7 @@ func (e *Expr) evalCall(env *Env) (graph.Value, error) {
 		if err != nil {
 			return graph.NullValue, err
 		}
-		pr, ok := env.Graph.(grin.PropertyReader)
+		pr, ok := grin.AsPropertyReader(env.Graph)
 		if !ok {
 			return graph.NullValue, fmt.Errorf("expr: label() needs property trait")
 		}

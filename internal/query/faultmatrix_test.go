@@ -1,0 +1,285 @@
+// The fault matrix: every engine × every backend × every fault kind, driven
+// through the chaos storage wrapper. Each run must end the way the lifecycle
+// contract promises — a row-for-row correct result (short reads, latency) or
+// a clean typed error (injected errors, panics, fired deadlines, exhausted
+// budgets) — and never a deadlock, a leaked goroutine, or a silently
+// truncated result set. CI runs this file under -race.
+package query_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/grin"
+	"repro/internal/query"
+	"repro/internal/query/cypher"
+	"repro/internal/query/exec"
+	"repro/internal/query/gaia"
+	"repro/internal/query/hiactor"
+	"repro/internal/query/ir"
+	"repro/internal/query/naive"
+	"repro/internal/retry"
+	"repro/internal/storage/chaos"
+	"repro/internal/storage/gart"
+	"repro/internal/storage/livegraph"
+	"repro/internal/storage/vineyard"
+)
+
+// matrixStores builds the same simple graph in all three dynamic-capability
+// backends: vineyard (full trait set), gart (MVCC snapshot), livegraph
+// (topology only — the wrapper must keep masking its missing traits).
+func matrixStores(t *testing.T) (map[string]grin.Graph, *graph.Schema) {
+	t.Helper()
+	simple := dataset.Datagen("faultmatrix", 200, 4, 3)
+	b := simple.ToBatch()
+
+	stores := map[string]grin.Graph{}
+	vy, err := vineyard.Load(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores["vineyard"] = vy
+
+	gs := gart.NewStore(b.Schema, 0)
+	if err := gs.LoadBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	stores["gart"] = gs.Latest()
+
+	lg := livegraph.NewStore(simple.N)
+	for i := range simple.Src {
+		if err := lg.AddEdge(simple.Src[i], simple.Dst[i], 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stores["livegraph"] = lg
+	return stores, b.Schema
+}
+
+// runOn executes the plan on a fresh engine of the named kind over g. A new
+// engine per run keeps fault schedules independent; hiactor's pool is closed
+// before returning so the leak check sees a quiet world.
+func runOn(engine string, g grin.Graph, p *ir.Plan, maxRows int64, ctx context.Context) ([]exec.Row, error) {
+	switch engine {
+	case "naive":
+		rows, _, err := naive.RunWith(ctx, p, g, nil, naive.Options{BatchSize: 16, MaxRows: maxRows})
+		return rows, err
+	case "gaia":
+		e := gaia.NewEngine(g, gaia.Options{Parallelism: 4, BatchSize: 16, MaxRows: maxRows})
+		rows, _, err := e.Submit(ctx, p, nil)
+		return rows, err
+	case "hiactor":
+		e := hiactor.NewEngine(func() grin.Graph { return g }, hiactor.Options{Shards: 2, BatchSize: 16, MaxRows: maxRows})
+		defer e.Close()
+		rows, _, err := e.Submit(ctx, p, nil)
+		return rows, err
+	}
+	panic("unknown engine " + engine)
+}
+
+var matrixEngines = []string{"naive", "gaia", "hiactor"}
+
+// TestFaultMatrix is the acceptance matrix: engines × backends × fault
+// kinds, injected at the batch-expansion site (hit only during execution, so
+// schedules cannot fire inside engine construction) and at the batched scan
+// (short reads). Every cell must end in a correct result or a typed error.
+func TestFaultMatrix(t *testing.T) {
+	defer query.CheckLeaks(t)()
+	stores, schema := matrixStores(t)
+	plan, err := cypher.Parse(`MATCH (a:V)-[:E]->(b:V)-[:E]->(c:V) RETURN id(a) AS x, id(c) AS y`, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type cell struct {
+		name  string
+		fault chaos.Fault
+		// wantTyped is the check an error must pass; nil means the run must
+		// succeed with rows identical to the clean reference.
+		wantTyped func(error) bool
+	}
+	cells := []cell{
+		{
+			name:  "error",
+			fault: chaos.Fault{Site: chaos.SiteExpandBatch, Kind: chaos.KindError, N: 2},
+			wantTyped: func(err error) bool {
+				var ce *chaos.Error
+				return errors.As(err, &ce) && !retry.Transient(err)
+			},
+		},
+		{
+			name:  "panic",
+			fault: chaos.Fault{Site: chaos.SiteExpandBatch, Kind: chaos.KindPanic, N: 3},
+			wantTyped: func(err error) bool {
+				var pe *exec.PanicError
+				return errors.As(err, &pe)
+			},
+		},
+		{
+			name:  "transient",
+			fault: chaos.Fault{Site: chaos.SiteExpandBatch, Kind: chaos.KindTransientError, N: 1},
+			wantTyped: func(err error) bool {
+				var ce *chaos.Error
+				return errors.As(err, &ce) && retry.Transient(err)
+			},
+		},
+		{
+			name:  "shortread",
+			fault: chaos.Fault{Site: chaos.SiteScanBatch, Kind: chaos.KindShortRead, N: 1},
+		},
+		{
+			name:  "latency",
+			fault: chaos.Fault{Site: chaos.SiteExpandBatch, Kind: chaos.KindLatency, N: 1, Latency: 100 * time.Microsecond},
+		},
+	}
+
+	for _, engine := range matrixEngines {
+		for backend, store := range stores {
+			// Reference rows: same engine, clean store — the matrix checks
+			// fault behavior, not cross-engine parity (parity_test does that).
+			want, err := runOn(engine, store, plan, 0, context.Background())
+			if err != nil {
+				t.Fatalf("%s/%s: clean run failed: %v", engine, backend, err)
+			}
+			if len(want) == 0 {
+				t.Fatalf("%s/%s: clean run returned no rows", engine, backend)
+			}
+			for _, c := range cells {
+				t.Run(engine+"/"+backend+"/"+c.name, func(t *testing.T) {
+					faulty := chaos.Wrap(store, chaos.Options{Seed: 1, Faults: []chaos.Fault{c.fault}})
+					rows, err := runOn(engine, faulty, plan, 0, context.Background())
+					if c.wantTyped == nil {
+						if err != nil {
+							t.Fatalf("benign fault failed the query: %v", err)
+						}
+						mustExactEqual(t, c.name, renderRows(rows), renderRows(want))
+						return
+					}
+					if err == nil {
+						t.Fatal("injected fault did not surface")
+					}
+					if !c.wantTyped(err) {
+						t.Fatalf("fault surfaced untyped: %v", err)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestTransientFaultRetries demonstrates the retry layer over the matrix: a
+// transient fault fails the first attempt, the seeded backoff re-runs the
+// query, and the second attempt (the fault schedule already consumed)
+// returns rows identical to the clean reference.
+func TestTransientFaultRetries(t *testing.T) {
+	defer query.CheckLeaks(t)()
+	stores, schema := matrixStores(t)
+	plan, err := cypher.Parse(`MATCH (a:V)-[:E]->(b:V) RETURN id(a) AS x, id(b) AS y`, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, engine := range matrixEngines {
+		for backend, store := range stores {
+			want, err := runOn(engine, store, plan, 0, context.Background())
+			if err != nil {
+				t.Fatalf("%s/%s: clean run failed: %v", engine, backend, err)
+			}
+			faulty := chaos.Wrap(store, chaos.Options{Seed: 5, Faults: []chaos.Fault{
+				{Site: chaos.SiteExpandBatch, Kind: chaos.KindTransientError, N: 1},
+			}})
+			attempts := 0
+			var rows []exec.Row
+			err = retry.Do(context.Background(), retry.Policy{Attempts: 3, BaseDelay: time.Microsecond, Seed: 5}, func() error {
+				attempts++
+				var rerr error
+				rows, rerr = runOn(engine, faulty, plan, 0, context.Background())
+				return rerr
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: retries exhausted: %v", engine, backend, err)
+			}
+			if attempts != 2 {
+				t.Errorf("%s/%s: %d attempts, want 2 (one failure, one success)", engine, backend, attempts)
+			}
+			mustExactEqual(t, engine+"/"+backend, renderRows(rows), renderRows(want))
+		}
+	}
+}
+
+// TestDeadlineCancellationAndBudget pins the remaining lifecycle exits on
+// every engine: an expiring deadline (stretched into by injected latency), a
+// pre-canceled context, and an exhausted row budget each surface as their
+// sentinel, with context sentinels also matching errors.Is on the stdlib
+// causes they wrap.
+func TestDeadlineCancellationAndBudget(t *testing.T) {
+	defer query.CheckLeaks(t)()
+	stores, schema := matrixStores(t)
+	plan, err := cypher.Parse(`MATCH (a:V)-[:E]->(b:V)-[:E]->(c:V) RETURN id(a) AS x, id(c) AS y`, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := stores["vineyard"]
+	for _, engine := range matrixEngines {
+		t.Run(engine+"/deadline", func(t *testing.T) {
+			slow := chaos.Wrap(store, chaos.Options{Faults: []chaos.Fault{
+				{Site: chaos.SiteExpandBatch, Kind: chaos.KindLatency, N: 1, Latency: 2 * time.Millisecond},
+			}})
+			ctx, cancel := context.WithTimeout(context.Background(), 8*time.Millisecond)
+			defer cancel()
+			_, err := runOn(engine, slow, plan, 0, ctx)
+			if !errors.Is(err, exec.ErrDeadlineExceeded) || !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("deadline surfaced as %v, want exec.ErrDeadlineExceeded wrapping context.DeadlineExceeded", err)
+			}
+		})
+		t.Run(engine+"/cancel", func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			_, err := runOn(engine, store, plan, 0, ctx)
+			if !errors.Is(err, exec.ErrCanceled) || !errors.Is(err, context.Canceled) {
+				t.Fatalf("cancellation surfaced as %v, want exec.ErrCanceled wrapping context.Canceled", err)
+			}
+		})
+		t.Run(engine+"/budget", func(t *testing.T) {
+			_, err := runOn(engine, store, plan, 10, context.Background())
+			if !errors.Is(err, exec.ErrBudgetExceeded) {
+				t.Fatalf("budget exhaustion surfaced as %v, want exec.ErrBudgetExceeded", err)
+			}
+		})
+	}
+}
+
+// TestSeededScheduleReproduces pins the chaos recipe end to end: the same
+// seed yields the same schedule and therefore the same query outcome — the
+// replay loop a matrix failure's logged seed feeds.
+func TestSeededScheduleReproduces(t *testing.T) {
+	defer query.CheckLeaks(t)()
+	stores, schema := matrixStores(t)
+	plan, err := cypher.Parse(`MATCH (a:V)-[:E]->(b:V)-[:E]->(c:V) RETURN id(a) AS x, id(c) AS y`, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []chaos.Kind{chaos.KindError, chaos.KindTransientError, chaos.KindPanic, chaos.KindShortRead}
+	// Execution-only site: catalog building scans the store during engine
+	// construction, where the lifecycle contract (and its recover boundary)
+	// does not apply, so seeded schedules must not land there.
+	sites := []chaos.Site{chaos.SiteExpandBatch}
+	outcome := func(seed int64) string {
+		opt := chaos.Plan(seed, sites, kinds, 8)
+		rows, err := runOn("gaia", chaos.Wrap(stores["vineyard"], opt), plan, 0, context.Background())
+		if err != nil {
+			return "error: " + err.Error()
+		}
+		out := renderRows(rows)
+		return "rows: " + out[len(out)-1]
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		first := outcome(seed)
+		if again := outcome(seed); again != first {
+			t.Fatalf("seed %d not reproducible: %q then %q", seed, first, again)
+		}
+	}
+}

@@ -7,10 +7,15 @@
 // in input-sequence order, so results are row-for-row identical to serial
 // execution at any Parallelism and BatchSize. A LIMIT after a segment stops
 // the segment's source as soon as the in-order output prefix holds enough
-// rows, and a failing operator cancels the producer instead of leaking it.
+// rows; a failing or panicking operator, a fired deadline, or an exhausted
+// row budget cancels the producer instead of leaking it. One derived
+// context is the single teardown authority for the whole segment: the
+// query's own ctx, an internal stop (LIMIT satisfied) and a worker error all
+// release every goroutine through the same cancellation.
 package gaia
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -27,6 +32,9 @@ type Options struct {
 	Parallelism int
 	// BatchSize is the target rows per batch (0: exec.DefaultBatchSize).
 	BatchSize int
+	// MaxRows caps the rows one query may process (0: unlimited); exceeding
+	// it fails the query with exec.ErrBudgetExceeded.
+	MaxRows int64
 }
 
 // Engine executes optimized plans data-parallel.
@@ -50,15 +58,17 @@ func NewEngine(g grin.Graph, opt Options) *Engine {
 // Catalog exposes the engine's statistics catalog.
 func (e *Engine) Catalog() *optimizer.Catalog { return e.cat }
 
-// Submit optimizes and executes a logical plan, returning rows and output
-// column names.
-func (e *Engine) Submit(p *ir.Plan, params map[string]graph.Value) ([]exec.Row, []string, error) {
-	return e.SubmitWith(p, params, optimizer.All())
+// Submit optimizes and executes a logical plan under ctx, returning rows and
+// output column names. The context is the query's lifecycle authority: its
+// deadline or cancellation stops all workers cooperatively (once per morsel)
+// and surfaces as exec.ErrDeadlineExceeded/exec.ErrCanceled.
+func (e *Engine) Submit(ctx context.Context, p *ir.Plan, params map[string]graph.Value) ([]exec.Row, []string, error) {
+	return e.SubmitWith(ctx, p, params, optimizer.All())
 }
 
 // SubmitWith executes with explicit optimizer options (used by the Fig 7e
 // rule ablation).
-func (e *Engine) SubmitWith(p *ir.Plan, params map[string]graph.Value, opt optimizer.Options) ([]exec.Row, []string, error) {
+func (e *Engine) SubmitWith(ctx context.Context, p *ir.Plan, params map[string]graph.Value, opt optimizer.Options) ([]exec.Row, []string, error) {
 	phys, err := optimizer.Optimize(p, e.cat, opt)
 	if err != nil {
 		return nil, nil, err
@@ -67,7 +77,7 @@ func (e *Engine) SubmitWith(p *ir.Plan, params map[string]graph.Value, opt optim
 	if err != nil {
 		return nil, nil, err
 	}
-	rows, err := e.RunCompiled(c, params)
+	rows, err := e.RunCompiled(ctx, c, params)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -77,9 +87,9 @@ func (e *Engine) SubmitWith(p *ir.Plan, params map[string]graph.Value, opt optim
 // RunCompiled executes a compiled plan data-parallel: exec.Drive cuts the
 // plan into pipeline segments and morsels, parallelSegment runs each segment
 // across workers, blocking stages run at barriers.
-func (e *Engine) RunCompiled(c *exec.Compiled, params map[string]graph.Value) ([]exec.Row, error) {
-	env := &exec.Env{Graph: e.g, Params: params, BatchSize: e.opt.BatchSize}
-	acc, err := c.Drive(env, e.parallelSegment)
+func (e *Engine) RunCompiled(ctx context.Context, c *exec.Compiled, params map[string]graph.Value) ([]exec.Row, error) {
+	env := &exec.Env{Graph: e.g, Params: params, BatchSize: e.opt.BatchSize, MaxRows: e.opt.MaxRows}
+	acc, err := c.Drive(ctx, env, e.parallelSegment)
 	if err != nil {
 		return nil, err
 	}
@@ -95,14 +105,19 @@ type seqBatch struct {
 // parallelSegment drains the feed (already split into morsels by exec.Drive)
 // through a run of Map stages with P workers. Output batches are reassembled
 // in input-sequence order, so the gathered rows are identical to serial
-// execution. When stopAfter > 0 the feed is cancelled once the in-order
-// prefix holds that many rows; a worker or feed error cancels it too, so no
-// goroutine is ever left blocked.
+// execution. Teardown has one authority: a context derived from the query's
+// ctx. stop() fires it when the in-order prefix satisfies a LIMIT or a
+// worker fails, and the query's own deadline/cancellation propagates through
+// the same channel — the producer unblocks via ErrStop, workers drain, and
+// no goroutine is ever left behind on any path.
 func (e *Engine) parallelSegment(env *exec.Env, seg []exec.Stage, feed func(exec.EmitBatch) error, width, stopAfter int) (*exec.Batch, error) {
 	if len(seg) == 0 {
 		// No transforms: drain the feed directly.
 		acc := exec.NewBatch(width, 0)
 		err := feed(func(b *exec.Batch) (bool, error) {
+			if err := env.ChargeRows(b.Len()); err != nil {
+				return false, err
+			}
 			acc.AppendBatch(b)
 			if stopAfter > 0 && acc.Len() >= stopAfter {
 				return true, exec.ErrStop
@@ -118,9 +133,9 @@ func (e *Engine) parallelSegment(env *exec.Env, seg []exec.Stage, feed func(exec
 	p := e.opt.Parallelism
 	in := make(chan seqBatch, p)
 	results := make(chan seqBatch, p)
-	cancel := make(chan struct{})
-	var cancelOnce sync.Once
-	stop := func() { cancelOnce.Do(func() { close(cancel) }) }
+	segCtx, stop := context.WithCancel(env.Context())
+	defer stop()
+	done := segCtx.Done()
 
 	// Producer: pumps morsels into the input channel. Cancellation stops the
 	// feed via ErrStop instead of leaving the send blocked forever (the
@@ -133,7 +148,7 @@ func (e *Engine) parallelSegment(env *exec.Env, seg []exec.Stage, feed func(exec
 			case in <- seqBatch{seq, b}:
 				seq++
 				return false, nil // the channel owns the batch now
-			case <-cancel:
+			case <-done:
 				return false, exec.ErrStop
 			}
 		})
@@ -146,6 +161,10 @@ func (e *Engine) parallelSegment(env *exec.Env, seg []exec.Stage, feed func(exec
 
 	var firstErr error
 	var errOnce sync.Once
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		stop()
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < p; w++ {
 		wg.Add(1)
@@ -159,6 +178,12 @@ func (e *Engine) parallelSegment(env *exec.Env, seg []exec.Stage, feed func(exec
 				bufs[k] = exec.NewBatch(seg[k].OutWidth, 0)
 			}
 			for sb := range in {
+				// Per-morsel lifecycle check: deadline, cancellation, and the
+				// shared row budget (charged atomically across workers).
+				if err := env.ChargeRows(sb.b.Len()); err != nil {
+					fail(err)
+					continue // keep draining so the producer unblocks
+				}
 				cur := sb.b
 				failed := false
 				for k := range seg {
@@ -172,9 +197,10 @@ func (e *Engine) parallelSegment(env *exec.Env, seg []exec.Stage, feed func(exec
 						// instead of allocating one per morsel.
 						dst = e.pool.Get(seg[k].OutWidth, cur.Len())
 					}
-					if err := seg[k].Map(env, cur, dst); err != nil {
-						errOnce.Do(func() { firstErr = err })
-						stop()
+					// RunMap isolates operator/storage panics into typed
+					// errors, so one poisoned morsel fails this query only.
+					if err := seg[k].RunMap(env, cur, dst); err != nil {
+						fail(err)
 						failed = true
 						if k == len(bufs) {
 							e.pool.Put(dst)
@@ -203,9 +229,9 @@ func (e *Engine) parallelSegment(env *exec.Env, seg []exec.Stage, feed func(exec
 	acc := exec.NewBatch(width, 0)
 	pending := map[int]*exec.Batch{}
 	next := 0
-	done := false
+	limitDone := false
 	for sb := range results {
-		if done {
+		if limitDone {
 			e.pool.Put(sb.b)
 			continue
 		}
@@ -220,7 +246,7 @@ func (e *Engine) parallelSegment(env *exec.Env, seg []exec.Stage, feed func(exec
 			acc.AppendBatch(b)
 			e.pool.Put(b)
 			if stopAfter > 0 && acc.Len() >= stopAfter {
-				done = true
+				limitDone = true
 				stop()
 				break
 			}
@@ -231,7 +257,7 @@ func (e *Engine) parallelSegment(env *exec.Env, seg []exec.Stage, feed func(exec
 		e.pool.Put(b)
 	}
 	ferr := <-prodErr
-	if done {
+	if limitDone {
 		// The limit was satisfied by the in-order morsel prefix; any error
 		// sits in a later morsel, which the serial driver (same morsel
 		// partition, courtesy of exec.Drive) would have stopped before
@@ -243,6 +269,12 @@ func (e *Engine) parallelSegment(env *exec.Env, seg []exec.Stage, feed func(exec
 	}
 	if ferr != nil {
 		return nil, ferr
+	}
+	// The segment drained normally, but the query's context may have fired
+	// after the last morsel was charged; report it rather than returning a
+	// result the caller will mistake for a completed query.
+	if err := env.Alive(); err != nil {
+		return nil, err
 	}
 	return acc, nil
 }

@@ -1,12 +1,13 @@
 package gaia
 
 import (
+	"context"
 	"runtime"
 	"testing"
-	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/graph"
+	"repro/internal/query"
 	"repro/internal/query/cypher"
 	"repro/internal/query/exec"
 	"repro/internal/query/optimizer"
@@ -39,7 +40,7 @@ func TestErrorMidStreamReturnsAndLeaksNothing(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng := NewEngine(st, Options{Parallelism: 4})
-	rows, _, err := eng.Submit(probe, nil)
+	rows, _, err := eng.Submit(context.Background(), probe, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,23 +57,15 @@ WHERE 1 % (id(f) - $k) = 0 RETURN id(f)`, schema)
 	}
 	params := map[string]graph.Value{"k": victim}
 
-	base := runtime.NumGoroutine()
+	// Every producer/worker/collector must have wound down by test end.
+	defer query.CheckLeaks(t)()
 	for _, par := range []int{1, 2, runtime.NumCPU()} {
 		e := NewEngine(st, Options{Parallelism: par, BatchSize: 7})
 		for i := 0; i < 10; i++ {
-			if _, _, err := e.Submit(bad, params); err == nil {
+			if _, _, err := e.Submit(context.Background(), bad, params); err == nil {
 				t.Fatalf("par=%d: mid-stream predicate error was swallowed", par)
 			}
 		}
-	}
-	// Every producer/worker/collector must have wound down.
-	deadline := time.Now().Add(3 * time.Second)
-	for runtime.NumGoroutine() > base+2 && time.Now().Before(deadline) {
-		time.Sleep(10 * time.Millisecond)
-	}
-	if n := runtime.NumGoroutine(); n > base+2 {
-		buf := make([]byte, 1<<16)
-		t.Fatalf("goroutines leaked: %d before, %d after\n%s", base, n, buf[:runtime.Stack(buf, true)])
 	}
 }
 
@@ -89,7 +82,7 @@ func TestLimitVersusErrorAgreesWithSerial(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng := NewEngine(st, Options{Parallelism: 4})
-	friends, _, err := eng.Submit(probe, nil)
+	friends, _, err := eng.Submit(context.Background(), probe, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,10 +107,10 @@ WHERE 1 % (id(f) - $k) = 0 OR id(f) >= 0 RETURN id(f) LIMIT 5`, schema)
 	// Victims early (before the limit) and late (after it) in stream order.
 	for _, victim := range []graph.Value{friends[0][0], friends[len(friends)-1][0]} {
 		params := map[string]graph.Value{"k": victim}
-		serialRows, serialErr := c.Run(&exec.Env{Graph: st, Params: params})
+		serialRows, serialErr := c.Run(context.Background(), &exec.Env{Graph: st, Params: params})
 		for _, par := range []int{1, 2, runtime.NumCPU()} {
 			e := NewEngine(st, Options{Parallelism: par})
-			gaiaRows, gaiaErr := e.RunCompiled(c, params)
+			gaiaRows, gaiaErr := e.RunCompiled(context.Background(), c, params)
 			if (serialErr != nil) != (gaiaErr != nil) {
 				t.Fatalf("victim=%v par=%d: serial err=%v, gaia err=%v", victim, par, serialErr, gaiaErr)
 			}
@@ -148,13 +141,13 @@ RETURN f.firstName, m.creationDate`, schema)
 		t.Fatal(err)
 	}
 	serial := NewEngine(st, Options{Parallelism: 1})
-	want, _, err := serial.Submit(plan, nil)
+	want, _, err := serial.Submit(context.Background(), plan, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, bs := range []int{1, 64, 1024} {
 		par := NewEngine(st, Options{Parallelism: runtime.NumCPU(), BatchSize: bs})
-		got, _, err := par.Submit(plan, nil)
+		got, _, err := par.Submit(context.Background(), plan, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -3,9 +3,17 @@
 // one (typically parameterized, precompiled) query at a time. Throughput
 // comes from many small queries in flight across shards — the design point
 // of the fraud-detection deployment (Exp-5, Table 2).
+//
+// Every call carries a context: enqueueing respects it (a full mailbox plus
+// a deadline is the admission-control path — the caller gets a typed error
+// instead of blocking forever), execution checks it once per morsel, and a
+// query that panics inside an operator or storage trait fails alone — the
+// actor recovers, returns a typed *exec.PanicError to that caller, and keeps
+// serving its mailbox.
 package hiactor
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -32,6 +40,9 @@ type Options struct {
 	// BatchSize is the target rows per batch in the shared batch runtime
 	// (0: exec.DefaultBatchSize).
 	BatchSize int
+	// MaxRows caps the rows one query may process (0: unlimited); exceeding
+	// it fails the query with exec.ErrBudgetExceeded.
+	MaxRows int64
 }
 
 // Engine is the actor pool plus the stored-procedure registry.
@@ -50,6 +61,7 @@ type Engine struct {
 }
 
 type task struct {
+	ctx    context.Context
 	c      *exec.Compiled
 	params map[string]graph.Value
 	reply  chan result
@@ -84,14 +96,47 @@ func NewEngine(provider GraphProvider, opt Options) *Engine {
 	return e
 }
 
-// actor executes tasks serially from one mailbox.
+// actor executes tasks serially from one mailbox. Each task runs behind
+// runTask's panic isolation, so a poisoned query returns an error to its
+// caller while the actor goroutine — and every other in-flight query —
+// survives.
 func (e *Engine) actor(mailbox <-chan task) {
 	defer e.wg.Done()
 	for t := range mailbox {
-		env := &exec.Env{Graph: e.provider(), Params: t.params, BatchSize: e.opt.BatchSize}
-		rows, err := t.c.Run(env)
+		// A query that spent its deadline queued in the mailbox is shed
+		// without executing — the admission-control degradation path.
+		if err := t.ctx.Err(); err != nil {
+			t.reply <- result{err: ctxError(t.ctx)}
+			continue
+		}
+		rows, err := e.runTask(t)
 		t.reply <- result{rows: rows, err: err}
 	}
+}
+
+// runTask executes one query with a last-resort recover: panics inside stage
+// callbacks are already converted by the exec layer, and anything escaping
+// outside them (result materialization, plan bookkeeping) is caught here so
+// the actor loop never dies.
+func (e *Engine) runTask(t task) (rows []exec.Row, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rows, err = nil, &exec.PanicError{Stage: "hiactor:actor", Value: r}
+		}
+	}()
+	env := &exec.Env{Graph: e.provider(), Params: t.params, BatchSize: e.opt.BatchSize, MaxRows: e.opt.MaxRows}
+	return t.c.Run(t.ctx, env)
+}
+
+// background is the shared no-deadline context for nil-ctx callers.
+var background = context.Background()
+
+// ctxError maps a fired context to the exec error taxonomy.
+func ctxError(ctx context.Context) error {
+	if ctx.Err() == context.DeadlineExceeded {
+		return exec.ErrDeadlineExceeded
+	}
+	return exec.ErrCanceled
 }
 
 // Close drains the pool. Pending calls complete; new calls fail.
@@ -134,20 +179,20 @@ func (e *Engine) OutputOf(name string) ([]string, error) {
 	return c.Out, nil
 }
 
-// Call invokes a stored procedure, routing it to a shard round-robin, and
-// waits for the result.
-func (e *Engine) Call(name string, params map[string]graph.Value) ([]exec.Row, error) {
+// Call invokes a stored procedure under ctx, routing it to a shard
+// round-robin, and waits for the result.
+func (e *Engine) Call(ctx context.Context, name string, params map[string]graph.Value) ([]exec.Row, error) {
 	e.mu.RLock()
 	c, ok := e.procs[name]
 	e.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("hiactor: unknown procedure %q", name)
 	}
-	return e.submit(c, params)
+	return e.submit(ctx, c, params)
 }
 
 // Submit optimizes, compiles and executes an ad-hoc plan on one actor.
-func (e *Engine) Submit(p *ir.Plan, params map[string]graph.Value) ([]exec.Row, []string, error) {
+func (e *Engine) Submit(ctx context.Context, p *ir.Plan, params map[string]graph.Value) ([]exec.Row, []string, error) {
 	phys, err := optimizer.Optimize(p, e.cat, optimizer.All())
 	if err != nil {
 		return nil, nil, err
@@ -156,20 +201,36 @@ func (e *Engine) Submit(p *ir.Plan, params map[string]graph.Value) ([]exec.Row, 
 	if err != nil {
 		return nil, nil, err
 	}
-	rows, err := e.submit(c, params)
+	rows, err := e.submit(ctx, c, params)
 	if err != nil {
 		return nil, nil, err
 	}
 	return rows, c.Out, nil
 }
 
-func (e *Engine) submit(c *exec.Compiled, params map[string]graph.Value) ([]exec.Row, error) {
+func (e *Engine) submit(ctx context.Context, c *exec.Compiled, params map[string]graph.Value) ([]exec.Row, error) {
 	if e.closed.Load() {
 		return nil, fmt.Errorf("hiactor: engine closed")
 	}
+	if ctx == nil {
+		ctx = background
+	}
 	shard := int(e.rr.Add(1)) % len(e.mailboxes)
 	reply := make(chan result, 1)
-	e.mailboxes[shard] <- task{c: c, params: params, reply: reply}
-	res := <-reply
-	return res.rows, res.err
+	// Enqueue under the caller's deadline: when the shard's mailbox is full,
+	// the context decides how long to wait — backpressure with a typed
+	// timeout instead of an unbounded block.
+	select {
+	case e.mailboxes[shard] <- task{ctx: ctx, c: c, params: params, reply: reply}:
+	case <-ctx.Done():
+		return nil, ctxError(ctx)
+	}
+	// The reply channel is buffered, so the actor never blocks sending even
+	// if this caller abandons the wait on ctx expiry.
+	select {
+	case res := <-reply:
+		return res.rows, res.err
+	case <-ctx.Done():
+		return nil, ctxError(ctx)
+	}
 }

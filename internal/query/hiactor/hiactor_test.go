@@ -1,13 +1,18 @@
 package hiactor
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"testing"
 
 	"repro/internal/dataset"
 	"repro/internal/graph"
 	"repro/internal/grin"
+	"repro/internal/query"
 	"repro/internal/query/cypher"
+	"repro/internal/query/exec"
+	"repro/internal/storage/chaos"
 	"repro/internal/storage/gart"
 )
 
@@ -36,7 +41,7 @@ WHERE id(p) = $pid RETURN COUNT(f) AS c`, dataset.SNBSchema())
 	// Reference counts computed serially.
 	want := make([]int64, 50)
 	for pid := range want {
-		rows, err := e.Call("friends", map[string]graph.Value{"pid": graph.IntValue(int64(pid))})
+		rows, err := e.Call(context.Background(), "friends", map[string]graph.Value{"pid": graph.IntValue(int64(pid))})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -51,7 +56,7 @@ WHERE id(p) = $pid RETURN COUNT(f) AS c`, dataset.SNBSchema())
 			defer wg.Done()
 			for i := 0; i < 50; i++ {
 				pid := (i + w) % 50
-				rows, err := e.Call("friends", map[string]graph.Value{"pid": graph.IntValue(int64(pid))})
+				rows, err := e.Call(context.Background(), "friends", map[string]graph.Value{"pid": graph.IntValue(int64(pid))})
 				if err != nil {
 					errs <- err
 					return
@@ -81,7 +86,7 @@ WHERE id(p) = $pid RETURN COUNT(f) AS c`, dataset.SNBSchema())
 		t.Fatal(err)
 	}
 	params := map[string]graph.Value{"pid": graph.IntValue(1)}
-	before, err := e.Call("friends", params)
+	before, err := e.Call(context.Background(), "friends", params)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,13 +96,55 @@ WHERE id(p) = $pid RETURN COUNT(f) AS c`, dataset.SNBSchema())
 		t.Fatal(err)
 	}
 	gs.Commit()
-	after, err := e.Call("friends", params)
+	after, err := e.Call(context.Background(), "friends", params)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if after[0][0].Int() != before[0][0].Int()+1 {
 		t.Fatalf("update invisible: %d -> %d", before[0][0].Int(), after[0][0].Int())
 	}
+}
+
+// TestActorSurvivesPanickingQuery pins panic isolation at the actor loop: a
+// query whose storage read panics fails alone with a typed error, the actor
+// keeps serving its mailbox, and closing the pool leaks nothing. The leak
+// check brackets the engine's whole lifetime, so it also proves Close joins
+// every actor goroutine.
+func TestActorSurvivesPanickingQuery(t *testing.T) {
+	checkLeaks := query.CheckLeaks(t)
+	b := dataset.SNB(dataset.SNBOptions{Persons: 50, Seed: 4})
+	gs := gart.NewStore(dataset.SNBSchema(), 0)
+	if err := gs.LoadBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	// One shard: the poisoned query and its survivors share an actor, so
+	// success after failure proves the loop recovered rather than a sibling
+	// picking up the slack.
+	faulty := chaos.Wrap(gs.Latest(), chaos.Options{
+		Seed:   11,
+		Faults: []chaos.Fault{{Site: chaos.SiteExpandBatch, Kind: chaos.KindPanic, N: 1}},
+	})
+	e := NewEngine(func() grin.Graph { return faulty }, Options{Shards: 1})
+	plan, err := cypher.Parse(`MATCH (p:Person)-[:KNOWS]->(f:Person) RETURN COUNT(f) AS c`, dataset.SNBSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Submit(context.Background(), plan, nil); err == nil {
+		t.Fatal("poisoned query succeeded")
+	} else {
+		var pe *exec.PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("poisoned query failed with %v, want *exec.PanicError", err)
+		}
+	}
+	// The fault fired once; the same actor must now serve clean queries.
+	for i := 0; i < 3; i++ {
+		if _, _, err := e.Submit(context.Background(), plan, nil); err != nil {
+			t.Fatalf("query %d after the panic failed: %v", i, err)
+		}
+	}
+	e.Close()
+	checkLeaks()
 }
 
 func TestClosedEngineRejectsCalls(t *testing.T) {
@@ -113,7 +160,7 @@ func TestClosedEngineRejectsCalls(t *testing.T) {
 	}
 	e.Close()
 	e.Close() // idempotent
-	if _, err := e.Call("count", nil); err == nil {
+	if _, err := e.Call(context.Background(), "count", nil); err == nil {
 		t.Fatal("closed engine accepted a call")
 	}
 	if _, err := e.OutputOf("nope"); err == nil {

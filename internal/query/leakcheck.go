@@ -1,0 +1,75 @@
+// Package query holds the cross-engine integration tests (external test
+// package query_test) plus shared test infrastructure the engine suites
+// import — currently the goroutine-leak assertion the lifecycle contract
+// ("never a leaked goroutine") is verified with.
+package query
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// countGoroutines counts live goroutines whose stacks do not match any
+// filter substring. Filtering by stack (not by raw count) keeps the check
+// stable against runtime helpers (GC workers, testing harness goroutines)
+// that come and go independently of the code under test.
+func countGoroutines(filters []string) int {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	stacks := strings.Split(string(buf[:n]), "\n\n")
+	count := 0
+outer:
+	for _, s := range stacks {
+		for _, f := range filters {
+			if strings.Contains(s, f) {
+				continue outer
+			}
+		}
+		count++
+	}
+	return count
+}
+
+// leakFilters are stack substrings exempt from leak accounting: the runtime
+// and testing machinery that legitimately outlives any single test.
+var leakFilters = []string{
+	"testing.(*T).Run",
+	"testing.(*M).",
+	"testing.runTests",
+	"runtime.goexit0",
+	"created by runtime.gc",
+	"runtime.MHeap_Scavenger",
+}
+
+// CheckLeaks returns a baseline snapshot; calling the returned function
+// (normally deferred) fails the test if goroutines created since the
+// snapshot are still alive after a grace period. Exits are asynchronous —
+// workers unwind after their query returns — so the check polls up to a
+// deadline instead of asserting an instantaneous count.
+//
+//	defer query.CheckLeaks(t)()
+func CheckLeaks(t *testing.T) func() {
+	t.Helper()
+	before := countGoroutines(leakFilters)
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Second)
+		var after int
+		for {
+			after = countGoroutines(leakFilters)
+			if after <= before || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		if after > before {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Errorf("goroutine leak: %d before, %d after\n%s", before, after,
+				fmt.Sprintf("%.6000s", buf[:n]))
+		}
+	}
+}

@@ -7,6 +7,8 @@
 package naive
 
 import (
+	"context"
+
 	"repro/internal/graph"
 	"repro/internal/grin"
 	"repro/internal/query/exec"
@@ -17,20 +19,23 @@ import (
 type Options struct {
 	// BatchSize is the target rows per batch (0: exec.DefaultBatchSize).
 	BatchSize int
+	// MaxRows caps the rows one query may process (0: unlimited).
+	MaxRows int64
 }
 
-// Run interprets a logical plan serially.
-func Run(p *ir.Plan, g grin.Graph, params map[string]graph.Value) ([]exec.Row, []string, error) {
-	return RunWith(p, g, params, Options{})
+// Run interprets a logical plan serially under ctx; a fired deadline or
+// cancellation surfaces as exec.ErrDeadlineExceeded/exec.ErrCanceled.
+func Run(ctx context.Context, p *ir.Plan, g grin.Graph, params map[string]graph.Value) ([]exec.Row, []string, error) {
+	return RunWith(ctx, p, g, params, Options{})
 }
 
 // RunWith interprets a logical plan serially with explicit options.
-func RunWith(p *ir.Plan, g grin.Graph, params map[string]graph.Value, o Options) ([]exec.Row, []string, error) {
+func RunWith(ctx context.Context, p *ir.Plan, g grin.Graph, params map[string]graph.Value, o Options) ([]exec.Row, []string, error) {
 	c, err := exec.Compile(p, exec.Options{NoIndexLookup: true})
 	if err != nil {
 		return nil, nil, err
 	}
-	rows, err := c.Run(&exec.Env{Graph: g, Params: params, BatchSize: o.BatchSize})
+	rows, err := c.Run(ctx, &exec.Env{Graph: g, Params: params, BatchSize: o.BatchSize, MaxRows: o.MaxRows})
 	if err != nil {
 		return nil, nil, err
 	}

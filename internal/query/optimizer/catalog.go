@@ -31,7 +31,7 @@ func BuildCatalog(g grin.Graph) *Catalog {
 		AvgInDeg:    map[graph.LabelID]float64{},
 		Total:       float64(g.NumVertices()),
 	}
-	pr, ok := g.(grin.PropertyReader)
+	pr, ok := grin.AsPropertyReader(g)
 	if !ok {
 		return c
 	}

@@ -1,6 +1,8 @@
 package query_test
 
 import (
+	"context"
+
 	"fmt"
 	"runtime"
 	"strings"
@@ -83,7 +85,7 @@ func runParityMatrix(t *testing.T, st grin.Graph, schema *graph.Schema, cases []
 				t.Fatal(err)
 			}
 
-			refRows, refOut, err := naive.Run(plan, st, tc.params)
+			refRows, refOut, err := naive.Run(context.Background(), plan, st, tc.params)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -93,7 +95,7 @@ func runParityMatrix(t *testing.T, st grin.Graph, schema *graph.Schema, cases []
 			var refGaiaRows []exec.Row
 			var refGaiaOut []string
 			for _, bs := range batchSizes {
-				rowsN, _, err := naive.RunWith(plan, st, tc.params, naive.Options{BatchSize: bs})
+				rowsN, _, err := naive.RunWith(context.Background(), plan, st, tc.params, naive.Options{BatchSize: bs})
 				if err != nil {
 					t.Fatalf("naive bs=%d: %v", bs, err)
 				}
@@ -101,7 +103,7 @@ func runParityMatrix(t *testing.T, st grin.Graph, schema *graph.Schema, cases []
 
 				for _, par := range pars {
 					eng := gaia.NewEngine(st, gaia.Options{Parallelism: par, BatchSize: bs})
-					rowsG, outG, err := eng.Submit(plan, tc.params)
+					rowsG, outG, err := eng.Submit(context.Background(), plan, tc.params)
 					if err != nil {
 						t.Fatalf("gaia bs=%d par=%d: %v", bs, par, err)
 					}
@@ -114,7 +116,7 @@ func runParityMatrix(t *testing.T, st grin.Graph, schema *graph.Schema, cases []
 				}
 
 				he := hiactor.NewEngine(func() grin.Graph { return st }, hiactor.Options{Shards: 2, BatchSize: bs})
-				rowsH, _, err := he.Submit(plan, tc.params)
+				rowsH, _, err := he.Submit(context.Background(), plan, tc.params)
 				he.Close()
 				if err != nil {
 					t.Fatalf("hiactor bs=%d: %v", bs, err)

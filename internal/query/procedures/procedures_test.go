@@ -1,6 +1,8 @@
 package procedures
 
 import (
+	"context"
+
 	"math/rand"
 	"testing"
 
@@ -46,13 +48,13 @@ func TestAllQueriesParseAndRun(t *testing.T) {
 			t.Fatalf("%s: parse: %v", q.Name, err)
 		}
 		params := q.Params(r, sc)
-		if _, _, err := ge.Submit(plan, params); err != nil {
+		if _, _, err := ge.Submit(context.Background(), plan, params); err != nil {
 			t.Fatalf("%s: gaia: %v", q.Name, err)
 		}
 		if err := he.Install(q.Name, plan); err != nil {
 			t.Fatalf("%s: install: %v", q.Name, err)
 		}
-		if _, err := he.Call(q.Name, params); err != nil {
+		if _, err := he.Call(context.Background(), q.Name, params); err != nil {
 			t.Fatalf("%s: hiactor: %v", q.Name, err)
 		}
 	}
@@ -81,7 +83,7 @@ func TestQueriesReturnPlausibleResults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rows, _, err := ge.Submit(plan, nil)
+	rows, _, err := ge.Submit(context.Background(), plan, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +105,7 @@ func TestQueriesReturnPlausibleResults(t *testing.T) {
 	}
 	found := false
 	for pid := int64(0); pid < 50 && !found; pid++ {
-		rows, _, err := ge.Submit(plan3, map[string]graph.Value{"pid": graph.IntValue(pid)})
+		rows, _, err := ge.Submit(context.Background(), plan3, map[string]graph.Value{"pid": graph.IntValue(pid)})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,8 @@
 package query_test
 
 import (
+	"context"
+
 	"sync"
 	"testing"
 
@@ -43,7 +45,7 @@ func benchGaia(b *testing.B, q string, params map[string]graph.Value) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := eng.Submit(plan, params); err != nil {
+		if _, _, err := eng.Submit(context.Background(), plan, params); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -104,7 +106,7 @@ RETURN f.firstName, m.creationDate`, dataset.SNBSchema())
 		pid := int64(0)
 		for pb.Next() {
 			pid = (pid + 7) % 300
-			if _, err := he.Call("q", map[string]graph.Value{"pid": graph.IntValue(pid)}); err != nil {
+			if _, err := he.Call(context.Background(), "q", map[string]graph.Value{"pid": graph.IntValue(pid)}); err != nil {
 				b.Fatal(err)
 			}
 		}

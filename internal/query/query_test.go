@@ -4,6 +4,8 @@
 package query_test
 
 import (
+	"context"
+
 	"fmt"
 	"sort"
 	"strings"
@@ -122,7 +124,7 @@ func TestPaperExampleBothLanguagesAllEngines(t *testing.T) {
 
 	// Naive on the raw logical plans.
 	for name, plan := range map[string]*ir.Plan{"cypher": cplan, "gremlin": gplan} {
-		rows, out, err := naive.Run(plan, st, nil)
+		rows, out, err := naive.Run(context.Background(), plan, st, nil)
 		if err != nil {
 			t.Fatalf("naive %s: %v", name, err)
 		}
@@ -132,7 +134,7 @@ func TestPaperExampleBothLanguagesAllEngines(t *testing.T) {
 	// Gaia with full optimization.
 	eng := gaia.NewEngine(st, gaia.Options{Parallelism: 4})
 	for name, plan := range map[string]*ir.Plan{"cypher": cplan, "gremlin": gplan} {
-		rows, out, err := eng.Submit(plan, nil)
+		rows, out, err := eng.Submit(context.Background(), plan, nil)
 		if err != nil {
 			t.Fatalf("gaia %s: %v", name, err)
 		}
@@ -145,7 +147,7 @@ func TestPaperExampleBothLanguagesAllEngines(t *testing.T) {
 	if err := he.Install("q", cplan); err != nil {
 		t.Fatal(err)
 	}
-	rows, err := he.Call("q", nil)
+	rows, err := he.Call(context.Background(), "q", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +171,7 @@ func TestOptimizerRuleArmsAgree(t *testing.T) {
 		optimizer.All(),
 	}
 	for i, arm := range arms {
-		rows, out, err := eng.SubmitWith(plan, nil, arm)
+		rows, out, err := eng.SubmitWith(context.Background(), plan, nil, arm)
 		if err != nil {
 			t.Fatalf("arm %d: %v", i, err)
 		}
@@ -236,7 +238,7 @@ LIMIT 2`
 		t.Fatal(err)
 	}
 	eng := gaia.NewEngine(st, gaia.Options{Parallelism: 3})
-	rows, _, err := eng.Submit(plan, nil)
+	rows, _, err := eng.Submit(context.Background(), plan, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,12 +265,12 @@ RETURN friends, i.price`
 	if err != nil {
 		t.Fatal(err)
 	}
-	rowsN, outN, err := naive.Run(plan, st, nil)
+	rowsN, outN, err := naive.Run(context.Background(), plan, st, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	eng := gaia.NewEngine(st, gaia.Options{Parallelism: 2})
-	rowsG, outG, err := eng.Submit(plan, nil)
+	rowsG, outG, err := eng.Submit(context.Background(), plan, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -296,7 +298,7 @@ RETURN i.price`
 		3: {"12.5"},
 		4: {},
 	} {
-		rows, err := he.Call("purchases", map[string]graph.Value{"buyer": graph.IntValue(buyer)})
+		rows, err := he.Call(context.Background(), "purchases", map[string]graph.Value{"buyer": graph.IntValue(buyer)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -312,7 +314,7 @@ RETURN i.price`
 		}
 	}
 	// Unknown procedure errors.
-	if _, err := he.Call("nope", nil); err == nil {
+	if _, err := he.Call(context.Background(), "nope", nil); err == nil {
 		t.Fatal("unknown procedure accepted")
 	}
 }
@@ -362,7 +364,7 @@ func TestGremlinSteps(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: parse: %v", tc.name, err)
 		}
-		rows, out, err := eng.Submit(plan, nil)
+		rows, out, err := eng.Submit(context.Background(), plan, nil)
 		if err != nil {
 			t.Fatalf("%s: run: %v", tc.name, err)
 		}
@@ -371,7 +373,7 @@ func TestGremlinSteps(t *testing.T) {
 		mustEqual(t, tc.name, got, tc.want)
 
 		// The naive engine must agree on the logical plan.
-		rowsN, outN, err := naive.Run(plan, st, nil)
+		rowsN, outN, err := naive.Run(context.Background(), plan, st, nil)
 		if err != nil {
 			t.Fatalf("%s: naive: %v", tc.name, err)
 		}
@@ -427,15 +429,15 @@ RETURN COUNT(po) AS c`
 	}
 	for pid := int64(0); pid < 20; pid++ {
 		params := map[string]graph.Value{"pid": graph.IntValue(pid)}
-		rowsN, _, err := naive.Run(plan, st, params)
+		rowsN, _, err := naive.Run(context.Background(), plan, st, params)
 		if err != nil {
 			t.Fatal(err)
 		}
-		rowsG, _, err := eng.Submit(plan, params)
+		rowsG, _, err := eng.Submit(context.Background(), plan, params)
 		if err != nil {
 			t.Fatal(err)
 		}
-		rowsH, err := he.Call("q", params)
+		rowsH, err := he.Call(context.Background(), "q", params)
 		if err != nil {
 			t.Fatal(err)
 		}

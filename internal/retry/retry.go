@@ -1,0 +1,96 @@
+// Package retry is the bounded-backoff layer over transient query failures:
+// a fault the chaos backend (or, in the distributed deployment, a
+// remote-fragment RPC) marks transient is worth re-running the query for,
+// while deadline, cancellation, budget and plain evaluation errors are not.
+// Backoff is exponential with deterministic seeded jitter (no math/rand, so
+// a test run's exact sleep schedule reproduces from its seed) and every wait
+// respects the caller's context: a deadline firing mid-backoff surfaces
+// immediately with the context's error, never after a stale sleep.
+package retry
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// transient is the structural marker retryable errors implement — the chaos
+// backend's *Error does, with Transient() reporting whether the injected
+// kind was transient. Structural typing keeps this package free of storage
+// imports, mirroring exec's ChaosInjected test.
+type transient interface {
+	error
+	Transient() bool
+}
+
+// Transient reports whether err (anywhere in its wrap chain) is marked
+// transient.
+func Transient(err error) bool {
+	var t transient
+	return errors.As(err, &t) && t.Transient()
+}
+
+// Policy bounds a retry loop.
+type Policy struct {
+	// Attempts is the total tries, first included (0 or 1: no retrying).
+	Attempts int
+	// BaseDelay is the backoff before the first retry; each subsequent retry
+	// doubles it (0: 1ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the per-retry backoff (0: 100ms).
+	MaxDelay time.Duration
+	// Seed drives the jitter stream; the same seed yields the same delays.
+	Seed int64
+}
+
+// splitmix64 advances state and returns the next value of the jitter stream.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Do runs op up to p.Attempts times, retrying only errors Transient reports
+// retryable, with exponential backoff and seeded full jitter between tries.
+// A context that fires before or during a backoff wait ends the loop with
+// ctx.Err(); a non-transient error ends it immediately with that error.
+func Do(ctx context.Context, p Policy, op func() error) error {
+	if p.Attempts <= 0 {
+		p.Attempts = 1
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 100 * time.Millisecond
+	}
+	state := uint64(p.Seed)
+	delay := p.BaseDelay
+	var err error
+	for attempt := 0; attempt < p.Attempts; attempt++ {
+		if attempt > 0 {
+			// Full jitter in [delay/2, delay]: enough spread to de-correlate
+			// concurrent retriers, bounded below so backoff still backs off.
+			d := delay/2 + time.Duration(splitmix64(&state)%uint64(delay/2+1))
+			timer := time.NewTimer(d)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				return ctx.Err()
+			}
+			if delay *= 2; delay > p.MaxDelay {
+				delay = p.MaxDelay
+			}
+		}
+		if err = ctx.Err(); err != nil {
+			return err
+		}
+		if err = op(); err == nil || !Transient(err) {
+			return err
+		}
+	}
+	return err
+}

