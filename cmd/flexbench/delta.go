@@ -1,0 +1,90 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+// deltaThreshold is the relative ns/op regression above which a tracked
+// benchmark cell earns a warning.
+const deltaThreshold = 0.10
+
+// benchDelta diffs the duration-valued cells of freshly produced tables
+// against a committed baseline JSON and emits one warning line per cell
+// regressing more than deltaThreshold. Warnings use the GitHub workflow
+// `::warning::` syntax so they surface as annotations; the delta never fails
+// the build — quick-mode timings on shared runners are indicative, not
+// binding. Returns the number of regressions found.
+func benchDelta(baselinePath string, fresh []*bench.Table, out *os.File) int {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintf(out, "::warning::bench-delta: baseline %s unreadable: %v\n", baselinePath, err)
+		return 0
+	}
+	var baseline []*bench.Table
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		fmt.Fprintf(out, "::warning::bench-delta: baseline %s: %v\n", baselinePath, err)
+		return 0
+	}
+	baseByID := map[string]*bench.Table{}
+	for _, t := range baseline {
+		baseByID[t.ID] = t
+	}
+	regressions := 0
+	for _, ft := range fresh {
+		bt, ok := baseByID[ft.ID]
+		if !ok {
+			continue // new experiment: nothing to compare yet
+		}
+		baseRows := map[string][]string{}
+		for _, r := range bt.Rows {
+			if len(r) > 0 {
+				baseRows[r[0]] = r
+			}
+		}
+		for _, fr := range ft.Rows {
+			if len(fr) == 0 {
+				continue
+			}
+			br, ok := baseRows[fr[0]]
+			if !ok {
+				continue
+			}
+			for c := 1; c < len(fr) && c < len(br); c++ {
+				fd, fok := parseCellDuration(fr[c])
+				bd, bok := parseCellDuration(br[c])
+				if !fok || !bok || bd <= 0 {
+					continue
+				}
+				if ratio := float64(fd)/float64(bd) - 1; ratio > deltaThreshold {
+					col := fmt.Sprintf("col %d", c)
+					if c < len(ft.Header) {
+						col = ft.Header[c]
+					}
+					fmt.Fprintf(out, "::warning::bench-delta: %s / %s / %s: %v vs baseline %v (+%.0f%%)\n",
+						ft.ID, fr[0], col, fd, bd, ratio*100)
+					regressions++
+				}
+			}
+		}
+	}
+	if regressions == 0 {
+		fmt.Fprintf(out, "bench-delta: no cell regressed more than %.0f%% against %s\n", deltaThreshold*100, baselinePath)
+	}
+	return regressions
+}
+
+// parseCellDuration recognizes the harness's duration cells ("1.80ms",
+// "250µs", "1.2s"); table cells holding counts, ratios, or labels are
+// skipped.
+func parseCellDuration(cell string) (time.Duration, bool) {
+	d, err := time.ParseDuration(cell)
+	if err != nil || d < 0 {
+		return 0, false
+	}
+	return d, true
+}

@@ -5,10 +5,13 @@
 // and a decoupled GNN learning stack.
 //
 // See README.md for the architecture overview, the command reference
-// (cmd/flexbench, cmd/flexbuild, cmd/flexquery), the experiment index, and
-// the "Robustness & fault injection" section — the query-lifecycle contract
-// (deadlines, cancellation, budgets, panic isolation; internal/query/exec),
-// the deterministic chaos storage wrapper (internal/storage/chaos) and the
-// retry layer (internal/retry). bench_test.go regenerates every table and
-// figure of the paper's evaluation.
+// (cmd/flexbench, cmd/flexbuild, cmd/flexquery), the experiment index, the
+// "Query execution runtime" section — the shared columnar batch runtime
+// (typed column vectors, selection vectors, and fused filter passes;
+// internal/query/exec) — and the "Robustness & fault injection" section:
+// the query-lifecycle contract (deadlines, cancellation, budgets, panic
+// isolation; internal/query/exec), the deterministic chaos storage wrapper
+// (internal/storage/chaos) and the retry layer (internal/retry).
+// bench_test.go regenerates every table and figure of the paper's
+// evaluation.
 package repro

@@ -70,3 +70,26 @@ func Suppressed(keys []int) map[int][]graph.Value {
 	}
 	return out
 }
+
+// EscapeHatchHoisted is the sanctioned boxed-escape-hatch shape: columns of
+// unknown kind get ONE boxed arena allocated outside the row loop, appended
+// to per row — the Vec escape hatch, not a per-row box.
+func EscapeHatchHoisted(n int) []graph.Value {
+	box := make([]graph.Value, 0, n)
+	for i := 0; i < n; i++ {
+		box = append(box, graph.IntValue(int64(i)))
+	}
+	return box
+}
+
+// EscapeHatchPerRow defeats the escape hatch: re-allocating the boxed arena
+// inside the row loop turns it back into per-row boxing and must fire.
+func EscapeHatchPerRow(n int) [][]graph.Value {
+	var out [][]graph.Value
+	for i := 0; i < n; i++ {
+		box := make([]graph.Value, 0, 1) // want "make\\(\\[\\]graph.Value, ...\\) inside a hot loop"
+		box = append(box, graph.IntValue(int64(i)))
+		out = append(out, box)
+	}
+	return out
+}

@@ -1,9 +1,11 @@
-// Package valuebox is the static groundwork for the roadmap's "kill
-// graph.Value boxing" item: it flags the allocation patterns that keep the
-// hot path on tagged unions — fresh []graph.Value slices and explicit
-// interface{} boxing inside stage/worker loops. Each finding names the
-// typed-column alternative, so the findings double as the migration
-// worklist for typed column vectors.
+// Package valuebox guards the "kill graph.Value boxing" invariant now that
+// the runtime is columnar: it flags the allocation patterns that would pull
+// the hot path back onto tagged unions — fresh []graph.Value slices and
+// explicit interface{} boxing inside stage/worker loops. Each finding names
+// the typed-column API to use instead (exec.Vec over storage/column.Column,
+// with Batch.Rows as the single sanctioned boxing point at the result edge);
+// the boxed escape hatch for unknown-kind columns stays legal as one arena
+// per column hoisted out of the row loop, never a per-row allocation.
 package valuebox
 
 import (
@@ -72,7 +74,7 @@ func walk(pass *analysis.Pass, n ast.Node, loopDepth int) {
 		case *ast.CompositeLit:
 			if loopDepth > 0 && isValueSlice(pass.TypesInfo.TypeOf(n)) {
 				pass.Reportf(n.Pos(),
-					"[]graph.Value literal allocated inside a hot loop; hoist a typed column (or batch arena) out of the loop and reuse it")
+					"[]graph.Value literal allocated inside a hot loop; build into a typed column (exec.Vec over storage/column.Column) hoisted out of the loop")
 			}
 		case *ast.CallExpr:
 			if loopDepth == 0 {
@@ -89,7 +91,7 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
 	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "make" {
 		if isValueSlice(pass.TypesInfo.TypeOf(call)) {
 			pass.Reportf(call.Pos(),
-				"make([]graph.Value, ...) inside a hot loop; hoist a typed column (or batch arena) out of the loop and reuse it")
+				"make([]graph.Value, ...) inside a hot loop; use a typed column (exec.Vec) or hoist the boxed escape-hatch arena out of the loop")
 		}
 		return
 	}
@@ -101,7 +103,7 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
 	}
 	if isValueSlice(tv.Type) {
 		pass.Reportf(call.Pos(),
-			"[]graph.Value conversion inside a hot loop clones a boxed row; keep rows in the batch arena or use a typed column")
+			"[]graph.Value conversion inside a hot loop clones a boxed row; keep rows in typed batch columns (exec.Batch.Col) and box once at the result edge (Batch.Rows)")
 		return
 	}
 	if iface, ok := tv.Type.Underlying().(*types.Interface); ok && iface.NumMethods() == 0 {

@@ -2,14 +2,15 @@ package exec
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 
 	"repro/internal/graph"
 )
 
 // DefaultBatchSize is the target row count per batch when Env.BatchSize is
-// unset. ~1K rows amortizes per-batch overhead while keeping a batch's arena
-// (width × 1024 Values) comfortably cache-resident.
+// unset. ~1K rows amortizes per-batch overhead while keeping a batch's
+// column payloads comfortably cache-resident.
 const DefaultBatchSize = 1024
 
 // ErrStop is returned by an EmitBatch callback to terminate a source early
@@ -17,147 +18,297 @@ const DefaultBatchSize = 1024
 // must stop producing and propagate it; drivers treat it as success.
 var ErrStop = errors.New("exec: stop early")
 
-// Batch is a fixed-width row container backed by a flat Value arena: row i
-// occupies data[i*width : (i+1)*width]. Operators append whole rows and reuse
-// the arena across batches (Reset), so steady-state pipeline execution
-// allocates per batch, not per row.
+// Batch is a fixed-width columnar row container: one Vec per column (typed
+// payload arrays when the kind is known at compile time, boxed escape hatch
+// otherwise) plus an optional selection vector. With sel == nil the batch is
+// dense — logical row i is physical row i of every column. A FILTER sets sel
+// instead of materializing survivors: logical row i becomes physical row
+// sel[i], downstream operators iterate `for _, i := range sel`, and the
+// filtered-out rows are never copied. Operators append columns in lockstep
+// and reuse payload arrays across batches (Reset), so steady-state pipeline
+// execution allocates per batch, not per row or per value.
 type Batch struct {
-	width int
-	rows  int
-	data  []graph.Value
+	cols []Vec
+	rows int     // physical row count (every column's Len)
+	sel  []int32 // selection vector; nil = dense
+	view bool    // shares another batch's payload arrays (never pooled)
+
+	// selArr double-buffers selection storage for fused filter passes: each
+	// pass writes survivors into the slot sel does not currently point at,
+	// so the candidate list being read is never overwritten mid-pass. The
+	// buffers travel with the batch (and through the pool), keeping
+	// steady-state filtering allocation-free. selIdx is the slot sel points
+	// at, or -1 when sel is nil or externally owned.
+	selArr [2][]int32
+	selIdx int8
 }
 
-// NewBatch returns an empty batch of the given row width with capacity for
-// capRows rows (0: grow on demand — cheap point queries never pay for a full
-// batch arena).
+// NewBatch returns an empty batch of the given row width with all-boxed
+// columns — the compatibility constructor for callers with no kind
+// information. capRows pre-sizes the boxed arenas (0: grow on demand — cheap
+// point queries never pay for a full batch arena).
 func NewBatch(width, capRows int) *Batch {
-	b := &Batch{width: width}
-	if capRows > 0 {
-		//lint:allow boxflow batch arena: one make per batch, amortized over width*capRows values — the design's unit of allocation
-		b.data = make([]graph.Value, 0, width*capRows)
+	kinds := make([]graph.Kind, width)
+	return NewBatchKinds(kinds, capRows)
+}
+
+// NewBatchKinds returns an empty batch with one column per kind entry —
+// typed for concrete kinds, boxed for graph.KindNil.
+func NewBatchKinds(kinds []graph.Kind, capRows int) *Batch {
+	b := &Batch{cols: make([]Vec, len(kinds)), selIdx: -1}
+	for i, k := range kinds {
+		b.cols[i].resetKind(k)
+		if k == graph.KindNil && capRows > 0 {
+			//lint:allow boxflow boxed-column arena: one make per unknown-kind column, amortized over capRows values — the escape-hatch unit of allocation
+			b.cols[i].box = make([]graph.Value, 0, capRows) //lint:allow valuebox boxed escape hatch: one arena per unknown-kind column, not a per-value box; typed kinds never take this branch
+		}
 	}
 	return b
 }
 
 // Width returns the number of columns per row.
-func (b *Batch) Width() int { return b.width }
+func (b *Batch) Width() int { return len(b.cols) }
 
-// Len returns the number of rows.
-func (b *Batch) Len() int { return b.rows }
-
-// Row returns row i as a view into the arena. The view is invalidated by the
-// next Append* call (the arena may move).
-func (b *Batch) Row(i int) Row {
-	lo, hi := i*b.width, (i+1)*b.width
-	return Row(b.data[lo:hi:hi])
-}
-
-// Value returns column col of row i without materializing a row view.
-func (b *Batch) Value(i, col int) graph.Value { return b.data[i*b.width+col] }
-
-// appendUncleared extends the arena by one row and returns it; the caller
-// must overwrite or clear every column.
-func (b *Batch) appendUncleared() Row {
-	n := len(b.data)
-	need := n + b.width
-	if cap(b.data) < need {
-		newCap := 2 * cap(b.data)
-		if newCap < need {
-			newCap = need
-		}
-		nd := make([]graph.Value, n, newCap)
-		copy(nd, b.data)
-		b.data = nd
+// Len returns the number of logical rows (after selection).
+func (b *Batch) Len() int {
+	if b.sel != nil {
+		return len(b.sel)
 	}
-	b.data = b.data[:need]
+	return b.rows
+}
+
+// PhysLen returns the number of physical rows each column holds, ignoring
+// any selection.
+func (b *Batch) PhysLen() int { return b.rows }
+
+// Sel returns the selection vector (nil = dense). Logical row i is physical
+// row Sel()[i] of every column.
+func (b *Batch) Sel() []int32 { return b.sel }
+
+// SetSel installs a selection over the batch's physical rows (nil restores
+// density). The batch keeps the slice; callers hand over ownership.
+func (b *Batch) SetSel(sel []int32) {
+	b.sel = sel
+	b.selIdx = -1
+}
+
+// Col returns column c for direct typed access.
+func (b *Batch) Col(c int) *Vec { return &b.cols[c] }
+
+// Kinds appends the per-column kind layout to dst — the shape a pool Get
+// needs to build a compatible batch.
+func (b *Batch) Kinds(dst []graph.Kind) []graph.Kind {
+	for i := range b.cols {
+		dst = append(dst, b.cols[i].kind)
+	}
+	return dst
+}
+
+// physRow maps a logical row index through the selection.
+func (b *Batch) physRow(i int) int {
+	if b.sel != nil {
+		return int(b.sel[i])
+	}
+	return i
+}
+
+// Value returns column col of logical row i.
+func (b *Batch) Value(i, col int) graph.Value {
+	return b.cols[col].Value(b.physRow(i))
+}
+
+// CopyRow materializes logical row i into dst (len ≥ Width) — the boxed
+// bridge for row-at-a-time expression evaluation.
+func (b *Batch) CopyRow(i int, dst []graph.Value) {
+	p := b.physRow(i)
+	for c := range b.cols {
+		dst[c] = b.cols[c].Value(p)
+	}
+}
+
+// AppendRow appends one row from the boxed prefix vals (len(vals) ≤ width;
+// remaining columns are NULL). The batch must be dense.
+func (b *Batch) AppendRow(vals []graph.Value) {
+	for c := range b.cols {
+		if c < len(vals) {
+			b.cols[c].AppendValue(vals[c])
+		} else {
+			b.cols[c].appendNull()
+		}
+	}
 	b.rows++
-	return Row(b.data[n:need:need])
 }
 
-// AppendRow appends one zeroed row and returns it for the caller to fill.
-func (b *Batch) AppendRow() Row {
-	row := b.appendUncleared()
-	clear(row)
-	return row
-}
-
-// AppendFrom appends a row initialized from the prefix r (len(r) ≤ width;
-// remaining columns are zero) and returns it — the widening copy every
-// expansion operator does.
-func (b *Batch) AppendFrom(r Row) Row {
-	row := b.appendUncleared()
-	n := copy(row, r)
-	clear(row[n:])
-	return row
-}
-
-// AppendBatch appends all rows of o (same width).
+// AppendBatch appends all logical rows of o. Both batches must have the same
+// width — appending across widths silently interleaved columns in the old
+// flat-arena layout, so it is a panic now — and the destination must be
+// dense (a selection on the destination would leave the appended rows
+// unreachable).
 func (b *Batch) AppendBatch(o *Batch) {
-	b.data = append(b.data, o.data...)
+	if len(o.cols) != len(b.cols) {
+		panic(fmt.Sprintf("exec: AppendBatch width mismatch: dst width %d, src width %d", len(b.cols), len(o.cols)))
+	}
+	if b.sel != nil {
+		panic("exec: AppendBatch into a batch with a selection")
+	}
+	if o.sel != nil {
+		for c := range b.cols {
+			b.cols[c].appendRows(&o.cols[c], o.sel)
+		}
+		b.rows += len(o.sel)
+		return
+	}
+	for c := range b.cols {
+		b.cols[c].appendAll(&o.cols[c])
+	}
 	b.rows += o.rows
 }
 
-// Truncate keeps the first n rows. Expansion operators also use it to drop
-// the row they just appended when its predicate fails.
+// Truncate keeps the first n physical rows of a dense batch. Expansion
+// operators use it to drop rows they just appended when a predicate fails.
 func (b *Batch) Truncate(n int) {
-	b.data = b.data[:n*b.width]
+	if b.sel != nil {
+		panic("exec: Truncate on a batch with a selection")
+	}
+	for c := range b.cols {
+		b.cols[c].truncate(n)
+	}
 	b.rows = n
 }
 
-// Reset empties the batch, keeping the arena for reuse.
+// Reset empties the batch keeping every column's kind and payload arrays for
+// reuse, and drops any selection.
 func (b *Batch) Reset() {
-	b.data = b.data[:0]
+	for c := range b.cols {
+		b.cols[c].reset()
+	}
 	b.rows = 0
+	b.sel = nil
+	b.selIdx = -1
 }
 
-// View returns a read-only sub-range [lo, hi) of the batch sharing the
-// arena; drivers use it to feed a materialized batch back into a pipeline
-// chunk-wise and to split batches into worker morsels. The view must not be
-// appended to, and the parent must stay alive while views circulate.
+// View returns a read-only sub-range [lo, hi) of a dense batch sharing the
+// column payloads; drivers use it to feed a materialized batch back into a
+// pipeline chunk-wise and to split batches into worker morsels. The view
+// must not be appended to, and the parent must stay alive while views
+// circulate. Views of a batch with a selection are not supported — sources
+// and barrier outputs are always dense.
 func (b *Batch) View(lo, hi int) Batch {
-	return Batch{width: b.width, rows: hi - lo, data: b.data[lo*b.width : hi*b.width : hi*b.width]}
+	if b.sel != nil {
+		panic("exec: View of a batch with a selection")
+	}
+	out := Batch{cols: make([]Vec, len(b.cols)), rows: hi - lo, view: true, selIdx: -1}
+	for c := range b.cols {
+		out.cols[c] = b.cols[c].slice(lo, hi)
+	}
+	return out
 }
 
-// BatchPool recycles batch arenas across morsels: Gaia hands one output
-// batch per morsel to its collector, and pooling those arenas removes the
-// steady-state per-morsel allocation. Get reshapes a pooled arena to the
-// requested width; Put must only receive batches that own their arena
-// (never Views) and that the caller will not touch again.
+// viewOf re-slices dst in place as a view of b — the morsel-splitting path,
+// which reuses one Batch header per worker feed instead of allocating one
+// per morsel.
+func (b *Batch) viewOf(dst *Batch, lo, hi int) {
+	if cap(dst.cols) < len(b.cols) {
+		dst.cols = make([]Vec, len(b.cols))
+	}
+	dst.cols = dst.cols[:len(b.cols)]
+	for c := range b.cols {
+		dst.cols[c] = b.cols[c].slice(lo, hi)
+	}
+	dst.rows = hi - lo
+	dst.sel = nil
+	dst.selIdx = -1
+	dst.view = true
+}
+
+// Rows materializes the batch as boxed []Row — the final conversion to the
+// engines' public result type, and the only place a typed column pays the
+// boxing cost (once per result row, not once per operator).
+func (b *Batch) Rows() []Row {
+	n := b.Len()
+	w := len(b.cols)
+	//lint:allow boxflow result materialization: the one boxed arena per query, sized rows×width at the pipeline edge
+	arena := make([]graph.Value, n*w)
+	out := make([]Row, n)
+	for i := 0; i < n; i++ {
+		out[i] = Row(arena[i*w : (i+1)*w : (i+1)*w]) //lint:allow valuebox slices the single result arena per row; no per-row clone
+	}
+	// Fill column-major with monomorphic loops over the typed payloads; the
+	// per-value kind switch of Column.Get would otherwise dominate result
+	// materialization on wide results.
+	for c := range b.cols {
+		t := b.cols[c].Typed()
+		if t == nil {
+			box := b.cols[c].Box()
+			for i := 0; i < n; i++ {
+				arena[i*w+c] = box[b.physRow(i)]
+			}
+			continue
+		}
+		kind := t.Kind()
+		nulls := t.HasNulls()
+		switch {
+		case !nulls && (kind == graph.KindInt || kind == graph.KindVertex || kind == graph.KindEdge):
+			ints := t.RawInts()
+			for i := 0; i < n; i++ {
+				arena[i*w+c] = graph.Value{K: kind, I: ints[b.physRow(i)]}
+			}
+		case !nulls && kind == graph.KindFloat:
+			fs := t.Floats()
+			for i := 0; i < n; i++ {
+				arena[i*w+c] = graph.Value{K: kind, F: fs[b.physRow(i)]}
+			}
+		case !nulls && kind == graph.KindString:
+			ss := t.Strings()
+			for i := 0; i < n; i++ {
+				arena[i*w+c] = graph.Value{K: kind, S: ss[b.physRow(i)]}
+			}
+		default:
+			for i := 0; i < n; i++ {
+				arena[i*w+c] = b.cols[c].Value(b.physRow(i))
+			}
+		}
+	}
+	return out
+}
+
+// BatchPool recycles batch columns across morsels: Gaia hands one output
+// batch per morsel to its collector, and pooling those payload arrays
+// removes the steady-state per-morsel allocation. Get reshapes a pooled
+// batch to the requested column layout; Put must only receive batches that
+// own their payloads (never Views) and that the caller will not touch again.
 type BatchPool struct{ pool sync.Pool }
 
-// Get returns an empty batch of the given width, reusing a pooled arena
-// when one is available (capRows only sizes fresh arenas).
-func (p *BatchPool) Get(width, capRows int) *Batch {
+// Get returns an empty batch with the given column layout, reusing pooled
+// payload arrays when available (capRows only sizes fresh boxed arenas).
+func (p *BatchPool) Get(kinds []graph.Kind, capRows int) *Batch {
 	b, _ := p.pool.Get().(*Batch)
 	if b == nil {
-		return NewBatch(width, capRows)
+		return NewBatchKinds(kinds, capRows)
 	}
-	b.width = width
+	if cap(b.cols) < len(kinds) {
+		b.cols = append(b.cols[:cap(b.cols)], make([]Vec, len(kinds)-cap(b.cols))...)
+	}
+	b.cols = b.cols[:len(kinds)]
+	for i, k := range kinds {
+		b.cols[i].resetKind(k)
+	}
 	b.rows = 0
-	b.data = b.data[:0]
+	b.sel = nil
+	b.selIdx = -1
 	return b
 }
 
-// Put recycles a batch's arena. The arena's Values are deliberately not
-// cleared: a pooled morsel arena is overwritten on the next Get/Append
-// cycle, retention is bounded by pool size × arena size, and a per-morsel
-// memset of the hottest arena in the engine would cost more than the
-// references it frees (row values overwhelmingly reference store-resident
-// strings that are alive regardless).
+// Put recycles a batch's payload arrays; views are dropped (their payloads
+// belong to another batch). The payload Values are deliberately not cleared:
+// a pooled morsel arena is overwritten on the next Get/Append cycle,
+// retention is bounded by pool size × arena size, and a per-morsel memset of
+// the hottest arrays in the engine would cost more than the references it
+// frees (row values overwhelmingly reference store-resident strings that are
+// alive regardless).
 func (p *BatchPool) Put(b *Batch) {
-	if b != nil {
+	if b != nil && !b.view {
 		//lint:allow parallelsafety bounded retention of store-backed values; clearing per morsel would memset the hottest arena in the engine
 		p.pool.Put(b)
 	}
-}
-
-// Rows materializes the batch as []Row views sharing the arena — the final
-// conversion to the engines' public result type. The batch must not be
-// appended to afterwards.
-func (b *Batch) Rows() []Row {
-	out := make([]Row, b.rows)
-	for i := range out {
-		out[i] = b.Row(i)
-	}
-	return out
 }

@@ -1,19 +1,25 @@
 // Package exec implements the shared operator runtime of the interactive
 // stack: logical/physical IR operators compiled to batch-at-a-time (morsel-
-// driven) transformers over a GRIN graph. Rows live in Batch arenas — flat
-// []graph.Value blocks of ~Env.BatchSize rows (default 1024) — and every
-// expression is bound at compile time to fixed column indexes (expr.Bound),
-// so per-row evaluation does no map lookups and allocates nothing.
+// driven) transformers over a GRIN graph. Rows live in columnar Batches —
+// one typed column.Column vector per column (int64/float64/string/bool
+// payloads, lazy null bitmaps) with a boxed []graph.Value escape hatch for
+// columns whose kind is unknown at compile time — plus selection vectors:
+// FILTER marks survivors instead of copying them, and downstream operators
+// iterate `for _, i := range sel`. Every expression is bound at compile time
+// to fixed column indexes (expr.Bound), and predicate conjuncts whose column
+// kinds are known compile further into monomorphic selection kernels over
+// the raw payload arrays (expr.CompileSelKernel), so the steady-state hot
+// path moves no graph.Value boxes at all.
 //
 // The three engines differ only in *how* they drive the compiled stages —
 // naive interprets the logical plan serially without optimization, Gaia runs
 // the pipeline segments data-parallel over sequence-numbered batch streams
 // (OLAP), HiActor runs one compiled plan per actor message at high
 // concurrency (OLTP). All three produce identical rows in identical order at
-// any parallelism and batch size: Map stages preserve input order, Gaia
-// reassembles worker output in input-sequence order, and blocking operators
-// use deterministic rules (stable sort, first-appearance group order,
-// first-occurrence dedup).
+// any parallelism and batch size: Map stages preserve input order, Filter
+// stages preserve selection order, Gaia reassembles worker output in
+// input-sequence order, and blocking operators use deterministic rules
+// (stable sort, first-appearance group order, first-occurrence dedup).
 package exec
 
 import (
@@ -27,7 +33,7 @@ import (
 )
 
 // Row is one binding tuple; columns are assigned at compile time. Engine
-// results are []Row views into the final batch's arena.
+// results are []Row views into the final batch's boxed result arena.
 type Row []graph.Value
 
 // Columns maps aliases to row column indexes.
@@ -64,18 +70,25 @@ func bindExpr(cols Columns, e *expr.Expr) (*expr.Bound, error) {
 // has enough rows (LIMIT short-circuit).
 type EmitBatch func(*Batch) (reuse bool, err error)
 
-// Stage transforms batches. Exactly one of Source/Map/Blocking is set.
+// Stage transforms batches. Exactly one of Source/Map/Filter/Blocking is set.
 type Stage struct {
 	// Name for EXPLAIN and engine traces.
 	Name string
 	// InWidth/OutWidth are the row widths this stage consumes/produces.
 	InWidth  int
 	OutWidth int
+	// OutKinds is the per-column kind layout this stage produces
+	// (graph.KindNil entries are boxed columns); drivers allocate output
+	// batches from it. A nil OutKinds means all-boxed.
+	OutKinds []graph.Kind
 	// Source produces batches from the graph; only the first stage has one.
 	Source func(env *Env, emit EmitBatch) error
 	// Map transforms the rows of in, appending zero or more output rows per
-	// input row to out, preserving input order.
+	// input row to out, preserving input (selection) order.
 	Map func(env *Env, in, out *Batch) error
+	// Filter narrows the batch in place by installing a selection vector
+	// over its physical rows; no rows are copied (InWidth == OutWidth).
+	Filter func(env *Env, b *Batch) error
 	// Blocking consumes the fully gathered row set at a barrier (sort,
 	// group, dedup, limit).
 	Blocking func(env *Env, in *Batch) (*Batch, error)
@@ -85,12 +98,31 @@ type Stage struct {
 	LimitHint int
 }
 
+// OutLayout returns the stage's output column layout, substituting all-boxed
+// columns when the stage carries no kind information (hand-built stages).
+func (st *Stage) OutLayout() []graph.Kind {
+	if st.OutKinds != nil {
+		return st.OutKinds
+	}
+	return make([]graph.Kind, st.OutWidth)
+}
+
 // Compiled is an executable plan: stages plus the output schema.
 type Compiled struct {
 	Stages  []Stage
 	Cols    Columns  // final alias -> column map
 	Out     []string // output column order (aliases)
 	numCols int
+
+	// kinds/labels mirror the column space during compilation: the
+	// compile-time kind of each column (graph.KindNil = unknown, boxed) and,
+	// for vertex/edge columns, the label the element is known to carry
+	// (graph.AnyLabel = unknown). Operators consult them to pick typed
+	// vectors and compile selection kernels; they are hints — runtime
+	// surprises demote to boxed vectors, never misread payloads.
+	kinds  []graph.Kind
+	labels []graph.LabelID
+	schema *graph.Schema
 }
 
 // Env carries per-execution state.
@@ -124,12 +156,17 @@ type Options struct {
 	// NoIndexLookup disables converting `id(a) = k` scans into index
 	// lookups; the naive baseline sets it.
 	NoIndexLookup bool
+	// Schema, when set, lets the compiler infer property kinds from the
+	// catalog: batch columns become typed vectors and eligible predicate
+	// conjuncts compile to monomorphic selection kernels. Without it every
+	// column is boxed — correct, just slower.
+	Schema *graph.Schema
 }
 
 // Compile lowers a plan (already optimized, or raw for the naive engine)
 // into stages.
 func Compile(p *ir.Plan, opt Options) (*Compiled, error) {
-	c := &Compiled{Cols: Columns{}}
+	c := &Compiled{Cols: Columns{}, schema: opt.Schema}
 	if len(p.Ops) == 0 {
 		return nil, fmt.Errorf("exec: empty plan")
 	}
@@ -173,15 +210,91 @@ func Compile(p *ir.Plan, opt Options) (*Compiled, error) {
 	return c, nil
 }
 
-// addCol assigns a column to an alias (reusing an existing binding).
+// addCol assigns a boxed column to an alias (reusing an existing binding).
 func (c *Compiled) addCol(alias string) int {
+	return c.addColK(alias, graph.KindNil, graph.AnyLabel)
+}
+
+// addColK assigns a column with its compile-time kind and (for vertex/edge
+// columns) element label, reusing an existing binding.
+func (c *Compiled) addColK(alias string, kind graph.Kind, label graph.LabelID) int {
 	if idx, ok := c.Cols[alias]; ok {
 		return idx
 	}
 	idx := c.numCols
 	c.Cols[alias] = idx
 	c.numCols++
+	c.kinds = append(c.kinds, kind)
+	c.labels = append(c.labels, label)
 	return idx
+}
+
+// resetCols clears the column space (PROJECT/GROUP define a new schema).
+func (c *Compiled) resetCols() {
+	c.Cols = Columns{}
+	c.numCols = 0
+	c.kinds = nil
+	c.labels = nil
+}
+
+// kindsSnapshot copies the current column kind layout for embedding into a
+// stage (the compiler keeps mutating its working arrays).
+func (c *Compiled) kindsSnapshot() []graph.Kind {
+	return append([]graph.Kind(nil), c.kinds...)
+}
+
+// propKind resolves the compile-time kind of property prop on an element
+// column of the given kind and label. With an unknown (AnyLabel) label the
+// property qualifies only if every label defining it agrees on the kind.
+func (c *Compiled) propKind(elemKind graph.Kind, label graph.LabelID, prop string) (graph.Kind, bool) {
+	if c.schema == nil {
+		return graph.KindNil, false
+	}
+	find := func(props []graph.PropDef) (graph.Kind, bool) {
+		for _, d := range props {
+			if d.Name == prop {
+				return d.Kind, true
+			}
+		}
+		return graph.KindNil, false
+	}
+	switch elemKind {
+	case graph.KindVertex:
+		if label != graph.AnyLabel {
+			if int(label) >= len(c.schema.Vertices) {
+				return graph.KindNil, false
+			}
+			return find(c.schema.Vertices[label].Props)
+		}
+		k, seen := graph.KindNil, false
+		for _, vl := range c.schema.Vertices {
+			if pk, ok := find(vl.Props); ok {
+				if seen && pk != k {
+					return graph.KindNil, false
+				}
+				k, seen = pk, true
+			}
+		}
+		return k, seen
+	case graph.KindEdge:
+		if label != graph.AnyLabel {
+			if int(label) >= len(c.schema.Edges) {
+				return graph.KindNil, false
+			}
+			return find(c.schema.Edges[label].Props)
+		}
+		k, seen := graph.KindNil, false
+		for _, el := range c.schema.Edges {
+			if pk, ok := find(el.Props); ok {
+				if seen && pk != k {
+					return graph.KindNil, false
+				}
+				k, seen = pk, true
+			}
+		}
+		return k, seen
+	}
+	return graph.KindNil, false
 }
 
 func (c *Compiled) compileOp(op *ir.Op, first bool, opt Options) error {
@@ -205,22 +318,13 @@ func (c *Compiled) compileOp(op *ir.Op, first bool, opt Options) error {
 		if err != nil {
 			return err
 		}
+		fp := c.compileFilter(pred)
 		c.Stages = append(c.Stages, Stage{
 			Name:    "SELECT",
 			InWidth: width, OutWidth: width,
-			Map: func(env *Env, in, out *Batch) error {
-				benv := env.boundEnv()
-				for i := 0; i < in.Len(); i++ {
-					row := in.Row(i)
-					ok, err := pred.EvalBool(&benv, row)
-					if err != nil {
-						return err
-					}
-					if ok {
-						out.AppendFrom(row)
-					}
-				}
-				return nil
+			OutKinds: c.kindsSnapshot(),
+			Filter: func(env *Env, b *Batch) error {
+				return fp.run(env, b, 0)
 			},
 		})
 		return nil
@@ -234,6 +338,7 @@ func (c *Compiled) compileOp(op *ir.Op, first bool, opt Options) error {
 		c.Stages = append(c.Stages, Stage{
 			Name:    "LIMIT",
 			InWidth: width, OutWidth: width,
+			OutKinds:  c.kindsSnapshot(),
 			LimitHint: n,
 			Blocking: func(env *Env, in *Batch) (*Batch, error) {
 				if in.Len() > n {
@@ -261,22 +366,20 @@ func (c *Compiled) snapshotCols() Columns {
 }
 
 // sourceBuffer accumulates source rows and flushes full batches downstream.
+// Sources append to its batch's columns directly (the typed monomorphic
+// appends) and call flushIfFull at row granularity, so batch emission
+// boundaries — and with them the morsel partition every driver sees — land
+// at exactly the same row counts as the row-at-a-time runtime produced.
 type sourceBuffer struct {
 	b     *Batch
 	bs    int
-	width int
+	kinds []graph.Kind
 	emit  EmitBatch
 }
 
-func newSourceBuffer(width int, env *Env, emit EmitBatch) *sourceBuffer {
-	return &sourceBuffer{b: NewBatch(width, 0), bs: env.EffectiveBatchSize(), width: width, emit: emit}
+func newSourceBuffer(kinds []graph.Kind, env *Env, emit EmitBatch) *sourceBuffer {
+	return &sourceBuffer{b: NewBatchKinds(kinds, 0), bs: env.EffectiveBatchSize(), kinds: kinds, emit: emit}
 }
-
-// appendRow adds a zeroed row for the caller to fill; call pop to retract it
-// (failed predicate) or flushIfFull to keep it.
-func (s *sourceBuffer) appendRow() Row { return s.b.AppendRow() }
-
-func (s *sourceBuffer) pop() { s.b.Truncate(s.b.Len() - 1) }
 
 func (s *sourceBuffer) flushIfFull() error {
 	if s.b.Len() < s.bs {
@@ -289,7 +392,6 @@ func (s *sourceBuffer) flush() error {
 	if s.b.Len() == 0 {
 		return nil
 	}
-	last := s.b.Len()
 	reuse, err := s.emit(s.b)
 	if err != nil {
 		return err
@@ -297,8 +399,7 @@ func (s *sourceBuffer) flush() error {
 	if reuse {
 		s.b.Reset()
 	} else {
-		// The emitted size is the best estimate for the next batch.
-		s.b = NewBatch(s.width, last)
+		s.b = NewBatchKinds(s.kinds, 0)
 	}
 	return nil
 }
@@ -307,10 +408,12 @@ func (s *sourceBuffer) flush() error {
 // `id(alias) = k` conjunct and the store has the index trait, the scan
 // becomes a point lookup (unless disabled for the naive baseline). Without
 // the trait, the id equality folds back into the scan predicate so every
-// scanned vertex is evaluated exactly once.
+// scanned vertex is evaluated exactly once. A predicate-less scan bulk-
+// appends each ID chunk straight into the typed vertex column.
 func (c *Compiled) compileScan(op *ir.Op, opt Options) error {
-	idx := c.addCol(op.Alias)
+	idx := c.addColK(op.Alias, graph.KindVertex, op.Label)
 	width := c.numCols
+	kinds := c.kindsSnapshot()
 	label := op.Label
 	pred := op.Pred
 	alias := op.Alias
@@ -343,20 +446,22 @@ func (c *Compiled) compileScan(op *ir.Op, opt Options) error {
 	c.Stages = append(c.Stages, Stage{
 		Name:     "SCAN(" + alias + ")",
 		OutWidth: width,
+		OutKinds: kinds,
 		Source: func(env *Env, emit EmitBatch) error {
 			benv := env.boundEnv()
-			out := newSourceBuffer(width, env, emit)
+			out := newSourceBuffer(kinds, env, emit)
+			rowBuf := make([]graph.Value, width)
 			tryRow := func(v graph.VID, pred *expr.Bound) error {
-				row := out.appendRow()
-				row[idx] = graph.VertexValue(v)
-				ok, err := pred.EvalBool(&benv, row)
+				rowBuf[idx] = graph.VertexValue(v)
+				ok, err := pred.EvalBool(&benv, rowBuf)
 				if err != nil {
 					return err
 				}
 				if !ok {
-					out.pop()
 					return nil
 				}
+				out.b.cols[idx].appendVertex(v)
+				out.b.rows++
 				return out.flushIfFull()
 			}
 			if idEq != nil {
@@ -374,8 +479,9 @@ func (c *Compiled) compileScan(op *ir.Op, opt Options) error {
 				}
 			}
 			// Batched label scan: one trait dispatch per ID chunk instead of
-			// one callback per vertex; a predicate-less scan appends rows
-			// without ever invoking the evaluator.
+			// one callback per vertex; a predicate-less scan bulk-appends IDs
+			// without ever invoking the evaluator, slicing each chunk so
+			// batches fill to exactly the configured size.
 			buf := make([]graph.VID, env.EffectiveBatchSize())
 			var scanErr error
 			grin.ScanLabelBatches(env.Graph, label, buf, func(vs []graph.VID) bool {
@@ -386,16 +492,24 @@ func (c *Compiled) compileScan(op *ir.Op, opt Options) error {
 					scanErr = err
 					return false
 				}
-				for _, v := range vs {
-					var err error
-					if fullB == nil {
-						row := out.appendRow()
-						row[idx] = graph.VertexValue(v)
-						err = out.flushIfFull()
-					} else {
-						err = tryRow(v, fullB)
+				if fullB == nil {
+					for len(vs) > 0 {
+						take := out.bs - out.b.Len()
+						if take > len(vs) {
+							take = len(vs)
+						}
+						out.b.cols[idx].appendVIDs(vs[:take])
+						out.b.rows += take
+						vs = vs[take:]
+						if err := out.flushIfFull(); err != nil {
+							scanErr = err
+							return false
+						}
 					}
-					if err != nil {
+					return true
+				}
+				for _, v := range vs {
+					if err := tryRow(v, fullB); err != nil {
 						scanErr = err
 						return false
 					}
@@ -440,6 +554,88 @@ func idEqValue(env *Env, e *expr.Expr) (int64, error) {
 	return v.Int(), nil
 }
 
+// frontierFrom extracts the non-nil vertex frontier of column col in logical
+// (selection) order, recording each element's physical row. A typed
+// null-free vertex column is read straight off its int64 payload.
+func frontierFrom(in *Batch, col int, frontier []graph.VID, rows []int32) ([]graph.VID, []int32) {
+	v := in.Col(col)
+	sel := in.Sel()
+	if t := v.Typed(); t != nil && t.Kind() == graph.KindVertex && !t.HasNulls() {
+		ints := t.RawInts()
+		if sel == nil {
+			for i, x := range ints {
+				if graph.VID(x) != graph.NilVID {
+					frontier = append(frontier, graph.VID(x))
+					rows = append(rows, int32(i))
+				}
+			}
+		} else {
+			for _, p := range sel {
+				if x := graph.VID(ints[p]); x != graph.NilVID {
+					frontier = append(frontier, x)
+					rows = append(rows, p)
+				}
+			}
+		}
+		return frontier, rows
+	}
+	n := in.Len()
+	for i := 0; i < n; i++ {
+		p := in.physRow(i)
+		if src := v.Value(p).Vertex(); src != graph.NilVID {
+			frontier = append(frontier, src)
+			rows = append(rows, int32(p))
+		}
+	}
+	return frontier, rows
+}
+
+// vidColumn fills dst[i] with logical row i's vertex ID (NilVID for NULL or
+// non-vertex values) — the aligned form label/property gathers need.
+func vidColumn(in *Batch, col int, dst []graph.VID) {
+	v := in.Col(col)
+	sel := in.Sel()
+	if t := v.Typed(); t != nil && t.Kind() == graph.KindVertex && !t.HasNulls() {
+		ints := t.RawInts()
+		if sel == nil {
+			for i := range dst {
+				dst[i] = graph.VID(ints[i])
+			}
+		} else {
+			for i, p := range sel {
+				dst[i] = graph.VID(ints[p])
+			}
+		}
+		return
+	}
+	for i := range dst {
+		dst[i] = v.Value(in.physRow(i)).Vertex()
+	}
+}
+
+// emitExpanded materializes one expansion's output: the surviving input rows
+// (srcRows, physical) widen into out's prefix columns via one typed
+// gather-append per column, and the new neighbor/edge columns fill from the
+// adjacency arena slots (ts).
+func emitExpanded(out, in *Batch, srcRows, ts []int32, adj *grin.AdjBatch, vIdx, eIdx int) {
+	for c := 0; c < in.Width(); c++ {
+		out.cols[c].appendRows(&in.cols[c], srcRows)
+	}
+	if vIdx >= 0 {
+		vcol := &out.cols[vIdx]
+		for _, t := range ts {
+			vcol.appendVertex(adj.Nbrs[t])
+		}
+	}
+	if eIdx >= 0 {
+		ecol := &out.cols[eIdx]
+		for _, t := range ts {
+			ecol.appendEdge(adj.Edges[t])
+		}
+	}
+	out.rows += len(srcRows)
+}
+
 // compileExpandFused is the fused neighbor expansion: one adjacency pass
 // filters edge label, target label and pushed predicate.
 func (c *Compiled) compileExpandFused(op *ir.Op) error {
@@ -448,10 +644,10 @@ func (c *Compiled) compileExpandFused(op *ir.Op) error {
 		return fmt.Errorf("exec: EXPAND_FUSED from unbound alias %q", op.FromAlias)
 	}
 	inWidth := c.numCols
-	vIdx := c.addCol(op.Alias)
+	vIdx := c.addColK(op.Alias, graph.KindVertex, op.Label)
 	eIdx := -1
 	if op.EdgeAlias != "" {
-		eIdx = c.addCol(op.EdgeAlias)
+		eIdx = c.addColK(op.EdgeAlias, graph.KindEdge, op.EdgeLabel)
 	}
 	width := c.numCols
 	elabel, vlabel, dir := op.EdgeLabel, op.Label, op.Dir
@@ -459,26 +655,22 @@ func (c *Compiled) compileExpandFused(op *ir.Op) error {
 	if err != nil {
 		return err
 	}
+	fp := c.compileFilter(predB)
 
 	c.Stages = append(c.Stages, Stage{
 		Name:    "EXPAND_FUSED(" + op.FromAlias + "->" + op.Alias + ")",
 		InWidth: inWidth, OutWidth: width,
+		OutKinds: c.kindsSnapshot(),
 		Map: func(env *Env, in, out *Batch) error {
 			// Batched expansion: the whole frontier crosses the storage
 			// boundary in one ExpandBatch call, label filters gather their
-			// columns in one call each, and only the pushed predicate (if
-			// any) runs per output row.
+			// columns in one call each, survivors materialize column-at-a-
+			// time, and the pushed predicate (if any) runs as a fused filter
+			// pass over the freshly emitted rows.
 			pr, _ := grin.AsPropertyReader(env.Graph)
-			benv := env.boundEnv()
 			s := expandPool.Get().(*expandScratch)
 			defer expandPool.Put(s)
-			s.frontier, s.rows = s.frontier[:0], s.rows[:0]
-			for i := 0; i < in.Len(); i++ {
-				if src := in.Value(i, fromIdx).Vertex(); src != graph.NilVID {
-					s.frontier = append(s.frontier, src)
-					s.rows = append(s.rows, int32(i))
-				}
-			}
+			s.frontier, s.rows = frontierFrom(in, fromIdx, s.frontier[:0], s.rows[:0])
 			if len(s.frontier) == 0 {
 				return nil
 			}
@@ -494,8 +686,8 @@ func (c *Compiled) compileExpandFused(op *ir.Op) error {
 				grin.GatherVertexLabels(env.Graph, s.adj.Nbrs, s.vlabels)
 				vLabs = s.vlabels
 			}
+			s.ts, s.srcRows = s.ts[:0], s.srcRows[:0]
 			for fi, ri := range s.rows {
-				row := in.Row(int(ri))
 				lo, hi := s.adj.Range(fi)
 				for t := lo; t < hi; t++ {
 					if eLabs != nil && eLabs[t] != elabel {
@@ -504,23 +696,16 @@ func (c *Compiled) compileExpandFused(op *ir.Op) error {
 					if vLabs != nil && vLabs[t] != vlabel {
 						continue
 					}
-					o := out.AppendFrom(row)
-					o[vIdx] = graph.VertexValue(s.adj.Nbrs[t])
-					if eIdx >= 0 {
-						o[eIdx] = graph.EdgeValue(s.adj.Edges[t])
-					}
-					if predB != nil {
-						ok, err := predB.EvalBool(&benv, o)
-						if err != nil {
-							return err
-						}
-						if !ok {
-							out.Truncate(out.Len() - 1)
-						}
-					}
+					s.ts = append(s.ts, int32(t))
+					s.srcRows = append(s.srcRows, ri)
 				}
 			}
-			return nil
+			if len(s.ts) == 0 {
+				return nil
+			}
+			base := out.rows
+			emitExpanded(out, in, s.srcRows, s.ts, &s.adj, vIdx, eIdx)
+			return fp.run(env, out, base)
 		},
 	})
 	return nil
@@ -535,25 +720,20 @@ func (c *Compiled) compileExpandEdge(op *ir.Op) error {
 		return fmt.Errorf("exec: EXPAND_EDGE from unbound alias %q", op.FromAlias)
 	}
 	inWidth := c.numCols
-	eIdx := c.addCol(op.EdgeAlias)
-	nIdx := c.addCol("#nbr:" + op.EdgeAlias)
+	eIdx := c.addColK(op.EdgeAlias, graph.KindEdge, op.EdgeLabel)
+	nIdx := c.addColK("#nbr:"+op.EdgeAlias, graph.KindVertex, graph.AnyLabel)
 	width := c.numCols
 	elabel, dir := op.EdgeLabel, op.Dir
 
 	c.Stages = append(c.Stages, Stage{
 		Name:    "EXPAND_EDGE(" + op.FromAlias + ")",
 		InWidth: inWidth, OutWidth: width,
+		OutKinds: c.kindsSnapshot(),
 		Map: func(env *Env, in, out *Batch) error {
 			pr, _ := grin.AsPropertyReader(env.Graph)
 			s := expandPool.Get().(*expandScratch)
 			defer expandPool.Put(s)
-			s.frontier, s.rows = s.frontier[:0], s.rows[:0]
-			for i := 0; i < in.Len(); i++ {
-				if src := in.Value(i, fromIdx).Vertex(); src != graph.NilVID {
-					s.frontier = append(s.frontier, src)
-					s.rows = append(s.rows, int32(i))
-				}
-			}
+			s.frontier, s.rows = frontierFrom(in, fromIdx, s.frontier[:0], s.rows[:0])
 			if len(s.frontier) == 0 {
 				return nil
 			}
@@ -564,18 +744,21 @@ func (c *Compiled) compileExpandEdge(op *ir.Op) error {
 				grin.GatherEdgeLabels(env.Graph, s.adj.Edges, s.elabels)
 				eLabs = s.elabels
 			}
+			s.ts, s.srcRows = s.ts[:0], s.srcRows[:0]
 			for fi, ri := range s.rows {
-				row := in.Row(int(ri))
 				lo, hi := s.adj.Range(fi)
 				for t := lo; t < hi; t++ {
 					if eLabs != nil && eLabs[t] != elabel {
 						continue
 					}
-					o := out.AppendFrom(row)
-					o[eIdx] = graph.EdgeValue(s.adj.Edges[t])
-					o[nIdx] = graph.VertexValue(s.adj.Nbrs[t])
+					s.ts = append(s.ts, int32(t))
+					s.srcRows = append(s.srcRows, ri)
 				}
 			}
+			if len(s.ts) == 0 {
+				return nil
+			}
+			emitExpanded(out, in, s.srcRows, s.ts, &s.adj, nIdx, eIdx)
 			return nil
 		},
 	})
@@ -589,57 +772,64 @@ func (c *Compiled) compileGetVertex(op *ir.Op) error {
 		return fmt.Errorf("exec: GET_VERTEX on unexpanded edge %q", op.EdgeAlias)
 	}
 	inWidth := c.numCols
-	vIdx := c.addCol(op.Alias)
+	vIdx := c.addColK(op.Alias, graph.KindVertex, op.Label)
 	width := c.numCols
 	vlabel := op.Label
 	predB, err := bindExpr(c.Cols, op.Pred)
 	if err != nil {
 		return err
 	}
+	fp := c.compileFilter(predB)
 
 	c.Stages = append(c.Stages, Stage{
 		Name:    "GET_VERTEX(" + op.Alias + ")",
 		InWidth: inWidth, OutWidth: width,
+		OutKinds: c.kindsSnapshot(),
 		Map: func(env *Env, in, out *Batch) error {
 			pr, _ := grin.AsPropertyReader(env.Graph)
-			benv := env.boundEnv()
 			rows := in.Len()
-			// The target-label filter gathers the whole neighbor column's
-			// labels in one call (NilVID slots gather AnyLabel; those rows
-			// are dropped before the filter is consulted).
+			if rows == 0 {
+				return nil
+			}
+			s := gatherPool.Get().(*gatherScratch)
+			defer putGather(s)
+			// The neighbor column gathers once, in logical order; the
+			// target-label filter gathers the whole column's labels in one
+			// call (NilVID slots gather AnyLabel; those rows are dropped
+			// before the filter is consulted).
+			s.vids = growVIDs(s.vids, rows)
+			vidColumn(in, nIdx, s.vids)
 			var vLabs []graph.LabelID
 			if pr != nil && vlabel != graph.AnyLabel {
-				s := gatherPool.Get().(*gatherScratch)
-				defer putGather(s)
-				s.vids = growVIDs(s.vids, rows)
-				for i := 0; i < rows; i++ {
-					s.vids[i] = in.Value(i, nIdx).Vertex()
-				}
 				s.labels = growLabels(s.labels, rows)
 				grin.GatherVertexLabels(env.Graph, s.vids, s.labels)
 				vLabs = s.labels
 			}
+			s.srcRows, s.keep = s.srcRows[:0], s.keep[:0]
 			for i := 0; i < rows; i++ {
-				n := in.Value(i, nIdx).Vertex()
+				n := s.vids[i]
 				if n == graph.NilVID {
 					continue
 				}
 				if vLabs != nil && vLabs[i] != vlabel {
 					continue
 				}
-				o := out.AppendFrom(in.Row(i))
-				o[vIdx] = graph.VertexValue(n)
-				if predB != nil {
-					okPred, err := predB.EvalBool(&benv, o)
-					if err != nil {
-						return err
-					}
-					if !okPred {
-						out.Truncate(out.Len() - 1)
-					}
-				}
+				s.srcRows = append(s.srcRows, int32(in.physRow(i)))
+				s.keep = append(s.keep, n)
 			}
-			return nil
+			if len(s.srcRows) == 0 {
+				return nil
+			}
+			base := out.rows
+			for c := 0; c < in.Width(); c++ {
+				out.cols[c].appendRows(&in.cols[c], s.srcRows)
+			}
+			vcol := &out.cols[vIdx]
+			for _, n := range s.keep {
+				vcol.appendVertex(n)
+			}
+			out.rows += len(s.srcRows)
+			return fp.run(env, out, base)
 		},
 	})
 	return nil

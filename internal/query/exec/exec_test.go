@@ -27,16 +27,21 @@ func TestBatchAppendTruncateReuse(t *testing.T) {
 	if b.Width() != 3 || b.Len() != 0 {
 		t.Fatalf("fresh batch: width=%d len=%d", b.Width(), b.Len())
 	}
-	r0 := b.AppendRow()
-	r0[0] = graph.IntValue(1)
-	r1 := b.AppendFrom(exec.Row{graph.IntValue(7), graph.StringValue("x")})
-	if r1[0].Int() != 7 || r1[1].Str() != "x" || !r1[2].IsNull() {
-		t.Fatalf("AppendFrom: %v", r1)
-	}
+	b.AppendRow([]graph.Value{graph.IntValue(1), {}, {}})
+	b.AppendRow([]graph.Value{graph.IntValue(7), graph.StringValue("x"), {}})
 	if b.Len() != 2 {
 		t.Fatalf("len=%d", b.Len())
 	}
-	if got := b.Row(0)[0].Int(); got != 1 {
+	if v := b.Value(1, 0); v.Int() != 7 {
+		t.Fatalf("row 1 col 0: %v", v)
+	}
+	if v := b.Value(1, 1); v.Str() != "x" {
+		t.Fatalf("row 1 col 1: %v", v)
+	}
+	if v := b.Value(1, 2); !v.IsNull() {
+		t.Fatalf("row 1 col 2 not null: %v", v)
+	}
+	if got := b.Value(0, 0).Int(); got != 1 {
 		t.Fatalf("row 0: %d", got)
 	}
 	// Pop the failed row, then reuse the arena.
@@ -44,28 +49,88 @@ func TestBatchAppendTruncateReuse(t *testing.T) {
 	if b.Len() != 1 {
 		t.Fatalf("after truncate: %d", b.Len())
 	}
-	// A reused slot must come back zeroed.
-	r := b.AppendRow()
-	for i, v := range r {
-		if !v.IsNull() {
-			t.Fatalf("reused slot %d not zeroed: %v", i, v)
-		}
-	}
 	b.Reset()
 	if b.Len() != 0 {
 		t.Fatal("reset kept rows")
 	}
+	row := make([]graph.Value, 3)
 	for i := 0; i < 100; i++ {
-		b.AppendRow()[0] = graph.IntValue(int64(i))
+		row[0] = graph.IntValue(int64(i))
+		b.AppendRow(row)
 	}
 	v := b.View(10, 20)
-	if v.Len() != 10 || v.Row(0)[0].Int() != 10 || v.Row(9)[0].Int() != 19 {
-		t.Fatalf("view: len=%d first=%v last=%v", v.Len(), v.Row(0), v.Row(9))
+	if v.Len() != 10 || v.Value(0, 0).Int() != 10 || v.Value(9, 0).Int() != 19 {
+		t.Fatalf("view: len=%d first=%v last=%v", v.Len(), v.Value(0, 0), v.Value(9, 0))
 	}
 	rows := b.Rows()
 	if len(rows) != 100 || rows[42][0].Int() != 42 {
 		t.Fatalf("Rows materialization wrong")
 	}
+}
+
+// TestBatchSelection: a selection vector narrows the logical view without
+// copying, AppendBatch compacts it, and Reset drops it.
+func TestBatchSelection(t *testing.T) {
+	b := exec.NewBatchKinds([]graph.Kind{graph.KindInt}, 0)
+	row := make([]graph.Value, 1)
+	for i := 0; i < 10; i++ {
+		row[0] = graph.IntValue(int64(i))
+		b.AppendRow(row)
+	}
+	b.SetSel([]int32{1, 4, 7})
+	if b.Len() != 3 || b.PhysLen() != 10 {
+		t.Fatalf("sel: len=%d phys=%d", b.Len(), b.PhysLen())
+	}
+	for i, want := range []int64{1, 4, 7} {
+		if got := b.Value(i, 0).Int(); got != want {
+			t.Fatalf("sel row %d = %d, want %d", i, got, want)
+		}
+	}
+	// AppendBatch compacts the selection into dense rows.
+	dst := exec.NewBatchKinds([]graph.Kind{graph.KindInt}, 0)
+	dst.AppendBatch(b)
+	if dst.Len() != 3 || dst.PhysLen() != 3 {
+		t.Fatalf("compacted: len=%d phys=%d", dst.Len(), dst.PhysLen())
+	}
+	if got := dst.Value(2, 0).Int(); got != 7 {
+		t.Fatalf("compacted row 2 = %d", got)
+	}
+	// An empty (non-nil) selection means zero logical rows, not dense.
+	b.SetSel([]int32{})
+	if b.Len() != 0 {
+		t.Fatalf("empty sel: len=%d", b.Len())
+	}
+	b.Reset()
+	if b.Sel() != nil || b.Len() != 0 {
+		t.Fatal("reset kept selection or rows")
+	}
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+// TestBatchAppendBatchWidthMismatchPanics: appending across mismatched widths
+// used to silently corrupt column alignment; it must panic naming both widths,
+// and View/Truncate must refuse batches with live selections.
+func TestBatchAppendBatchWidthMismatchPanics(t *testing.T) {
+	wide := exec.NewBatch(3, 0)
+	narrow := exec.NewBatch(2, 0)
+	narrow.AppendRow([]graph.Value{graph.IntValue(1), graph.IntValue(2)})
+	mustPanic(t, "AppendBatch width", func() { wide.AppendBatch(narrow) })
+
+	sel := exec.NewBatch(1, 0)
+	sel.AppendRow([]graph.Value{graph.IntValue(1)})
+	sel.SetSel([]int32{0})
+	mustPanic(t, "View with sel", func() { sel.View(0, 1) })
+	mustPanic(t, "Truncate with sel", func() { sel.Truncate(0) })
+	mustPanic(t, "AppendBatch into sel", func() { sel.AppendBatch(narrow) })
 }
 
 // countingStore exposes only the topology and property traits, forcing

@@ -1,0 +1,308 @@
+package exec
+
+import (
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/grin"
+	"repro/internal/query/expr"
+	"repro/internal/storage/column"
+)
+
+// filterProgram is a compiled predicate in fused-filter form: a prefix of
+// kernelizable conjuncts (each a column-vs-constant comparison whose column
+// kind is known, run as a monomorphic selection kernel over the typed
+// payload) followed by the boxed residual for everything else. The split is a
+// strict prefix of the AND chain so the set of (row, conjunct) evaluations —
+// and with it the first error and every store call — is exactly what the
+// short-circuiting row-at-a-time evaluator performs; only the iteration order
+// within a batch changes.
+type filterProgram struct {
+	steps    []filterStep
+	residual *expr.Bound
+}
+
+type filterStep struct {
+	leaf     expr.SelLeaf
+	conj     *expr.Bound // the whole conjunct, for the boxed per-row fallback
+	colKind  graph.Kind  // kind of the kernel input (the column, or its gathered property)
+	elemKind graph.Kind  // KindVertex/KindEdge when leaf.Prop != ""
+}
+
+// compileFilter splits a bound predicate into kernel steps and residual.
+// Compilation never fails — a conjunct that does not kernelize (unknown
+// column kind, unsupported shape, kind-incompatible literal) ends the prefix
+// and joins the residual. Parameter arguments are accepted optimistically;
+// if the runtime value turns out kind-incompatible the step falls back to
+// per-row evaluation of just that conjunct.
+func (c *Compiled) compileFilter(pred *expr.Bound) *filterProgram {
+	conjs := pred.Conjuncts()
+	if len(conjs) == 0 {
+		return nil
+	}
+	fp := &filterProgram{}
+	i := 0
+	for ; i < len(conjs); i++ {
+		leaf, ok := conjs[i].SelLeaf()
+		if !ok {
+			break
+		}
+		st := filterStep{leaf: leaf, conj: conjs[i]}
+		if leaf.Prop == "" {
+			st.colKind = c.kinds[leaf.Col]
+			if st.colKind == graph.KindNil {
+				break
+			}
+		} else {
+			st.elemKind = c.kinds[leaf.Col]
+			if st.elemKind != graph.KindVertex && st.elemKind != graph.KindEdge {
+				break
+			}
+			pk, ok := c.propKind(st.elemKind, c.labels[leaf.Col], leaf.Prop)
+			if !ok {
+				break
+			}
+			st.colKind = pk
+		}
+		if lit, isLit := leaf.LitArg(); isLit {
+			if _, ok := expr.CompileSelKernel(st.colKind, leaf.Op, lit); !ok {
+				break
+			}
+		}
+		fp.steps = append(fp.steps, st)
+	}
+	fp.residual = expr.AndChain(conjs[i:])
+	return fp
+}
+
+// filterScratch holds the per-pass gather buffers; pooled because stage
+// closures are shared across Gaia workers.
+type filterScratch struct {
+	vids []graph.VID
+	eids []graph.EID
+	idx  []int32       // kernel output over gathered scratch columns
+	col  column.Column // gathered property values
+	row  []graph.Value // boxed row bridge for per-row fallback
+}
+
+var filterPool = sync.Pool{New: func() any { return new(filterScratch) }}
+
+// emptySel is the shared zero-length non-nil selection (no survivors).
+// Appending to it always reallocates, so sharing is safe.
+var emptySel = make([]int32, 0)
+
+func putFilter(s *filterScratch) {
+	// Clear the boxed row bridge so pooled scratch does not pin row values;
+	// the gather column keeps its payload arrays (store-backed values,
+	// bounded retention — same rationale as BatchPool.Put).
+	for i := range s.row {
+		s.row[i] = graph.Value{}
+	}
+	//lint:allow parallelsafety the boxed row bridge is cleared above; the gather column retains only store-backed payload arrays with bounded retention — same policy as BatchPool.Put
+	filterPool.Put(s)
+}
+
+// run narrows b to the rows satisfying the program by installing a selection
+// vector over its physical rows; no rows are copied. Rows [0, base) pass
+// unconditionally — the expansion operators filter only the rows they just
+// appended (base > 0 requires a dense batch). Candidate and survivor lists
+// alternate between the batch's two selection buffers, so steady-state
+// filtering allocates nothing.
+func (fp *filterProgram) run(env *Env, b *Batch, base int) error {
+	if fp == nil {
+		return nil
+	}
+	if base > 0 && b.sel != nil {
+		panic("exec: filter base over a batch with a selection")
+	}
+	if base == 0 && b.Len() == 0 {
+		return nil
+	}
+	if base > 0 && b.rows <= base {
+		return nil
+	}
+
+	// cand is the current candidate list (physical rows, ascending); nil
+	// means dense over all physical rows (only possible with base == 0).
+	var cand []int32
+	active := b.selIdx
+	if b.sel != nil {
+		cand = b.sel
+	} else if base > 0 {
+		sl := 0
+		if active == 0 {
+			sl = 1
+		}
+		out := b.selArr[sl][:0]
+		for r := base; r < b.rows; r++ {
+			out = append(out, int32(r))
+		}
+		b.selArr[sl] = out
+		cand = out
+		active = int8(sl)
+	}
+	takeSlot := func() int {
+		if active == 0 {
+			return 1
+		}
+		return 0
+	}
+	commit := func(out []int32, sl int) {
+		if out == nil {
+			// An empty survivor set must stay a non-nil selection — nil
+			// means dense (every row passes).
+			out = emptySel
+		}
+		b.selArr[sl] = out
+		cand = out
+		active = int8(sl)
+	}
+	candAt := func(j int32) int32 {
+		if cand != nil {
+			return cand[j]
+		}
+		return j
+	}
+
+	benv := env.boundEnv()
+	var s *filterScratch
+	defer func() {
+		if s != nil {
+			putFilter(s)
+		}
+	}()
+	scratch := func() *filterScratch {
+		if s == nil {
+			s = filterPool.Get().(*filterScratch)
+		}
+		return s
+	}
+
+	// perRow evaluates one conjunct over the current candidates with the
+	// boxed evaluator — the fallback for non-kernelizable steps and the
+	// residual. It preserves the evaluator's ascending row order, so error
+	// order and store-call counts match the row-at-a-time runtime.
+	perRow := func(prog *expr.Bound) error {
+		ss := scratch()
+		if cap(ss.row) < b.Width() {
+			ss.row = make([]graph.Value, b.Width())
+		}
+		row := ss.row[:b.Width()]
+		sl := takeSlot()
+		out := b.selArr[sl][:0]
+		n := len(cand)
+		if cand == nil {
+			n = b.rows
+		}
+		for i := 0; i < n; i++ {
+			p := i
+			if cand != nil {
+				p = int(cand[i])
+			}
+			for c := range b.cols {
+				row[c] = b.cols[c].Value(p)
+			}
+			ok, err := prog.EvalBool(&benv, row)
+			if err != nil {
+				return err
+			}
+			if ok {
+				out = append(out, int32(p))
+			}
+		}
+		commit(out, sl)
+		return nil
+	}
+
+	for _, st := range fp.steps {
+		// An empty candidate list short-circuits the rest of the chain —
+		// including argument resolution, matching the row loop's
+		// no-rows-no-error behavior.
+		if cand != nil && len(cand) == 0 {
+			break
+		}
+		arg, err := st.leaf.ResolveArg(&benv)
+		if err != nil {
+			return err
+		}
+		handled := false
+		vec := &b.cols[st.leaf.Col]
+		if st.leaf.Prop == "" {
+			// Kernel straight over the batch column.
+			if t := vec.Typed(); t != nil {
+				if kern, ok := expr.CompileSelKernel(t.Kind(), st.leaf.Op, arg); ok {
+					sl := takeSlot()
+					commit(kern(t, cand, b.selArr[sl][:0]), sl)
+					handled = true
+				}
+			}
+		} else if t := vec.Typed(); t != nil && t.Kind() == st.elemKind && !t.HasNulls() {
+			// Gather the candidates' property values into a typed scratch
+			// column (one trait call), then kernel densely over it and map
+			// the surviving ordinals back to physical rows.
+			ss := scratch()
+			m := len(cand)
+			if cand == nil {
+				m = b.rows
+			}
+			ss.col.Reset(st.colKind)
+			gathered := false
+			if st.elemKind == graph.KindVertex {
+				ss.vids = growVIDs(ss.vids, m)
+				ints := t.RawInts()
+				for j := 0; j < m; j++ {
+					ss.vids[j] = graph.VID(ints[candAt(int32(j))])
+				}
+				gathered = grin.GatherVertexPropCol(env.Graph, ss.vids, st.leaf.Prop, &ss.col)
+			} else {
+				ss.eids = growEIDs(ss.eids, m)
+				ints := t.RawInts()
+				for j := 0; j < m; j++ {
+					ss.eids[j] = graph.EID(ints[candAt(int32(j))])
+				}
+				gathered = grin.GatherEdgePropCol(env.Graph, ss.eids, st.leaf.Prop, &ss.col)
+			}
+			if gathered {
+				if kern, ok := expr.CompileSelKernel(st.colKind, st.leaf.Op, arg); ok {
+					ss.idx = kern(&ss.col, nil, ss.idx[:0])
+					sl := takeSlot()
+					out := b.selArr[sl][:0]
+					for _, j := range ss.idx {
+						out = append(out, candAt(j))
+					}
+					commit(out, sl)
+					handled = true
+				}
+			}
+		}
+		if !handled {
+			// Boxed fallback for just this conjunct: runtime conditions
+			// (demoted column, store without the columnar gather trait,
+			// parameter of an unexpected kind) keep correctness on the
+			// per-row evaluator.
+			if err := perRow(st.conj); err != nil {
+				return err
+			}
+		}
+	}
+
+	if fp.residual != nil && (cand == nil || len(cand) > 0) {
+		if err := perRow(fp.residual); err != nil {
+			return err
+		}
+	}
+
+	if base > 0 {
+		// Prepend the unconditionally-passing prefix rows.
+		sl := takeSlot()
+		out := b.selArr[sl][:0]
+		for r := 0; r < base; r++ {
+			out = append(out, int32(r))
+		}
+		out = append(out, cand...)
+		commit(out, sl)
+	}
+	b.sel = cand
+	b.selIdx = active
+	return nil
+}

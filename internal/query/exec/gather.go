@@ -15,34 +15,45 @@ import (
 // the storage batch-property trait.
 
 // expandScratch is the working set of one batched expansion: the non-nil
-// frontier with its originating row indexes, the CSR-style adjacency arena,
-// and label columns for pushed edge/vertex label filters.
+// frontier with its originating (physical) row indexes, the CSR-style
+// adjacency arena, label columns for pushed edge/vertex label filters, and
+// the emission lists — surviving adjacency slots (ts) with the physical
+// input row each came from (srcRows).
 type expandScratch struct {
 	frontier []graph.VID
 	rows     []int32
 	adj      grin.AdjBatch
 	elabels  []graph.LabelID
 	vlabels  []graph.LabelID
+	ts       []int32
+	srcRows  []int32
 }
 
 var expandPool = sync.Pool{New: func() any { return new(expandScratch) }}
 
 // gatherScratch is the working set of one columnar property gather: the
-// element-ID column extracted from the batch and the gathered value column.
+// element-ID column extracted from the batch, the gathered value column, and
+// the survivor lists of GET_VERTEX (physical source rows plus their kept
+// neighbors).
 type gatherScratch struct {
-	vids   []graph.VID
-	eids   []graph.EID
-	labels []graph.LabelID
-	vals   []graph.Value
+	vids    []graph.VID
+	eids    []graph.EID
+	labels  []graph.LabelID
+	vals    []graph.Value
+	srcRows []int32
+	keep    []graph.VID
+	row     []graph.Value // boxed row bridge for per-row evaluation
 }
 
 var gatherPool = sync.Pool{New: func() any { return new(gatherScratch) }}
 
-// release drops the scratch's reference-holding contents: vals elements box
-// strings and lists gathered for one batch, which must not stay reachable
-// from the pool. The plain ID and label arenas keep their memory for reuse.
+// release drops the scratch's reference-holding contents: vals and row
+// elements box strings and lists gathered for one batch, which must not stay
+// reachable from the pool. The plain ID and label arenas keep their memory
+// for reuse.
 func (s *gatherScratch) release() {
 	clear(s.vals[:cap(s.vals)])
+	clear(s.row[:cap(s.row)])
 }
 
 // putGather returns a gather scratch to the pool with its boxed values
@@ -102,20 +113,30 @@ func evalColumn(env *Env, prog *expr.Bound, in *Batch, dst []graph.Value) error 
 		if _, hasProps := grin.AsPropertyReader(env.Graph); hasProps || grin.Has(env.Graph, grin.TraitBatchProps) {
 			// The column must be uniformly vertex or uniformly edge: the
 			// per-row path errors on other kinds, and a mixed column would
-			// need per-row label resolution anyway.
+			// need per-row label resolution anyway. A typed null-free
+			// element vector is uniform by construction; anything else is
+			// scanned boxed (a NULL counts as non-uniform, keeping the
+			// per-row path's scalar semantics).
 			kind := graph.Kind(0)
-			uniform := true
-			for i := 0; i < n; i++ {
-				k := in.Value(i, col).K
-				if k != graph.KindVertex && k != graph.KindEdge {
-					uniform = false
-					break
-				}
-				if kind == 0 {
-					kind = k
-				} else if k != kind {
-					uniform = false
-					break
+			uniform := false
+			if t := in.Col(col).Typed(); n > 0 && t != nil && !t.HasNulls() &&
+				(t.Kind() == graph.KindVertex || t.Kind() == graph.KindEdge) {
+				kind = t.Kind()
+				uniform = true
+			} else {
+				uniform = n > 0
+				for i := 0; i < n; i++ {
+					k := in.Value(i, col).K
+					if k != graph.KindVertex && k != graph.KindEdge {
+						uniform = false
+						break
+					}
+					if kind == 0 {
+						kind = k
+					} else if k != kind {
+						uniform = false
+						break
+					}
 				}
 			}
 			if uniform && kind != 0 {
@@ -124,15 +145,11 @@ func evalColumn(env *Env, prog *expr.Bound, in *Batch, dst []graph.Value) error 
 				var err error
 				if kind == graph.KindVertex {
 					s.vids = growVIDs(s.vids, n)
-					for i := 0; i < n; i++ {
-						s.vids[i] = in.Value(i, col).Vertex()
-					}
+					vidColumn(in, col, s.vids[:n])
 					err = grin.GatherVertexProp(env.Graph, s.vids, prop, dst[:n])
 				} else {
 					s.eids = growEIDs(s.eids, n)
-					for i := 0; i < n; i++ {
-						s.eids[i] = in.Value(i, col).Edge()
-					}
+					eidColumn(in, col, s.eids[:n])
 					err = grin.GatherEdgeProp(env.Graph, s.eids, prop, dst[:n])
 				}
 				return err
@@ -140,12 +157,42 @@ func evalColumn(env *Env, prog *expr.Bound, in *Batch, dst []graph.Value) error 
 		}
 	}
 	benv := env.boundEnv()
+	s := gatherPool.Get().(*gatherScratch)
+	defer putGather(s)
+	if cap(s.row) < in.Width() {
+		s.row = make([]graph.Value, in.Width())
+	}
+	row := s.row[:in.Width()]
 	for i := 0; i < n; i++ {
-		v, err := prog.Eval(&benv, in.Row(i))
+		in.CopyRow(i, row)
+		v, err := prog.Eval(&benv, row)
 		if err != nil {
 			return err
 		}
 		dst[i] = v
 	}
 	return nil
+}
+
+// eidColumn fills dst[i] with logical row i's edge ID (NilEID for NULL or
+// non-edge values).
+func eidColumn(in *Batch, col int, dst []graph.EID) {
+	v := in.Col(col)
+	sel := in.Sel()
+	if t := v.Typed(); t != nil && t.Kind() == graph.KindEdge && !t.HasNulls() {
+		ints := t.RawInts()
+		if sel == nil {
+			for i := range dst {
+				dst[i] = graph.EID(ints[i])
+			}
+		} else {
+			for i, p := range sel {
+				dst[i] = graph.EID(ints[p])
+			}
+		}
+		return
+	}
+	for i := range dst {
+		dst[i] = v.Value(in.physRow(i)).Edge()
+	}
 }

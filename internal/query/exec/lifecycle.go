@@ -87,6 +87,16 @@ func (st *Stage) RunMap(env *Env, in, out *Batch) (err error) {
 	return st.Map(env, in, out)
 }
 
+// RunFilter invokes the stage's Filter callback with panic isolation.
+func (st *Stage) RunFilter(env *Env, b *Batch) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = recovered(st.Name, r)
+		}
+	}()
+	return st.Filter(env, b)
+}
+
 // RunBlocking invokes the stage's Blocking callback with panic isolation.
 func (st *Stage) RunBlocking(env *Env, in *Batch) (out *Batch, err error) {
 	defer func() {

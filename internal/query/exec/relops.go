@@ -9,50 +9,132 @@ import (
 	"repro/internal/grin"
 	"repro/internal/query/expr"
 	"repro/internal/query/ir"
+	"repro/internal/storage/column"
 )
+
+// projItem is one compiled PROJECT output column with its fast paths: a bare
+// column reference copies the input vector wholesale, an alias.prop reference
+// over a typed element column gathers the store column straight into the
+// output vector, an int-arithmetic leaf runs a monomorphic map kernel, and
+// everything else evaluates boxed column-at-a-time.
+type projItem struct {
+	out      int
+	prog     *expr.Bound
+	copyCol  int // >= 0: bare column copy
+	gathCol  int // >= 0: alias.prop columnar-gather candidate
+	gathProp string
+	elemKind graph.Kind // vertex/edge kind of gathCol
+	mapLeaf  expr.MapLeaf
+	hasMap   bool
+}
 
 // compileProject replaces the row with computed columns.
 func (c *Compiled) compileProject(op *ir.Op) error {
 	inCols := c.snapshotCols()
+	inKinds := c.kindsSnapshot()
+	inLabels := append([]graph.LabelID(nil), c.labels...)
 	inWidth := c.numCols
 	items := op.Items
 	// Reset the column space: PROJECT defines the new schema.
-	c.Cols = Columns{}
-	c.numCols = 0
-	outIdx := make([]int, len(items))
-	progs := make([]*expr.Bound, len(items))
+	c.resetCols()
+	pitems := make([]projItem, len(items))
 	for i, it := range items {
-		outIdx[i] = c.addCol(it.Alias)
-		var err error
-		if progs[i], err = bindExpr(inCols, it.Expr); err != nil {
+		prog, err := bindExpr(inCols, it.Expr)
+		if err != nil {
 			return err
 		}
+		pi := projItem{prog: prog, copyCol: -1, gathCol: -1}
+		outKind, outLabel := graph.KindNil, graph.AnyLabel
+		if col, prop, ok := prog.PropRef(); ok {
+			if prop == "" {
+				pi.copyCol = col
+				outKind, outLabel = inKinds[col], inLabels[col]
+			} else if ek := inKinds[col]; ek == graph.KindVertex || ek == graph.KindEdge {
+				if pk, ok := c.propKind(ek, inLabels[col], prop); ok {
+					pi.gathCol, pi.gathProp, pi.elemKind = col, prop, ek
+					outKind = pk
+				}
+			}
+		} else if l, ok := prog.MapLeaf(); ok && l.Prop == "" && inKinds[l.Col] == graph.KindInt {
+			pi.mapLeaf, pi.hasMap = l, true
+			outKind = graph.KindInt
+		}
+		pi.out = c.addColK(it.Alias, outKind, outLabel)
+		pitems[i] = pi
 	}
 	width := c.numCols
 	c.Stages = append(c.Stages, Stage{
 		Name:    "PROJECT",
 		InWidth: inWidth, OutWidth: width,
+		OutKinds: c.kindsSnapshot(),
 		Map: func(env *Env, in, out *Batch) error {
-			// Column-at-a-time: each item is evaluated over the whole batch,
-			// so a pure alias.prop item gathers through the storage
-			// batch-property trait instead of per-row tree walks.
+			// Column-at-a-time: each item is computed over the whole batch.
+			// Every fast path has runtime preconditions (a typed, null-free
+			// input vector; a store with the columnar gather trait; a kernel-
+			// compatible argument) and falls back to the boxed evaluator when
+			// they fail, so compile-time kind hints never change results.
 			n := in.Len()
-			base := out.Len()
-			for i := 0; i < n; i++ {
-				out.AppendRow()
+			if n == 0 {
+				return nil
 			}
+			sel := in.Sel()
+			benv := env.boundEnv()
 			s := gatherPool.Get().(*gatherScratch)
 			defer putGather(s)
-			s.vals = growValues(s.vals, n)
-			for k, p := range progs {
-				if err := evalColumn(env, p, in, s.vals); err != nil {
+			for _, pi := range pitems {
+				oc := out.Col(pi.out)
+				if pi.copyCol >= 0 {
+					ic := in.Col(pi.copyCol)
+					if sel == nil {
+						oc.appendAll(ic)
+					} else {
+						oc.appendRows(ic, sel)
+					}
+					continue
+				}
+				if pi.gathCol >= 0 {
+					if t := in.Col(pi.gathCol).Typed(); t != nil && t.Kind() == pi.elemKind && !t.HasNulls() && oc.Typed() != nil {
+						ints := t.RawInts()
+						ok := false
+						if pi.elemKind == graph.KindVertex {
+							s.vids = growVIDs(s.vids, n)
+							for i := 0; i < n; i++ {
+								s.vids[i] = graph.VID(ints[in.physRow(i)])
+							}
+							ok = grin.GatherVertexPropCol(env.Graph, s.vids, pi.gathProp, oc.Typed())
+						} else {
+							s.eids = growEIDs(s.eids, n)
+							for i := 0; i < n; i++ {
+								s.eids[i] = graph.EID(ints[in.physRow(i)])
+							}
+							ok = grin.GatherEdgePropCol(env.Graph, s.eids, pi.gathProp, oc.Typed())
+						}
+						if ok {
+							continue
+						}
+					}
+				}
+				if pi.hasMap {
+					if t := in.Col(pi.mapLeaf.Col).Typed(); t != nil && t.Kind() == graph.KindInt && !t.HasNulls() && oc.Typed() != nil && oc.Typed().Kind() == graph.KindInt {
+						// An argument-resolution failure falls through to the
+						// boxed evaluator, which reports the identical error.
+						if arg, err := pi.mapLeaf.ResolveArg(&benv); err == nil {
+							if kern, ok := expr.CompileMapKernel(graph.KindInt, pi.mapLeaf, arg); ok {
+								kern(t, sel, oc.Typed())
+								continue
+							}
+						}
+					}
+				}
+				s.vals = growValues(s.vals, n)
+				if err := evalColumn(env, pi.prog, in, s.vals[:n]); err != nil {
 					return err
 				}
-				col := outIdx[k]
 				for i := 0; i < n; i++ {
-					out.Row(base + i)[col] = s.vals[i]
+					oc.AppendValue(s.vals[i])
 				}
 			}
+			out.rows += n
 			return nil
 		},
 	})
@@ -65,6 +147,7 @@ func (c *Compiled) compileProject(op *ir.Op) error {
 // heap selection is row-for-row identical to a stable full sort.
 func (c *Compiled) compileOrderBy(op *ir.Op) error {
 	width := c.numCols
+	kinds := c.kindsSnapshot()
 	keys := op.Keys
 	limit := op.Limit
 	progs := make([]*expr.Bound, len(keys))
@@ -77,6 +160,7 @@ func (c *Compiled) compileOrderBy(op *ir.Op) error {
 	c.Stages = append(c.Stages, Stage{
 		Name:    "ORDER",
 		InWidth: width, OutWidth: width,
+		OutKinds: kinds,
 		Blocking: func(env *Env, in *Batch) (*Batch, error) {
 			n := in.Len()
 			nk := len(keys)
@@ -140,17 +224,23 @@ func (c *Compiled) compileOrderBy(op *ir.Op) error {
 				idx = h
 			}
 			sort.Slice(idx, func(a, b int) bool { return less(idx[a], idx[b]) })
-			out := NewBatch(width, len(idx))
-			for _, i := range idx {
-				out.AppendFrom(in.Row(i))
+			// Materialize the permutation with one typed gather per column.
+			physIdx := make([]int32, len(idx))
+			for i, ix := range idx {
+				physIdx[i] = int32(in.physRow(ix))
 			}
+			out := NewBatchKinds(kinds, 0)
+			for c := range out.cols {
+				out.cols[c].appendRows(&in.cols[c], physIdx)
+			}
+			out.rows = len(physIdx)
 			return out, nil
 		},
 	})
 	return nil
 }
 
-// groupAccum is one group's running aggregate state.
+// groupAccum is one group's running aggregate state (the generic path).
 type groupAccum struct {
 	keys   []graph.Value
 	count  []int64
@@ -161,58 +251,141 @@ type groupAccum struct {
 	seenIn []bool
 }
 
+// intFamilyKind reports whether a typed column of this kind stores its
+// payload in the shared int64 array (RawInts).
+func intFamilyKind(k graph.Kind) bool {
+	switch k {
+	case graph.KindInt, graph.KindBool, graph.KindVertex, graph.KindEdge:
+		return true
+	}
+	return false
+}
+
+// intFamilyValue boxes one int-family payload back to its kind.
+func intFamilyValue(k graph.Kind, v int64) graph.Value {
+	switch k {
+	case graph.KindBool:
+		return graph.BoolValue(v != 0)
+	case graph.KindVertex:
+		return graph.VertexValue(graph.VID(v))
+	case graph.KindEdge:
+		return graph.EdgeValue(graph.EID(v))
+	}
+	return graph.IntValue(v)
+}
+
 // compileGroupBy hash-aggregates the gathered rows. Group keys are hashed
 // graph.Values (FNV over value bytes) with collision buckets checked by
 // Equal — no per-row key-string allocation. Groups are emitted in
 // first-appearance order, which is deterministic because every driver
 // delivers rows to the barrier in serial plan order.
+//
+// The common single-key shape — one bare int-family key column with only
+// count/sum/avg aggregates over bare columns — runs fully typed: the hash
+// table is map[int64]group over the raw key payload (exact equality for a
+// uniform kind) and the aggregates accumulate straight off the payload
+// arrays, no value boxed per row. Everything else takes the generic boxed
+// path.
 func (c *Compiled) compileGroupBy(op *ir.Op) error {
 	inCols := c.snapshotCols()
+	inKinds := c.kindsSnapshot()
+	inLabels := append([]graph.LabelID(nil), c.labels...)
 	inWidth := c.numCols
 	gkeys := op.GroupKeys
 	aggs := op.Aggs
-	c.Cols = Columns{}
-	c.numCols = 0
+	c.resetCols()
 	keyIdx := make([]int, len(gkeys))
 	keyProgs := make([]*expr.Bound, len(gkeys))
+	keyCols := make([]int, len(gkeys)) // bare-ref input column, or -1
 	for i, k := range gkeys {
-		keyIdx[i] = c.addCol(k.Alias)
 		var err error
 		if keyProgs[i], err = bindExpr(inCols, k.Expr); err != nil {
 			return err
 		}
+		keyCols[i] = -1
+		outKind, outLabel := graph.KindNil, graph.AnyLabel
+		if col, prop, ok := keyProgs[i].PropRef(); ok {
+			if prop == "" {
+				keyCols[i] = col
+				outKind, outLabel = inKinds[col], inLabels[col]
+			} else if ek := inKinds[col]; ek == graph.KindVertex || ek == graph.KindEdge {
+				if pk, ok := c.propKind(ek, inLabels[col], prop); ok {
+					outKind = pk
+				}
+			}
+		}
+		keyIdx[i] = c.addColK(k.Alias, outKind, outLabel)
 	}
 	aggIdx := make([]int, len(aggs))
 	aggProgs := make([]*expr.Bound, len(aggs))
+	aggCols := make([]int, len(aggs)) // bare-ref input column, or -1
 	for i, a := range aggs {
-		aggIdx[i] = c.addCol(a.Alias)
+		aggCols[i] = -1
 		if a.Arg != nil {
 			var err error
 			if aggProgs[i], err = bindExpr(inCols, a.Arg); err != nil {
 				return err
 			}
+			if col, prop, ok := aggProgs[i].PropRef(); ok && prop == "" {
+				aggCols[i] = col
+			}
 		}
+		outKind := graph.KindNil
 		switch a.Fn {
-		case "count", "sum", "avg", "min", "max", "collect":
+		case "count":
+			outKind = graph.KindInt
+		case "sum", "avg":
+			outKind = graph.KindFloat
+		case "min", "max", "collect":
 		default:
 			return fmt.Errorf("exec: unknown aggregate %q", a.Fn)
 		}
+		aggIdx[i] = c.addColK(a.Alias, outKind, graph.AnyLabel)
 	}
 	width := c.numCols
+	outKinds := c.kindsSnapshot()
+
+	// Compile-time eligibility for the typed path; runtime adds the typed/
+	// null-free column checks per batch.
+	typedOK := len(gkeys) == 1 && keyCols[0] >= 0
+	if typedOK {
+		for i, a := range aggs {
+			switch a.Fn {
+			case "count":
+				if a.Arg != nil && aggCols[i] < 0 {
+					typedOK = false
+				}
+			case "sum", "avg":
+				if aggCols[i] < 0 {
+					typedOK = false
+				}
+			default:
+				typedOK = false
+			}
+		}
+	}
 
 	c.Stages = append(c.Stages, Stage{
 		Name:    "GROUP",
 		InWidth: inWidth, OutWidth: width,
+		OutKinds: outKinds,
 		Blocking: func(env *Env, in *Batch) (*Batch, error) {
+			if typedOK {
+				if out, ok := groupTyped(in, aggs, keyCols[0], keyIdx[0], aggCols, aggIdx, outKinds); ok {
+					return out, nil
+				}
+			}
 			benv := env.boundEnv()
 			buckets := map[uint64][]*groupAccum{}
 			var ordered []*groupAccum
 			kv := make([]graph.Value, len(gkeys)) // per-row scratch
+			//lint:allow valuebox barrier-local row bridge for the generic aggregation path
+			rowBuf := make([]graph.Value, in.Width())
 			for i := 0; i < in.Len(); i++ {
-				row := in.Row(i)
+				in.CopyRow(i, rowBuf)
 				h := graph.HashSeed
 				for j, p := range keyProgs {
-					v, err := p.Eval(&benv, row)
+					v, err := p.Eval(&benv, rowBuf)
 					if err != nil {
 						return nil, err
 					}
@@ -235,8 +408,7 @@ func (c *Compiled) compileGroupBy(op *ir.Op) error {
 				}
 				if g == nil {
 					// Accumulator state is allocated once per distinct group,
-					// not per row; moving it to typed columns is the
-					// roadmap's kill-boxing item.
+					// not per row.
 					g = &groupAccum{
 						//lint:allow valuebox per distinct group, not per row; group keys must be retained
 						keys:  append([]graph.Value(nil), kv...),
@@ -256,7 +428,7 @@ func (c *Compiled) compileGroupBy(op *ir.Op) error {
 					var v graph.Value
 					if aggProgs[j] != nil {
 						var err error
-						v, err = aggProgs[j].Eval(&benv, row)
+						v, err = aggProgs[j].Eval(&benv, rowBuf)
 						if err != nil {
 							return nil, err
 						}
@@ -283,32 +455,34 @@ func (c *Compiled) compileGroupBy(op *ir.Op) error {
 					g.seenIn[j] = true
 				}
 			}
-			out := NewBatch(width, len(ordered))
+			out := NewBatchKinds(outKinds, 0)
+			//lint:allow valuebox one output-row scratch per barrier
+			rowVals := make([]graph.Value, width)
 			for _, g := range ordered {
-				row := out.AppendRow()
 				for j := range gkeys {
-					row[keyIdx[j]] = g.keys[j]
+					rowVals[keyIdx[j]] = g.keys[j]
 				}
 				for j, a := range aggs {
 					switch a.Fn {
 					case "count":
-						row[aggIdx[j]] = graph.IntValue(g.count[j])
+						rowVals[aggIdx[j]] = graph.IntValue(g.count[j])
 					case "sum":
-						row[aggIdx[j]] = graph.FloatValue(g.sum[j])
+						rowVals[aggIdx[j]] = graph.FloatValue(g.sum[j])
 					case "avg":
 						if g.count[j] == 0 {
-							row[aggIdx[j]] = graph.NullValue
+							rowVals[aggIdx[j]] = graph.NullValue
 						} else {
-							row[aggIdx[j]] = graph.FloatValue(g.sum[j] / float64(g.count[j]))
+							rowVals[aggIdx[j]] = graph.FloatValue(g.sum[j] / float64(g.count[j]))
 						}
 					case "min":
-						row[aggIdx[j]] = g.min[j]
+						rowVals[aggIdx[j]] = g.min[j]
 					case "max":
-						row[aggIdx[j]] = g.max[j]
+						rowVals[aggIdx[j]] = g.max[j]
 					case "collect":
-						row[aggIdx[j]] = graph.ListValue(g.coll[j])
+						rowVals[aggIdx[j]] = graph.ListValue(g.coll[j])
 					}
 				}
+				out.AppendRow(rowVals)
 			}
 			return out, nil
 		},
@@ -316,11 +490,127 @@ func (c *Compiled) compileGroupBy(op *ir.Op) error {
 	return nil
 }
 
+// groupTyped is the monomorphic aggregation loop: one int-family key column,
+// count/sum/avg aggregates over typed columns. Returns ok=false when the
+// batch's runtime column layout does not meet the preconditions (demoted or
+// null-carrying key, boxed aggregate argument), sending the caller to the
+// generic path.
+func groupTyped(in *Batch, aggs []ir.Aggregate, keyCol, keyOut int, aggCols, aggIdx []int, outKinds []graph.Kind) (*Batch, bool) {
+	kt := in.Col(keyCol).Typed()
+	if kt == nil || kt.HasNulls() || !intFamilyKind(kt.Kind()) {
+		return nil, false
+	}
+	type aggIn struct {
+		ints   []int64
+		floats []float64
+		col    *column.Column
+	}
+	acols := make([]aggIn, len(aggs))
+	for j := range aggs {
+		if aggCols[j] < 0 {
+			continue
+		}
+		at := in.Col(aggCols[j]).Typed()
+		if at == nil {
+			return nil, false
+		}
+		switch aggs[j].Fn {
+		case "sum", "avg":
+			switch at.Kind() {
+			case graph.KindInt:
+				acols[j].ints = at.RawInts()
+			case graph.KindFloat:
+				acols[j].floats = at.Floats()
+			default:
+				return nil, false
+			}
+		}
+		acols[j].col = at
+	}
+
+	kints := kt.RawInts()
+	sel := in.Sel()
+	n := in.Len()
+	groups := make(map[int64]int32, 64)
+	var keys []int64
+	counts := make([][]int64, len(aggs))
+	sums := make([][]float64, len(aggs))
+	for i := 0; i < n; i++ {
+		p := i
+		if sel != nil {
+			p = int(sel[i])
+		}
+		k := kints[p]
+		gi, ok := groups[k]
+		if !ok {
+			gi = int32(len(keys))
+			groups[k] = gi
+			keys = append(keys, k)
+			for j := range aggs {
+				counts[j] = append(counts[j], 0)
+				sums[j] = append(sums[j], 0)
+			}
+		}
+		for j := range aggs {
+			switch aggs[j].Fn {
+			case "count":
+				if acols[j].col == nil || !acols[j].col.NullAt(p) {
+					counts[j][gi]++
+				}
+			case "sum", "avg":
+				// NULL payload slots read as zero, matching boxed
+				// Value.Float() of NULL; the count still advances, exactly
+				// like the generic accumulator.
+				counts[j][gi]++
+				if acols[j].ints != nil {
+					if !acols[j].col.NullAt(p) {
+						sums[j][gi] += float64(acols[j].ints[p])
+					}
+				} else if !acols[j].col.NullAt(p) {
+					sums[j][gi] += acols[j].floats[p]
+				}
+			}
+		}
+	}
+
+	out := NewBatchKinds(outKinds, 0)
+	kk := kt.Kind()
+	okc := out.Col(keyOut)
+	for _, k := range keys {
+		okc.AppendValue(intFamilyValue(kk, k))
+	}
+	for j, a := range aggs {
+		oc := out.Col(aggIdx[j])
+		switch a.Fn {
+		case "count":
+			for gi := range keys {
+				oc.AppendValue(graph.IntValue(counts[j][gi]))
+			}
+		case "sum":
+			for gi := range keys {
+				oc.AppendValue(graph.FloatValue(sums[j][gi]))
+			}
+		case "avg":
+			for gi := range keys {
+				if counts[j][gi] == 0 {
+					oc.AppendValue(graph.NullValue)
+				} else {
+					oc.AppendValue(graph.FloatValue(sums[j][gi] / float64(counts[j][gi])))
+				}
+			}
+		}
+	}
+	out.rows = len(keys)
+	return out, true
+}
+
 // compileDedup removes duplicates over the key aliases, keeping the first
 // occurrence. Keys are hashed graph.Values with Equal-checked collision
-// buckets, like GROUP.
+// buckets, like GROUP; surviving rows materialize with one typed gather per
+// column.
 func (c *Compiled) compileDedup(op *ir.Op) error {
 	width := c.numCols
+	kinds := c.kindsSnapshot()
 	aliases := op.DedupAliases
 	idxs := make([]int, len(aliases))
 	for i, a := range aliases {
@@ -333,20 +623,23 @@ func (c *Compiled) compileDedup(op *ir.Op) error {
 	c.Stages = append(c.Stages, Stage{
 		Name:    "DEDUP",
 		InWidth: width, OutWidth: width,
+		OutKinds: kinds,
 		Blocking: func(env *Env, in *Batch) (*Batch, error) {
 			seen := map[uint64][][]graph.Value{}
-			out := NewBatch(width, in.Len())
+			var kept []int32
+			//lint:allow valuebox per-row key scratch; retained copies below are per distinct row
+			kv := make([]graph.Value, len(idxs))
 			for i := 0; i < in.Len(); i++ {
-				row := in.Row(i)
 				h := graph.HashSeed
-				for _, ix := range idxs {
-					h = row[ix].Hash(h)
+				for j, ix := range idxs {
+					kv[j] = in.Value(i, ix)
+					h = kv[j].Hash(h)
 				}
 				dup := false
 				for _, cand := range seen[h] {
 					match := true
-					for j, ix := range idxs {
-						if !row[ix].Equal(cand[j]) {
+					for j := range idxs {
+						if !kv[j].Equal(cand[j]) {
 							match = false
 							break
 						}
@@ -359,14 +652,16 @@ func (c *Compiled) compileDedup(op *ir.Op) error {
 				if dup {
 					continue
 				}
-				//lint:allow valuebox retained per distinct row in the dedup set; row views into the arena would dangle across batches
-				key := make([]graph.Value, len(idxs))
-				for j, ix := range idxs {
-					key[j] = row[ix]
-				}
+				//lint:allow valuebox retained per distinct row in the dedup set; column views would dangle across batches
+				key := append([]graph.Value(nil), kv...)
 				seen[h] = append(seen[h], key)
-				out.AppendFrom(row)
+				kept = append(kept, int32(in.physRow(i)))
 			}
+			out := NewBatchKinds(kinds, 0)
+			for c := range out.cols {
+				out.cols[c].appendRows(&in.cols[c], kept)
+			}
+			out.rows = len(kept)
 			return out, nil
 		},
 	})
@@ -390,14 +685,16 @@ func (c *Compiled) compileMatch(op *ir.Op, first bool) error {
 	}
 	// Bind the first source via full scan.
 	start := pattern[0].SrcAlias
-	idx0 := c.addCol(start)
+	idx0 := c.addColK(start, graph.KindVertex, pattern[0].SrcLabel)
 	width0 := c.numCols
+	kinds0 := c.kindsSnapshot()
 	label0 := pattern[0].SrcLabel
 	c.Stages = append(c.Stages, Stage{
 		Name:     "MATCH_SCAN(" + start + ")",
 		OutWidth: width0,
+		OutKinds: kinds0,
 		Source: func(env *Env, emit EmitBatch) error {
-			out := newSourceBuffer(width0, env, emit)
+			out := newSourceBuffer(kinds0, env, emit)
 			buf := make([]graph.VID, env.EffectiveBatchSize())
 			var scanErr error
 			grin.ScanLabelBatches(env.Graph, label0, buf, func(vs []graph.VID) bool {
@@ -406,9 +703,14 @@ func (c *Compiled) compileMatch(op *ir.Op, first bool) error {
 					scanErr = err
 					return false
 				}
-				for _, v := range vs {
-					row := out.appendRow()
-					row[idx0] = graph.VertexValue(v)
+				for len(vs) > 0 {
+					take := out.bs - out.b.Len()
+					if take > len(vs) {
+						take = len(vs)
+					}
+					out.b.cols[idx0].appendVIDs(vs[:take])
+					out.b.rows += take
+					vs = vs[take:]
 					if err := out.flushIfFull(); err != nil {
 						scanErr = err
 						return false
@@ -485,26 +787,21 @@ func (c *Compiled) compileAdjacencyCheck(pe ir.PatternEdge) error {
 	inWidth := c.numCols
 	eIdx := -1
 	if pe.EdgeAlias != "" {
-		eIdx = c.addCol(pe.EdgeAlias)
+		eIdx = c.addColK(pe.EdgeAlias, graph.KindEdge, pe.EdgeLabel)
 	}
 	width := c.numCols
 	elabel, dir := pe.EdgeLabel, pe.Dir
 	c.Stages = append(c.Stages, Stage{
 		Name:    "ADJ_CHECK(" + pe.SrcAlias + "," + pe.DstAlias + ")",
 		InWidth: inWidth, OutWidth: width,
+		OutKinds: c.kindsSnapshot(),
 		Map: func(env *Env, in, out *Batch) error {
 			// Batched verification: expand the whole src column once, then
 			// probe each row's slot range for its dst endpoint.
 			pr, _ := grin.AsPropertyReader(env.Graph)
 			s := expandPool.Get().(*expandScratch)
 			defer expandPool.Put(s)
-			s.frontier, s.rows = s.frontier[:0], s.rows[:0]
-			for i := 0; i < in.Len(); i++ {
-				if src := in.Value(i, srcIdx).Vertex(); src != graph.NilVID {
-					s.frontier = append(s.frontier, src)
-					s.rows = append(s.rows, int32(i))
-				}
-			}
+			s.frontier, s.rows = frontierFrom(in, srcIdx, s.frontier[:0], s.rows[:0])
 			if len(s.frontier) == 0 {
 				return nil
 			}
@@ -515,9 +812,10 @@ func (c *Compiled) compileAdjacencyCheck(pe ir.PatternEdge) error {
 				grin.GatherEdgeLabels(env.Graph, s.adj.Edges, s.elabels)
 				eLabs = s.elabels
 			}
+			s.ts, s.srcRows = s.ts[:0], s.srcRows[:0]
+			dcol := in.Col(dstIdx)
 			for fi, ri := range s.rows {
-				row := in.Row(int(ri))
-				dst := row[dstIdx].Vertex()
+				dst := dcol.Value(int(ri)).Vertex()
 				lo, hi := s.adj.Range(fi)
 				for t := lo; t < hi; t++ {
 					if s.adj.Nbrs[t] != dst {
@@ -526,15 +824,18 @@ func (c *Compiled) compileAdjacencyCheck(pe ir.PatternEdge) error {
 					if eLabs != nil && eLabs[t] != elabel {
 						continue
 					}
-					if eIdx >= 0 {
-						o := out.AppendFrom(row)
-						o[eIdx] = graph.EdgeValue(s.adj.Edges[t])
-						continue // emit every matching parallel edge
+					s.ts = append(s.ts, int32(t))
+					s.srcRows = append(s.srcRows, ri)
+					if eIdx < 0 {
+						break // existence is enough
 					}
-					out.AppendFrom(row)
-					break // existence is enough
+					// emit every matching parallel edge
 				}
 			}
+			if len(s.srcRows) == 0 {
+				return nil
+			}
+			emitExpanded(out, in, s.srcRows, s.ts, &s.adj, -1, eIdx)
 			return nil
 		},
 	})
@@ -600,15 +901,19 @@ func ChunkFeed(in *Batch, batchSize int) func(EmitBatch) error {
 	}
 }
 
-// runSegmentSerial drives one pipeline segment (a feed plus a run of Map
-// stages) to completion, gathering output rows. Per-stage buffers are reused
-// across batches. When stopAfter > 0 (a LIMIT follows the segment) the feed
-// is stopped via ErrStop as soon as enough rows are gathered.
-func runSegmentSerial(env *Env, seg []Stage, feed func(EmitBatch) error, outWidth, stopAfter int) (*Batch, error) {
-	acc := NewBatch(outWidth, 0)
+// runSegmentSerial drives one pipeline segment (a feed plus a run of Map and
+// Filter stages) to completion, gathering output rows. Per-Map-stage buffers
+// are reused across batches; Filter stages run in place on the current batch,
+// installing selection vectors the downstream stages and the final compacting
+// AppendBatch consume. When stopAfter > 0 (a LIMIT follows the segment) the
+// feed is stopped via ErrStop as soon as enough rows are gathered.
+func runSegmentSerial(env *Env, seg []Stage, feed func(EmitBatch) error, kinds []graph.Kind, stopAfter int) (*Batch, error) {
+	acc := NewBatchKinds(kinds, 0)
 	bufs := make([]*Batch, len(seg))
-	for k, st := range seg {
-		bufs[k] = NewBatch(st.OutWidth, 0)
+	for k := range seg {
+		if seg[k].Map != nil {
+			bufs[k] = NewBatchKinds(seg[k].OutLayout(), 0)
+		}
 	}
 	emit := func(b *Batch) (bool, error) {
 		// Once-per-morsel lifecycle bookkeeping: deadline/cancellation check
@@ -618,6 +923,12 @@ func runSegmentSerial(env *Env, seg []Stage, feed func(EmitBatch) error, outWidt
 		}
 		cur := b
 		for k := range seg {
+			if seg[k].Filter != nil {
+				if err := seg[k].RunFilter(env, cur); err != nil {
+					return false, err
+				}
+				continue
+			}
 			buf := bufs[k]
 			buf.Reset()
 			if err := seg[k].RunMap(env, cur, buf); err != nil {
@@ -638,14 +949,14 @@ func runSegmentSerial(env *Env, seg []Stage, feed func(EmitBatch) error, outWidt
 }
 
 // SegmentRunner executes one pipeline segment: a feed of morsel-sized
-// batches through a run of Map stages, gathering output of the given width.
-// When stopAfter > 0 the runner may stop the feed (via ErrStop) once the
-// in-order output prefix holds that many rows.
-type SegmentRunner func(env *Env, seg []Stage, feed func(EmitBatch) error, width, stopAfter int) (*Batch, error)
+// batches through a run of Map/Filter stages, gathering output with the
+// given column layout. When stopAfter > 0 the runner may stop the feed (via
+// ErrStop) once the in-order output prefix holds that many rows.
+type SegmentRunner func(env *Env, seg []Stage, feed func(EmitBatch) error, kinds []graph.Kind, stopAfter int) (*Batch, error)
 
 // Drive walks the compiled plan, cutting it into pipeline segments (the
-// source, or the previous barrier's output, feeding a run of Map stages) and
-// barriers, delegating segment execution to run. It is the single
+// source, or the previous barrier's output, feeding a run of Map/Filter
+// stages) and barriers, delegating segment execution to run. It is the single
 // segmentation and morsel-partitioning authority, shared by the serial
 // driver and Gaia, so both evaluate the row stream in identical units.
 //
@@ -669,12 +980,12 @@ func (c *Compiled) Drive(ctx context.Context, env *Env, run SegmentRunner) (*Bat
 		}
 		st := stages[i]
 		switch {
-		case st.Source != nil || st.Map != nil:
+		case st.Source != nil || st.Map != nil || st.Filter != nil:
 			j := i
 			if st.Source != nil {
 				j++
 			}
-			for j < len(stages) && stages[j].Map != nil {
+			for j < len(stages) && (stages[j].Map != nil || stages[j].Filter != nil) {
 				j++
 			}
 			stopAfter := 0
@@ -691,12 +1002,12 @@ func (c *Compiled) Drive(ctx context.Context, env *Env, run SegmentRunner) (*Bat
 				seg = stages[i:j]
 				feed = ChunkFeed(acc, morsel)
 			}
-			width := st.OutWidth
+			kinds := st.OutLayout()
 			if len(seg) > 0 {
-				width = seg[len(seg)-1].OutWidth
+				kinds = seg[len(seg)-1].OutLayout()
 			}
 			var err error
-			acc, err = run(env, seg, feed, width, stopAfter)
+			acc, err = run(env, seg, feed, kinds, stopAfter)
 			if err != nil {
 				return nil, err
 			}

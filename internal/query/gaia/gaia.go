@@ -73,7 +73,13 @@ func (e *Engine) SubmitWith(ctx context.Context, p *ir.Plan, params map[string]g
 	if err != nil {
 		return nil, nil, err
 	}
-	c, err := exec.Compile(phys, exec.Options{})
+	copts := exec.Options{}
+	if pr, ok := grin.AsPropertyReader(e.g); ok {
+		// With the catalog schema the compiler types batch columns and
+		// compiles predicate kernels; without it every column is boxed.
+		copts.Schema = pr.Schema()
+	}
+	c, err := exec.Compile(phys, copts)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -93,7 +99,12 @@ func (e *Engine) RunCompiled(ctx context.Context, c *exec.Compiled, params map[s
 	if err != nil {
 		return nil, err
 	}
-	return acc.Rows(), nil
+	rows := acc.Rows()
+	// The final accumulator's payload arrays go back to the pool once the
+	// result is materialized — large results otherwise re-grow a fresh
+	// accumulator from zero on every query.
+	e.pool.Put(acc)
+	return rows, nil
 }
 
 // seqBatch tags a batch with its position in the input stream.
@@ -110,10 +121,10 @@ type seqBatch struct {
 // worker fails, and the query's own deadline/cancellation propagates through
 // the same channel — the producer unblocks via ErrStop, workers drain, and
 // no goroutine is ever left behind on any path.
-func (e *Engine) parallelSegment(env *exec.Env, seg []exec.Stage, feed func(exec.EmitBatch) error, width, stopAfter int) (*exec.Batch, error) {
+func (e *Engine) parallelSegment(env *exec.Env, seg []exec.Stage, feed func(exec.EmitBatch) error, kinds []graph.Kind, stopAfter int) (*exec.Batch, error) {
 	if len(seg) == 0 {
 		// No transforms: drain the feed directly.
-		acc := exec.NewBatch(width, 0)
+		acc := e.pool.Get(kinds, 0)
 		err := feed(func(b *exec.Batch) (bool, error) {
 			if err := env.ChargeRows(b.Len()); err != nil {
 				return false, err
@@ -170,12 +181,38 @@ func (e *Engine) parallelSegment(env *exec.Env, seg []exec.Stage, feed func(exec
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			// Intermediate buffers are per-worker and reused per batch; the
-			// final stage's output is handed to the collector, drawn from
-			// the engine's batch pool and recycled once appended.
-			bufs := make([]*exec.Batch, len(seg)-1)
-			for k := range bufs {
-				bufs[k] = exec.NewBatch(seg[k].OutWidth, 0)
+			// Intermediate Map buffers are per-worker and reused per batch;
+			// the last Map stage's output is handed to the collector, drawn
+			// from the engine's batch pool and recycled once appended.
+			// Filter stages transform nothing — they install selection
+			// vectors in place on whatever batch is current (the morsel view
+			// itself in an all-filter segment; views are safe to narrow
+			// because the producer never reuses an emitted batch).
+			lastMap := -1
+			for k := range seg {
+				if seg[k].Map != nil {
+					lastMap = k
+				}
+			}
+			// Intermediate buffers come from the engine pool too: workers are
+			// fresh goroutines per query, and unpooled buffers would re-grow
+			// their column payloads from zero on every query.
+			bufs := make([]*exec.Batch, len(seg))
+			for k := range seg {
+				if seg[k].Map != nil && k != lastMap {
+					bufs[k] = e.pool.Get(seg[k].OutLayout(), 0)
+				}
+			}
+			defer func() {
+				for _, buf := range bufs {
+					if buf != nil {
+						e.pool.Put(buf)
+					}
+				}
+			}()
+			var lastLayout []graph.Kind
+			if lastMap >= 0 {
+				lastLayout = seg[lastMap].OutLayout()
 			}
 			for sb := range in {
 				// Per-morsel lifecycle check: deadline, cancellation, and the
@@ -185,31 +222,42 @@ func (e *Engine) parallelSegment(env *exec.Env, seg []exec.Stage, feed func(exec
 					continue // keep draining so the producer unblocks
 				}
 				cur := sb.b
+				var pooled *exec.Batch
 				failed := false
 				for k := range seg {
+					// RunMap/RunFilter isolate operator/storage panics into
+					// typed errors, so one poisoned morsel fails this query
+					// only.
+					if seg[k].Filter != nil {
+						if err := seg[k].RunFilter(env, cur); err != nil {
+							fail(err)
+							failed = true
+							break
+						}
+						continue
+					}
 					var dst *exec.Batch
-					if k < len(bufs) {
+					if k == lastMap {
+						// The last Map output is handed to the collector;
+						// draw its arena from the engine pool instead of
+						// allocating one per morsel.
+						dst = e.pool.Get(lastLayout, cur.Len())
+						pooled = dst
+					} else {
 						dst = bufs[k]
 						dst.Reset()
-					} else {
-						// The final stage's output is handed to the
-						// collector; draw its arena from the engine pool
-						// instead of allocating one per morsel.
-						dst = e.pool.Get(seg[k].OutWidth, cur.Len())
 					}
-					// RunMap isolates operator/storage panics into typed
-					// errors, so one poisoned morsel fails this query only.
 					if err := seg[k].RunMap(env, cur, dst); err != nil {
 						fail(err)
 						failed = true
-						if k == len(bufs) {
-							e.pool.Put(dst)
-						}
 						break
 					}
 					cur = dst
 				}
 				if failed {
+					if pooled != nil {
+						e.pool.Put(pooled)
+					}
 					continue // keep draining so the producer unblocks
 				}
 				// Always deliver: the collector drains results until every
@@ -225,8 +273,10 @@ func (e *Engine) parallelSegment(env *exec.Env, seg []exec.Stage, feed func(exec
 		close(results)
 	}()
 
-	// Collector: reassemble in input-sequence order.
-	acc := exec.NewBatch(width, 0)
+	// Collector: reassemble in input-sequence order. AppendBatch compacts
+	// any selection the segment's trailing filters installed; Put drops
+	// view batches (their payloads belong to the producer).
+	acc := e.pool.Get(kinds, 0)
 	pending := map[int]*exec.Batch{}
 	next := 0
 	limitDone := false

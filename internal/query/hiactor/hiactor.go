@@ -150,6 +150,18 @@ func (e *Engine) Close() {
 	e.wg.Wait()
 }
 
+// compileOptions captures the current snapshot's schema so compiled plans
+// carry typed column layouts. A precompiled plan may later run against a
+// newer snapshot; the kinds are hints — runtime mismatches demote to boxed
+// columns, never misread payloads.
+func (e *Engine) compileOptions() exec.Options {
+	opts := exec.Options{}
+	if pr, ok := grin.AsPropertyReader(e.provider()); ok {
+		opts.Schema = pr.Schema()
+	}
+	return opts
+}
+
 // Install compiles and registers a stored procedure under a name. The plan
 // is optimized once; Call then binds parameters per invocation — the
 // parameterized-query pattern of §2.3.
@@ -158,7 +170,7 @@ func (e *Engine) Install(name string, p *ir.Plan) error {
 	if err != nil {
 		return err
 	}
-	c, err := exec.Compile(phys, exec.Options{})
+	c, err := exec.Compile(phys, e.compileOptions())
 	if err != nil {
 		return err
 	}
@@ -197,7 +209,7 @@ func (e *Engine) Submit(ctx context.Context, p *ir.Plan, params map[string]graph
 	if err != nil {
 		return nil, nil, err
 	}
-	c, err := exec.Compile(phys, exec.Options{})
+	c, err := exec.Compile(phys, e.compileOptions())
 	if err != nil {
 		return nil, nil, err
 	}

@@ -31,7 +31,13 @@ func Run(ctx context.Context, p *ir.Plan, g grin.Graph, params map[string]graph.
 
 // RunWith interprets a logical plan serially with explicit options.
 func RunWith(ctx context.Context, p *ir.Plan, g grin.Graph, params map[string]graph.Value, o Options) ([]exec.Row, []string, error) {
-	c, err := exec.Compile(p, exec.Options{NoIndexLookup: true})
+	copts := exec.Options{NoIndexLookup: true}
+	if pr, ok := grin.AsPropertyReader(g); ok {
+		// The schema types batch columns and predicate kernels; the baseline
+		// still skips every plan-level optimization.
+		copts.Schema = pr.Schema()
+	}
+	c, err := exec.Compile(p, copts)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -42,6 +42,12 @@ func benchGaia(b *testing.B, q string, params map[string]graph.Value) {
 		b.Fatal(err)
 	}
 	eng := gaia.NewEngine(st, gaia.Options{Parallelism: 4})
+	// One untimed warmup run: lets the engine's batch pools and the heap
+	// reach steady state so short -benchtime runs measure the same regime as
+	// long ones.
+	if _, _, err := eng.Submit(context.Background(), plan, params); err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

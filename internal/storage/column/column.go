@@ -1,7 +1,8 @@
 // Package column implements typed property columns shared by the storage
-// backends (Vineyard, GART, GraphAr). A column stores one property of one
-// label in a dense, cache-friendly array keyed by row index, with an optional
-// null bitmap.
+// backends (Vineyard, GART, GraphAr) and the query runtime's batch vectors. A
+// column stores one property of one label — or one operator-pipeline column —
+// in a dense, cache-friendly array keyed by row index, with a lazy null
+// bitmap.
 package column
 
 import (
@@ -10,8 +11,13 @@ import (
 	"repro/internal/graph"
 )
 
-// Column is a typed dense array of property values. The zero Column is not
-// usable; construct with New.
+// Column is a typed dense array of property values. Int, vertex and edge
+// payloads share the int64 array (a VID/EID is its 32-bit ID widened), so
+// every fixed-width kind is an 8-byte pointer-free element the GC never
+// scans. The null bitmap is lazy twice over: nil until the first NULL, and
+// allowed to be shorter than the row count — rows past its end are non-null —
+// so typed appends never maintain it. The zero Column is not usable;
+// construct with New or Reset.
 type Column struct {
 	kind graph.Kind
 
@@ -19,7 +25,7 @@ type Column struct {
 	floats  []float64
 	strs    []string
 	bools   []bool
-	nulls   []bool // parallel; nil until first null appended
+	nulls   []bool // lazy prefix; len(nulls) <= numRows, missing rows are non-null
 	numRows int
 }
 
@@ -34,19 +40,31 @@ func (c *Column) Kind() graph.Kind { return c.kind }
 // Len returns the number of rows.
 func (c *Column) Len() int { return c.numRows }
 
+// Reset empties the column and retypes it to kind, keeping every payload
+// array for reuse — the pool-recycling path of the query runtime's batch
+// vectors.
+func (c *Column) Reset(kind graph.Kind) {
+	c.kind = kind
+	c.ints = c.ints[:0]
+	c.floats = c.floats[:0]
+	c.strs = c.strs[:0]
+	c.bools = c.bools[:0]
+	c.nulls = c.nulls[:0]
+	c.numRows = 0
+}
+
 // Append adds a value; NULL values of any kind are accepted, others must
 // match the column kind.
 func (c *Column) Append(v graph.Value) error {
 	if v.IsNull() {
-		c.appendZero()
-		c.markNull(c.numRows - 1)
+		c.AppendNull()
 		return nil
 	}
 	if v.K != c.kind {
 		return fmt.Errorf("column: append %v into %v column", v.K, c.kind)
 	}
 	switch c.kind {
-	case graph.KindInt:
+	case graph.KindInt, graph.KindVertex, graph.KindEdge:
 		c.ints = append(c.ints, v.I)
 	case graph.KindFloat:
 		c.floats = append(c.floats, v.F)
@@ -57,16 +75,64 @@ func (c *Column) Append(v graph.Value) error {
 	default:
 		return fmt.Errorf("column: unsupported kind %v", c.kind)
 	}
-	if c.nulls != nil {
-		c.nulls = append(c.nulls, false)
-	}
 	c.numRows++
 	return nil
 }
 
+// AppendNull appends one NULL row.
+func (c *Column) AppendNull() {
+	c.appendZero()
+	c.markNull(c.numRows - 1)
+}
+
+// AppendInt appends one int64 to an int column without boxing. The caller
+// must know the column kind; no check is performed (monomorphic hot path).
+func (c *Column) AppendInt(v int64) {
+	c.ints = append(c.ints, v)
+	c.numRows++
+}
+
+// AppendFloat appends one float64 to a float column without boxing.
+func (c *Column) AppendFloat(v float64) {
+	c.floats = append(c.floats, v)
+	c.numRows++
+}
+
+// AppendString appends one string to a string column without boxing.
+func (c *Column) AppendString(v string) {
+	c.strs = append(c.strs, v)
+	c.numRows++
+}
+
+// AppendBool appends one bool to a bool column without boxing.
+func (c *Column) AppendBool(v bool) {
+	c.bools = append(c.bools, v)
+	c.numRows++
+}
+
+// AppendVertex appends one vertex ID to a vertex column without boxing.
+func (c *Column) AppendVertex(v graph.VID) {
+	c.ints = append(c.ints, int64(v))
+	c.numRows++
+}
+
+// AppendEdge appends one edge ID to an edge column without boxing.
+func (c *Column) AppendEdge(e graph.EID) {
+	c.ints = append(c.ints, int64(e))
+	c.numRows++
+}
+
+// AppendVIDs bulk-appends a frontier chunk to a vertex column.
+func (c *Column) AppendVIDs(vs []graph.VID) {
+	for _, v := range vs {
+		c.ints = append(c.ints, int64(v))
+	}
+	c.numRows += len(vs)
+}
+
 func (c *Column) appendZero() {
 	switch c.kind {
-	case graph.KindInt:
+	case graph.KindInt, graph.KindVertex, graph.KindEdge:
 		c.ints = append(c.ints, 0)
 	case graph.KindFloat:
 		c.floats = append(c.floats, 0)
@@ -75,28 +141,42 @@ func (c *Column) appendZero() {
 	case graph.KindBool:
 		c.bools = append(c.bools, false)
 	}
-	if c.nulls != nil {
-		c.nulls = append(c.nulls, false)
-	}
 	c.numRows++
 }
 
-func (c *Column) markNull(row int) {
-	if c.nulls == nil {
-		c.nulls = make([]bool, c.numRows)
-	}
+// padNulls extends the lazy null prefix with non-null entries up to the
+// current row count (allocating the bitmap on first use).
+func (c *Column) padNulls() {
 	for len(c.nulls) < c.numRows {
 		c.nulls = append(c.nulls, false)
 	}
+}
+
+func (c *Column) markNull(row int) {
+	c.padNulls()
 	c.nulls[row] = true
 }
+
+// NullAt reports whether the row holds NULL.
+func (c *Column) NullAt(row int) bool {
+	return row < len(c.nulls) && c.nulls[row]
+}
+
+// HasNulls reports whether the column may contain NULLs (conservative: true
+// once the bitmap has been materialized). Typed kernels use it to pick the
+// bitmap-free loop.
+func (c *Column) HasNulls() bool { return len(c.nulls) > 0 }
+
+// Nulls exposes the lazy null prefix (may be shorter than Len; missing rows
+// are non-null). Monomorphic kernels consult it directly.
+func (c *Column) Nulls() []bool { return c.nulls }
 
 // Get returns the value at row; ok is false for NULL or out-of-range rows.
 func (c *Column) Get(row int) (graph.Value, bool) {
 	if row < 0 || row >= c.numRows {
 		return graph.NullValue, false
 	}
-	if c.nulls != nil && c.nulls[row] {
+	if c.NullAt(row) {
 		return graph.NullValue, false
 	}
 	switch c.kind {
@@ -108,6 +188,10 @@ func (c *Column) Get(row int) (graph.Value, bool) {
 		return graph.StringValue(c.strs[row]), true
 	case graph.KindBool:
 		return graph.BoolValue(c.bools[row]), true
+	case graph.KindVertex:
+		return graph.VertexValue(graph.VID(c.ints[row])), true
+	case graph.KindEdge:
+		return graph.EdgeValue(graph.EID(c.ints[row])), true
 	}
 	return graph.NullValue, false
 }
@@ -126,7 +210,7 @@ func (c *Column) Set(row int, v graph.Value) error {
 		return fmt.Errorf("column: set %v into %v column", v.K, c.kind)
 	}
 	switch c.kind {
-	case graph.KindInt:
+	case graph.KindInt, graph.KindVertex, graph.KindEdge:
 		c.ints[row] = v.I
 	case graph.KindFloat:
 		c.floats[row] = v.F
@@ -135,9 +219,111 @@ func (c *Column) Set(row int, v graph.Value) error {
 	case graph.KindBool:
 		c.bools[row] = v.I != 0
 	}
-	if c.nulls != nil {
+	if row < len(c.nulls) {
 		c.nulls[row] = false
 	}
+	return nil
+}
+
+// Truncate keeps the first n rows.
+func (c *Column) Truncate(n int) {
+	switch c.kind {
+	case graph.KindInt, graph.KindVertex, graph.KindEdge:
+		c.ints = c.ints[:n]
+	case graph.KindFloat:
+		c.floats = c.floats[:n]
+	case graph.KindString:
+		c.strs = c.strs[:n]
+	case graph.KindBool:
+		c.bools = c.bools[:n]
+	}
+	if len(c.nulls) > n {
+		c.nulls = c.nulls[:n]
+	}
+	c.numRows = n
+}
+
+// Slice returns a read-only view of rows [lo, hi) sharing the payload
+// arrays. The view must not be appended to, and the parent must stay alive
+// while the view circulates — the batch-view contract of the query runtime.
+func (c *Column) Slice(lo, hi int) Column {
+	out := Column{kind: c.kind, numRows: hi - lo}
+	switch c.kind {
+	case graph.KindInt, graph.KindVertex, graph.KindEdge:
+		out.ints = c.ints[lo:hi:hi]
+	case graph.KindFloat:
+		out.floats = c.floats[lo:hi:hi]
+	case graph.KindString:
+		out.strs = c.strs[lo:hi:hi]
+	case graph.KindBool:
+		out.bools = c.bools[lo:hi:hi]
+	}
+	if lo < len(c.nulls) {
+		end := hi
+		if end > len(c.nulls) {
+			end = len(c.nulls)
+		}
+		out.nulls = c.nulls[lo:end:end]
+	}
+	return out
+}
+
+// AppendAll bulk-appends every row of src (same kind) — the dense batch
+// concatenation path; payloads copy as flat slices.
+func (c *Column) AppendAll(src *Column) error {
+	if src.kind != c.kind {
+		return fmt.Errorf("column: append %v column into %v column", src.kind, c.kind)
+	}
+	if len(src.nulls) > 0 {
+		c.padNulls()
+		c.nulls = append(c.nulls, src.nulls...)
+	}
+	switch c.kind {
+	case graph.KindInt, graph.KindVertex, graph.KindEdge:
+		c.ints = append(c.ints, src.ints...)
+	case graph.KindFloat:
+		c.floats = append(c.floats, src.floats...)
+	case graph.KindString:
+		c.strs = append(c.strs, src.strs...)
+	case graph.KindBool:
+		c.bools = append(c.bools, src.bools...)
+	}
+	c.numRows += src.numRows
+	return nil
+}
+
+// AppendRows gather-appends src's rows at the given indexes (same kind) —
+// the selection-vector compaction path. The kind switch is hoisted out of
+// the row loop, so the copy touches only the typed payload array.
+func (c *Column) AppendRows(src *Column, rows []int32) error {
+	if src.kind != c.kind {
+		return fmt.Errorf("column: append %v column into %v column", src.kind, c.kind)
+	}
+	if len(src.nulls) > 0 {
+		c.padNulls()
+		for _, r := range rows {
+			c.nulls = append(c.nulls, src.NullAt(int(r)))
+		}
+	}
+	switch c.kind {
+	case graph.KindInt, graph.KindVertex, graph.KindEdge:
+		for _, r := range rows {
+			c.ints = append(c.ints, src.ints[r])
+		}
+	case graph.KindFloat:
+		for _, r := range rows {
+			c.floats = append(c.floats, src.floats[r])
+		}
+	case graph.KindString:
+		for _, r := range rows {
+			c.strs = append(c.strs, src.strs[r])
+		}
+	case graph.KindBool:
+		for _, r := range rows {
+			c.bools = append(c.bools, src.bools[r])
+		}
+	}
+	c.numRows += len(rows)
 	return nil
 }
 
@@ -147,7 +333,7 @@ func (c *Column) Set(row int, v graph.Value) error {
 // path behind the grin.BatchProps trait.
 func (c *Column) Gather(rows []int, out []graph.Value) {
 	ok := func(r int) bool {
-		return r >= 0 && r < c.numRows && (c.nulls == nil || !c.nulls[r])
+		return r >= 0 && r < c.numRows && !c.NullAt(r)
 	}
 	switch c.kind {
 	case graph.KindInt:
@@ -182,10 +368,43 @@ func (c *Column) Gather(rows []int, out []graph.Value) {
 				out[i] = graph.NullValue
 			}
 		}
+	case graph.KindVertex:
+		for i, r := range rows {
+			if ok(r) {
+				out[i] = graph.Value{K: graph.KindVertex, I: c.ints[r]}
+			} else {
+				out[i] = graph.NullValue
+			}
+		}
+	case graph.KindEdge:
+		for i, r := range rows {
+			if ok(r) {
+				out[i] = graph.Value{K: graph.KindEdge, I: c.ints[r]}
+			} else {
+				out[i] = graph.NullValue
+			}
+		}
 	default:
 		for i := range rows {
 			out[i] = graph.NullValue
 		}
+	}
+}
+
+// GatherSel fills out[i] with the value at rows[i] — Gather over a
+// selection vector. A nil rows gathers the whole column densely into
+// out[0:Len].
+func (c *Column) GatherSel(rows []int32, out []graph.Value) {
+	if rows == nil {
+		for i := 0; i < c.numRows; i++ {
+			v, _ := c.Get(i)
+			out[i] = v
+		}
+		return
+	}
+	for i, r := range rows {
+		v, _ := c.Get(int(r))
+		out[i] = v
 	}
 }
 
@@ -206,12 +425,31 @@ func (c *Column) Ints() []int64 {
 	return c.ints
 }
 
+// RawInts exposes the shared int64 payload of every fixed-width int-family
+// kind (int, vertex, edge); nil otherwise. Monomorphic kernels and frontier
+// loops read it directly.
+func (c *Column) RawInts() []int64 {
+	switch c.kind {
+	case graph.KindInt, graph.KindVertex, graph.KindEdge:
+		return c.ints
+	}
+	return nil
+}
+
 // Strings exposes the raw string payload; nil for non-string columns.
 func (c *Column) Strings() []string {
 	if c.kind != graph.KindString {
 		return nil
 	}
 	return c.strs
+}
+
+// Bools exposes the raw bool payload; nil for non-bool columns.
+func (c *Column) Bools() []bool {
+	if c.kind != graph.KindBool {
+		return nil
+	}
+	return c.bools
 }
 
 // Set builds a column set from property definitions.

@@ -133,3 +133,117 @@ func TestSetAndAppendRow(t *testing.T) {
 		t.Fatal("kind mismatch row accepted")
 	}
 }
+
+// TestLazyNullBitmapPromotion: the null bitmap must not exist until the first
+// NULL lands, and must backfill the dense prefix exactly when it does.
+func TestLazyNullBitmapPromotion(t *testing.T) {
+	col := New(graph.KindInt)
+	for i := 0; i < 5; i++ {
+		col.AppendInt(int64(i))
+	}
+	if col.HasNulls() || col.Nulls() != nil {
+		t.Fatal("bitmap materialized before any NULL")
+	}
+	col.AppendNull()
+	if !col.HasNulls() {
+		t.Fatal("bitmap missing after NULL")
+	}
+	if got := len(col.Nulls()); got != 6 {
+		t.Fatalf("bitmap length %d, want 6 (dense prefix backfilled)", got)
+	}
+	for i := 0; i < 5; i++ {
+		if col.NullAt(i) {
+			t.Fatalf("backfilled row %d marked NULL", i)
+		}
+	}
+	if !col.NullAt(5) {
+		t.Fatal("NULL row not marked")
+	}
+	// Appends after promotion may leave the bitmap short — the lazy suffix is
+	// implicitly non-null.
+	col.AppendInt(99)
+	if col.NullAt(6) {
+		t.Fatal("lazy suffix row reported NULL")
+	}
+	if v, ok := col.Get(6); !ok || v.Int() != 99 {
+		t.Fatalf("row after promotion: %v ok=%v", v, ok)
+	}
+}
+
+// TestZeroLengthGathers: empty gathers over empty and non-empty columns must
+// be no-ops on every path.
+func TestZeroLengthGathers(t *testing.T) {
+	col := New(graph.KindString)
+	col.Gather(nil, nil)
+	col.Gather([]int{}, []graph.Value{})
+	col.GatherSel([]int32{}, nil)
+	col.GatherSel(nil, nil) // dense gather of an empty column
+	dst := New(graph.KindString)
+	if err := dst.AppendRows(col, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.AppendAll(col); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() != 0 {
+		t.Fatalf("zero-length appends grew the column to %d", dst.Len())
+	}
+	_ = col.Append(graph.StringValue("x"))
+	if err := dst.AppendRows(col, []int32{}); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() != 0 {
+		t.Fatal("empty selection append copied rows")
+	}
+}
+
+// TestSelectionGatherOverNulls: gathering through a selection vector must
+// carry NULLs row-accurately, including rows beyond a short lazy bitmap.
+func TestSelectionGatherOverNulls(t *testing.T) {
+	col := New(graph.KindInt)
+	_ = col.Append(graph.IntValue(10))
+	col.AppendNull()
+	_ = col.Append(graph.IntValue(30))
+	col.AppendInt(40) // lazy suffix: bitmap stays at 2 entries
+
+	sel := []int32{3, 1, 0}
+	out := make([]graph.Value, len(sel))
+	col.GatherSel(sel, out)
+	if out[0].Int() != 40 || !out[1].IsNull() || out[2].Int() != 10 {
+		t.Fatalf("GatherSel over nulls: %v", out)
+	}
+
+	dst := New(graph.KindInt)
+	if err := dst.AppendRows(col, sel); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() != 3 {
+		t.Fatalf("AppendRows len %d", dst.Len())
+	}
+	if v, ok := dst.Get(0); !ok || v.Int() != 40 {
+		t.Fatalf("gathered row 0: %v ok=%v", v, ok)
+	}
+	if !dst.NullAt(1) {
+		t.Fatal("gathered NULL lost")
+	}
+	if v, ok := dst.Get(2); !ok || v.Int() != 10 {
+		t.Fatalf("gathered row 2: %v ok=%v", v, ok)
+	}
+}
+
+// TestBulkAppendKindMismatch: the bulk append paths must reject cross-kind
+// sources instead of silently reinterpreting payloads.
+func TestBulkAppendKindMismatch(t *testing.T) {
+	ints := New(graph.KindInt)
+	_ = ints.Append(graph.IntValue(1))
+	strs := New(graph.KindString)
+	if err := strs.AppendAll(ints); err == nil {
+		t.Fatal("AppendAll kind mismatch accepted")
+	}
+	if err := strs.AppendRows(ints, []int32{0}); err == nil {
+		t.Fatal("AppendRows kind mismatch accepted")
+	}
+	if strs.Len() != 0 {
+		t.Fatal("failed append mutated the column")
+	}
+}

@@ -3,11 +3,13 @@ package vineyard
 import (
 	"repro/internal/graph"
 	"repro/internal/grin"
+	"repro/internal/storage/column"
 )
 
 var (
 	_ grin.BatchAdjacency = (*Store)(nil)
 	_ grin.BatchProps     = (*Store)(nil)
+	_ grin.BatchPropsCol  = (*Store)(nil)
 	_ grin.BatchScan      = (*Store)(nil)
 )
 
@@ -111,6 +113,90 @@ func (st *Store) GatherEdgeProp(es []graph.EID, prop string, out []graph.Value) 
 		st.ecols[l][pid].Gather(rows, out[i:j])
 		i = j
 	}
+}
+
+// GatherVertexPropCol implements grin.BatchPropsCol: the same label-run walk
+// as GatherVertexProp, but each run gather-appends the store column's typed
+// payload straight into dst via column.AppendRows — no graph.Value box in
+// between. Any kind mismatch restores dst to its entry length and returns
+// false so the caller falls back to the boxed gather.
+func (st *Store) GatherVertexPropCol(vs []graph.VID, prop string, dst *column.Column) bool {
+	start := dst.Len()
+	var rows []int32
+	for i := 0; i < len(vs); {
+		if vs[i] == graph.NilVID {
+			dst.AppendNull()
+			i++
+			continue
+		}
+		l := st.VertexLabel(vs[i])
+		lo, hi := st.labelStart[l], st.labelEnd(l)
+		j := i + 1
+		for j < len(vs) && vs[j] != graph.NilVID && vs[j] >= lo && vs[j] < hi {
+			j++
+		}
+		pid := st.schema.VertexPropID(l, prop)
+		if pid == graph.NoProp {
+			for k := i; k < j; k++ {
+				dst.AppendNull()
+			}
+			i = j
+			continue
+		}
+		if cap(rows) < j-i {
+			rows = make([]int32, j-i)
+		}
+		rows = rows[:j-i]
+		for k := i; k < j; k++ {
+			rows[k-i] = int32(vs[k] - lo)
+		}
+		if err := dst.AppendRows(st.vcols[l][pid], rows); err != nil {
+			dst.Truncate(start)
+			return false
+		}
+		i = j
+	}
+	return true
+}
+
+// GatherEdgePropCol is GatherVertexPropCol for edge columns, mapping EIDs
+// through the store's per-edge row index.
+func (st *Store) GatherEdgePropCol(es []graph.EID, prop string, dst *column.Column) bool {
+	start := dst.Len()
+	var rows []int32
+	for i := 0; i < len(es); {
+		if es[i] == graph.NilEID {
+			dst.AppendNull()
+			i++
+			continue
+		}
+		l := st.elabels[es[i]]
+		j := i + 1
+		for j < len(es) && es[j] != graph.NilEID && st.elabels[es[j]] == l {
+			j++
+		}
+		pid := st.schema.EdgePropID(l, prop)
+		if pid == graph.NoProp {
+			for k := i; k < j; k++ {
+				dst.AppendNull()
+			}
+			i = j
+			continue
+		}
+		if cap(rows) < j-i {
+			rows = make([]int32, j-i)
+		}
+		rows = rows[:j-i]
+		for k := i; k < j; k++ {
+			rows[k-i] = int32(st.erow[es[k]])
+		}
+		if err := dst.AppendRows(st.ecols[l][pid], rows); err != nil {
+			dst.Truncate(start)
+			return false
+		}
+		i = j
+	}
+	return true
 }
 
 // GatherVertexLabels implements grin.BatchProps with a run-cached range
