@@ -105,3 +105,42 @@ func TestBenchDelta(t *testing.T) {
 		t.Fatalf("missing baseline: %d regressions, want 0", got)
 	}
 }
+
+// TestBenchDeltaIgnoresCounters pins that the observability counters embedded
+// in -json output are structurally invisible to -delta: a fresh run whose
+// duration cells match the baseline never warns, no matter how far the
+// stage-stats counters drifted (and a baseline written before the Counters
+// field existed still parses).
+func TestBenchDeltaIgnoresCounters(t *testing.T) {
+	dir := t.TempDir()
+	baseline := []*bench.Table{{
+		ID:       "fig7g",
+		Header:   []string{"query", "Flex", "baseline", "speedup"},
+		Rows:     [][]string{{"BI1", "1.00ms", "2.00ms", "2.0x"}},
+		Counters: map[string]float64{"rows": 100, "batches": 4, "kernel_path_ratio": 1},
+	}}
+	data, err := json.Marshal(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "baseline.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresh := []*bench.Table{{
+		ID:     "fig7g",
+		Header: []string{"query", "Flex", "baseline", "speedup"},
+		Rows:   [][]string{{"BI1", "1.00ms", "2.00ms", "2.0x"}},
+		// Wildly different counters: more rows, different ratio. Still zero
+		// regressions — counters are not duration cells.
+		Counters: map[string]float64{"rows": 9999, "batches": 128, "kernel_path_ratio": 0.1},
+	}}
+	sink, err := os.CreateTemp(dir, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	if got := benchDelta(path, fresh, sink); got != 0 {
+		t.Fatalf("benchDelta found %d regressions from counter drift, want 0", got)
+	}
+}

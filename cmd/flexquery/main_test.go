@@ -18,21 +18,29 @@ func TestValidateFlags(t *testing.T) {
 		batch   int
 		persons int
 		timeout time.Duration
+		trace   string
 		want    string // substring of the usage message; "" means valid
 	}{
 		{name: "defaults", store: "vineyard", lang: "cypher", persons: 200},
 		{name: "gart gremlin tuned", store: "gart", lang: "gremlin", par: 8, batch: 512, persons: 50, timeout: time.Second},
 		{name: "livegraph", store: "livegraph", lang: "cypher", persons: 10},
+		{name: "trace to file", store: "vineyard", lang: "cypher", persons: 200, trace: "out.json"},
 		{name: "bad store", store: "neo4j", lang: "cypher", persons: 200, want: `unknown store "neo4j"`},
 		{name: "bad lang", store: "vineyard", lang: "sparql", persons: 200, want: `unknown language "sparql"`},
 		{name: "negative par", store: "vineyard", lang: "cypher", par: -1, persons: 200, want: "-par -1"},
 		{name: "negative batch", store: "vineyard", lang: "cypher", batch: -4, persons: 200, want: "-batch -4"},
 		{name: "zero persons", store: "vineyard", lang: "cypher", persons: 0, want: "-persons 0"},
 		{name: "negative timeout", store: "vineyard", lang: "cypher", persons: 200, timeout: -time.Second, want: "-timeout -1s"},
+		// Observability flags combined with a bad store/language must be
+		// rejected by this same pre-dataset gate: a typo'd backend plus
+		// -trace or -explain cannot cost an SNB build before failing.
+		{name: "trace with bad store", store: "neo4j", lang: "cypher", persons: 200, trace: "out.json", want: `unknown store "neo4j"`},
+		{name: "trace with bad lang", store: "vineyard", lang: "sparql", persons: 200, trace: "out.json", want: `unknown language "sparql"`},
+		{name: "trace to directory", store: "vineyard", lang: "cypher", persons: 200, trace: ".", want: `-trace "." is a directory`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			got := validateFlags(tc.store, tc.lang, tc.par, tc.batch, tc.persons, tc.timeout)
+			got := validateFlags(tc.store, tc.lang, tc.par, tc.batch, tc.persons, tc.timeout, tc.trace)
 			if tc.want == "" {
 				if got != "" {
 					t.Fatalf("validateFlags = %q, want valid", got)
@@ -49,7 +57,7 @@ func TestValidateFlags(t *testing.T) {
 // TestUsageLineMentionsEveryFlag keeps the usage message in sync with the
 // flags main registers — a new knob must show up in the error users see.
 func TestUsageLineMentionsEveryFlag(t *testing.T) {
-	for _, f := range []string{"-persons", "-lang", "-store", "-par", "-batch", "-timeout", "-explain"} {
+	for _, f := range []string{"-persons", "-lang", "-store", "-par", "-batch", "-timeout", "-explain", "-trace"} {
 		if !strings.Contains(usageLine, f) {
 			t.Errorf("usage line does not mention %s: %q", f, usageLine)
 		}

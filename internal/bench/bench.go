@@ -10,6 +10,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"repro/internal/query/obsv"
 )
 
 // Table is one experiment's result, printable in paper-table form.
@@ -19,6 +21,12 @@ type Table struct {
 	Header []string
 	Rows   [][]string
 	Notes  []string
+	// Counters carries stage-stats observability counters for the
+	// experiment's workload (result rows, batches, kernel-path ratio, ...),
+	// collected from a separate observed run so the timed cells stay on the
+	// disabled fast path. flexbench -json embeds them; -delta compares only
+	// duration cells, so counter drift never trips a regression warning.
+	Counters map[string]float64 `json:",omitempty"`
 }
 
 // String renders the table.
@@ -53,6 +61,35 @@ func (t *Table) String() string {
 		fmt.Fprintf(&b, "note: %s\n", n)
 	}
 	return b.String()
+}
+
+// foldCounters accumulates one observed run's stage counters into the
+// experiment's Counters map: result rows (the final stage's output), total
+// batches, and the kernel-vs-boxed filter step split. kernel_path_ratio is
+// re-derived from the accumulated splits so folds from several queries merge
+// correctly (a mean of per-run ratios would not).
+func foldCounters(tab *Table, obs *obsv.QueryStats) {
+	if tab.Counters == nil {
+		tab.Counters = map[string]float64{}
+	}
+	stages := obs.StageSnapshots()
+	if n := len(stages); n > 0 {
+		tab.Counters["rows"] += float64(stages[n-1].RowsOut)
+	}
+	var batches, kernel, boxed int64
+	for _, s := range stages {
+		batches += s.Batches
+		kernel += s.KernelSteps
+		boxed += s.BoxedSteps
+	}
+	tab.Counters["batches"] += float64(batches)
+	tab.Counters["kernel_steps"] += float64(kernel)
+	tab.Counters["boxed_steps"] += float64(boxed)
+	if k, x := tab.Counters["kernel_steps"], tab.Counters["boxed_steps"]; k+x > 0 {
+		tab.Counters["kernel_path_ratio"] = k / (k + x)
+	} else {
+		tab.Counters["kernel_path_ratio"] = 1
+	}
 }
 
 // quick scales experiments down so the whole registry runs in seconds.

@@ -9,7 +9,8 @@ import (
 
 func TestDeterminism(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(t), determinism.Analyzer,
-		"repro/internal/query/exec/detfix", // execution path: findings fire
-		"repro/internal/tools/detfix",      // off-path package: same code, no findings
+		"repro/internal/query/exec/detfix",   // execution path: findings fire
+		"repro/internal/tools/detfix",        // off-path package: same code, no findings
+		"repro/internal/query/exec/statsfix", // obsv-style atomic merge-only stats: clean
 	)
 }

@@ -1,0 +1,50 @@
+// Package statsfix pins the observability contract on execution paths: stage
+// stats may only use atomic, commutative merges (adds and CAS-max) with
+// timestamps injected by the caller, so attaching a collector can never make
+// results or merged counters schedule-dependent. The one thing the analyzer
+// must still flag is a collector reading the wall clock itself.
+package statsfix
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// StageStats is the merge-only counter shape the obsv package uses: every
+// field is updated with atomic adds (commutative, so worker interleaving
+// cannot change the merged totals) or a CAS-max loop (idempotent under
+// reordering).
+type StageStats struct {
+	rowsIn   atomic.Int64
+	rowsOut  atomic.Int64
+	batches  atomic.Int64
+	maxDepth atomic.Int64
+}
+
+// Done merges one morsel's contribution. Pure adds: order-independent.
+func (s *StageStats) Done(in, out int64) {
+	s.rowsIn.Add(in)
+	s.rowsOut.Add(out)
+	s.batches.Add(1)
+}
+
+// Depth records a sampled gauge via CAS-max — the only non-additive merge
+// allowed, because max is commutative and associative too.
+func (s *StageStats) Depth(d int64) {
+	for {
+		cur := s.maxDepth.Load()
+		if d <= cur || s.maxDepth.CompareAndSwap(cur, d) {
+			return
+		}
+	}
+}
+
+// Wall accepts a duration measured by the caller against the collector's own
+// monotonic epoch. Durations are data; only clock reads are flagged.
+func (s *StageStats) Wall(elapsed time.Duration) float64 { return elapsed.Seconds() }
+
+// BadStamp is what the collector must never do on a hot path: read the wall
+// clock itself instead of taking caller-injected timestamps.
+func BadStamp(s *StageStats, start time.Time) {
+	_ = time.Since(start) // want "time.Since on an execution path"
+}

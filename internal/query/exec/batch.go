@@ -282,9 +282,18 @@ type BatchPool struct{ pool sync.Pool }
 // Get returns an empty batch with the given column layout, reusing pooled
 // payload arrays when available (capRows only sizes fresh boxed arenas).
 func (p *BatchPool) Get(kinds []graph.Kind, capRows int) *Batch {
-	b, _ := p.pool.Get().(*Batch)
+	b, _ := p.GetHit(kinds, capRows)
+	return b
+}
+
+// GetHit is Get plus a recycling report: hit is true when the batch reused a
+// pooled arena, false when the pool was empty and a fresh batch was
+// allocated — the signal the observability layer's pool hit/miss counters
+// record.
+func (p *BatchPool) GetHit(kinds []graph.Kind, capRows int) (b *Batch, hit bool) {
+	b, _ = p.pool.Get().(*Batch)
 	if b == nil {
-		return NewBatchKinds(kinds, capRows)
+		return NewBatchKinds(kinds, capRows), false
 	}
 	if cap(b.cols) < len(kinds) {
 		b.cols = append(b.cols[:cap(b.cols)], make([]Vec, len(kinds)-cap(b.cols))...)
@@ -296,7 +305,7 @@ func (p *BatchPool) Get(kinds []graph.Kind, capRows int) *Batch {
 	b.rows = 0
 	b.sel = nil
 	b.selIdx = -1
-	return b
+	return b, true
 }
 
 // Put recycles a batch's payload arrays; views are dropped (their payloads

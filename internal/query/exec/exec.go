@@ -30,6 +30,7 @@ import (
 	"repro/internal/grin"
 	"repro/internal/query/expr"
 	"repro/internal/query/ir"
+	"repro/internal/query/obsv"
 )
 
 // Row is one binding tuple; columns are assigned at compile time. Engine
@@ -74,6 +75,10 @@ type EmitBatch func(*Batch) (reuse bool, err error)
 type Stage struct {
 	// Name for EXPLAIN and engine traces.
 	Name string
+	// ID is the stage's index in its compiled plan — the key per-stage
+	// observability counters are recorded under. Compile assigns it;
+	// hand-built stages leave it 0 and never carry stats.
+	ID int
 	// InWidth/OutWidth are the row widths this stage consumes/produces.
 	InWidth  int
 	OutWidth int
@@ -135,6 +140,11 @@ type Env struct {
 	// segments (0: unlimited). Exceeding it fails the query with
 	// ErrBudgetExceeded — the admission-control degradation path.
 	MaxRows int64
+	// Obs, when non-nil, collects per-stage runtime stats and trace spans
+	// for this execution. Every hot-path hook is gated on one nil check of
+	// this pointer, so the disabled case costs a single predictable branch
+	// and no allocation.
+	Obs *obsv.QueryStats
 	// life holds the bound context and budget counters; Drive installs it.
 	life *lifecycle
 }
@@ -206,6 +216,13 @@ func Compile(p *ir.Plan, opt Options) (*Compiled, error) {
 				st.Name, st.InWidth, w)
 		}
 		w = st.OutWidth
+	}
+	// Stage IDs key the observability layer's per-stage counters. They must
+	// equal the stage's slice index: compileOp closures capture the index a
+	// stage will land at (len(c.Stages) at append time), and QueryStats.Bind
+	// sizes its table from the same order.
+	for i := range c.Stages {
+		c.Stages[i].ID = i
 	}
 	return c, nil
 }
@@ -319,12 +336,13 @@ func (c *Compiled) compileOp(op *ir.Op, first bool, opt Options) error {
 			return err
 		}
 		fp := c.compileFilter(pred)
+		sid := len(c.Stages)
 		c.Stages = append(c.Stages, Stage{
 			Name:    "SELECT",
 			InWidth: width, OutWidth: width,
 			OutKinds: c.kindsSnapshot(),
 			Filter: func(env *Env, b *Batch) error {
-				return fp.run(env, b, 0)
+				return fp.run(env, b, 0, sid)
 			},
 		})
 		return nil
@@ -657,6 +675,7 @@ func (c *Compiled) compileExpandFused(op *ir.Op) error {
 	}
 	fp := c.compileFilter(predB)
 
+	sid := len(c.Stages)
 	c.Stages = append(c.Stages, Stage{
 		Name:    "EXPAND_FUSED(" + op.FromAlias + "->" + op.Alias + ")",
 		InWidth: inWidth, OutWidth: width,
@@ -705,7 +724,7 @@ func (c *Compiled) compileExpandFused(op *ir.Op) error {
 			}
 			base := out.rows
 			emitExpanded(out, in, s.srcRows, s.ts, &s.adj, vIdx, eIdx)
-			return fp.run(env, out, base)
+			return fp.run(env, out, base, sid)
 		},
 	})
 	return nil
@@ -781,6 +800,7 @@ func (c *Compiled) compileGetVertex(op *ir.Op) error {
 	}
 	fp := c.compileFilter(predB)
 
+	sid := len(c.Stages)
 	c.Stages = append(c.Stages, Stage{
 		Name:    "GET_VERTEX(" + op.Alias + ")",
 		InWidth: inWidth, OutWidth: width,
@@ -829,7 +849,7 @@ func (c *Compiled) compileGetVertex(op *ir.Op) error {
 				vcol.appendVertex(n)
 			}
 			out.rows += len(s.srcRows)
-			return fp.run(env, out, base)
+			return fp.run(env, out, base, sid)
 		},
 	})
 	return nil

@@ -1,0 +1,52 @@
+package exec
+
+import "repro/internal/query/obsv"
+
+// StageNames returns the plan's stage names in stage order — the shape
+// obsv.QueryStats.Bind sizes its per-stage counter table from. Drive calls
+// it when an observer is attached; EXPLAIN callers use it to label output.
+func (c *Compiled) StageNames() []string {
+	names := make([]string, len(c.Stages))
+	for i := range c.Stages {
+		names[i] = c.Stages[i].Name
+	}
+	return names
+}
+
+// stageKind classifies a stage by which single behavior it carries.
+func stageKind(st *Stage) string {
+	switch {
+	case st.Source != nil:
+		return "SOURCE"
+	case st.Map != nil:
+		return "MAP"
+	case st.Filter != nil:
+		return "FILTER"
+	case st.Blocking != nil:
+		return "BLOCKING"
+	}
+	return "NONE"
+}
+
+// Explain returns the compiled plan as an ExplainNode chain: the root is the
+// final (output) stage and Input walks toward the source. With stats == nil
+// it is a plain EXPLAIN of the physical plan shape; with the QueryStats of
+// an executed run each node carries that stage's observed counters — EXPLAIN
+// ANALYZE as a structured tree (obsv.ExplainNode.Render formats it).
+func (c *Compiled) Explain(stats *obsv.QueryStats) *obsv.ExplainNode {
+	var snaps []obsv.StageSnapshot
+	if stats != nil {
+		snaps = stats.StageSnapshots()
+	}
+	var root *obsv.ExplainNode
+	for i := range c.Stages {
+		st := &c.Stages[i]
+		n := &obsv.ExplainNode{Op: st.Name, Kind: stageKind(st), Width: st.OutWidth, Input: root}
+		if i < len(snaps) {
+			s := snaps[i]
+			n.Stats = &s
+		}
+		root = n
+	}
+	return root
+}

@@ -108,7 +108,13 @@ func putFilter(s *filterScratch) {
 // appended (base > 0 requires a dense batch). Candidate and survivor lists
 // alternate between the batch's two selection buffers, so steady-state
 // filtering allocates nothing.
-func (fp *filterProgram) run(env *Env, b *Batch, base int) error {
+//
+// sid is the owning stage's plan index; when env.Obs is set the pass records
+// which path each conjunct took (kernel vs boxed) and its selectivity under
+// that stage. The counters depend only on batch content, and the morsel
+// partition is driver-independent, so they merge to identical totals at any
+// parallelism.
+func (fp *filterProgram) run(env *Env, b *Batch, base int, sid int) error {
 	if fp == nil {
 		return nil
 	}
@@ -214,6 +220,16 @@ func (fp *filterProgram) run(env *Env, b *Batch, base int) error {
 		return nil
 	}
 
+	obs := env.Obs
+	var obsCand int
+	if obs != nil {
+		if base > 0 {
+			obsCand = b.rows - base
+		} else {
+			obsCand = b.Len()
+		}
+	}
+
 	for _, st := range fp.steps {
 		// An empty candidate list short-circuits the rest of the chain —
 		// including argument resolution, matching the row loop's
@@ -275,6 +291,9 @@ func (fp *filterProgram) run(env *Env, b *Batch, base int) error {
 				}
 			}
 		}
+		if obs != nil {
+			obs.FilterStep(sid, handled)
+		}
 		if !handled {
 			// Boxed fallback for just this conjunct: runtime conditions
 			// (demoted column, store without the columnar gather trait,
@@ -287,9 +306,20 @@ func (fp *filterProgram) run(env *Env, b *Batch, base int) error {
 	}
 
 	if fp.residual != nil && (cand == nil || len(cand) > 0) {
+		if obs != nil {
+			obs.FilterStep(sid, false)
+		}
 		if err := perRow(fp.residual); err != nil {
 			return err
 		}
+	}
+
+	if obs != nil {
+		surv := b.rows
+		if cand != nil {
+			surv = len(cand)
+		}
+		obs.FilterSel(sid, obsCand, surv)
 	}
 
 	if base > 0 {

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync/atomic"
+
+	"repro/internal/query/obsv"
 )
 
 // The query-lifecycle contract: every execution path ends in exactly one of
@@ -76,12 +78,28 @@ func recovered(stage string, r any) error {
 	return &PanicError{Stage: stage, Value: r, Stack: debug.Stack()}
 }
 
+// The Run* guards are also the observability layer's instrumentation point:
+// every driver passes through them once per morsel per stage, so recording
+// here covers naive, Gaia, and HiActor identically with no driver-specific
+// hooks. The disabled path (env.Obs == nil) costs one pointer load and
+// branch per guard — no clock read, no allocation.
+
 // RunMap invokes the stage's Map callback with panic isolation: a panic in
 // the operator or in a storage trait it calls becomes a typed error.
 func (st *Stage) RunMap(env *Env, in, out *Batch) (err error) {
+	obs := env.Obs
+	var t0 int64
+	var outBase int
+	if obs != nil {
+		outBase = out.Len()
+		t0 = obsv.Now()
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			err = recovered(st.Name, r)
+		}
+		if obs != nil {
+			obs.StageDone(st.ID, st.Name, in.Len(), out.Len()-outBase, t0, err)
 		}
 	}()
 	return st.Map(env, in, out)
@@ -89,9 +107,19 @@ func (st *Stage) RunMap(env *Env, in, out *Batch) (err error) {
 
 // RunFilter invokes the stage's Filter callback with panic isolation.
 func (st *Stage) RunFilter(env *Env, b *Batch) (err error) {
+	obs := env.Obs
+	var t0 int64
+	var inLen int
+	if obs != nil {
+		inLen = b.Len()
+		t0 = obsv.Now()
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			err = recovered(st.Name, r)
+		}
+		if obs != nil {
+			obs.StageDone(st.ID, st.Name, inLen, b.Len(), t0, err)
 		}
 	}()
 	return st.Filter(env, b)
@@ -99,9 +127,25 @@ func (st *Stage) RunFilter(env *Env, b *Batch) (err error) {
 
 // RunBlocking invokes the stage's Blocking callback with panic isolation.
 func (st *Stage) RunBlocking(env *Env, in *Batch) (out *Batch, err error) {
+	obs := env.Obs
+	var t0 int64
+	var inLen int
+	if obs != nil {
+		if in != nil {
+			inLen = in.Len() // before: LIMIT truncates in place
+		}
+		t0 = obsv.Now()
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			out, err = nil, recovered(st.Name, r)
+		}
+		if obs != nil {
+			outLen := 0
+			if out != nil {
+				outLen = out.Len()
+			}
+			obs.StageDone(st.ID, st.Name, inLen, outLen, t0, err)
 		}
 	}()
 	return st.Blocking(env, in)
@@ -110,10 +154,28 @@ func (st *Stage) RunBlocking(env *Env, in *Batch) (out *Batch, err error) {
 // RunSource invokes the stage's Source callback with panic isolation. Panics
 // raised by downstream stages inside emit have already been converted to
 // errors by their own RunMap guard and flow through as plain returns.
+//
+// With observability enabled, emitted batches are credited to the source
+// stage per emit; the stage's span covers the whole feed, which in serial
+// drivers includes the downstream work emit performs inline.
 func (st *Stage) RunSource(env *Env, emit EmitBatch) (err error) {
+	obs := env.Obs
+	var t0 int64
+	if obs != nil {
+		t0 = obsv.Now()
+		inner := emit
+		sid := st.ID
+		emit = func(b *Batch) (bool, error) {
+			obs.SourceRows(sid, b.Len())
+			return inner(b)
+		}
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			err = recovered(st.Name, r)
+		}
+		if obs != nil {
+			obs.SourceDone(st.ID, st.Name, t0, err)
 		}
 	}()
 	return st.Source(env, emit)
@@ -185,14 +247,27 @@ func (env *Env) Alive() error {
 // ChargeRows charges n processed rows against the query's budget and checks
 // the context — the once-per-batch bookkeeping every driver performs before
 // running a morsel. Row charges accumulate atomically across Gaia's workers.
+// As the per-morsel chokepoint it also feeds the observability layer: a
+// morsel count on success, a lifecycle-exit trace event on deadline/
+// cancellation/budget failure.
 func (env *Env) ChargeRows(n int) error {
+	obs := env.Obs
 	if err := env.Alive(); err != nil {
+		if obs != nil {
+			obs.LifecycleExit(err)
+		}
 		return err
+	}
+	if obs != nil {
+		obs.Morsel(n)
 	}
 	if env.life == nil || env.life.maxRows <= 0 {
 		return nil
 	}
 	if env.life.used.Add(int64(n)) > env.life.maxRows {
+		if obs != nil {
+			obs.LifecycleExit(ErrBudgetExceeded)
+		}
 		return ErrBudgetExceeded
 	}
 	return nil

@@ -971,6 +971,9 @@ func (c *Compiled) Drive(ctx context.Context, env *Env, run SegmentRunner) (*Bat
 		return nil, fmt.Errorf("exec: plan has no source")
 	}
 	env.bind(ctx)
+	if obs := env.Obs; obs != nil {
+		obs.Bind(c.StageNames())
+	}
 	morsel := MorselRows(env.EffectiveBatchSize())
 	var acc *Batch
 	i := 0
@@ -1006,6 +1009,9 @@ func (c *Compiled) Drive(ctx context.Context, env *Env, run SegmentRunner) (*Bat
 			if len(seg) > 0 {
 				kinds = seg[len(seg)-1].OutLayout()
 			}
+			if obs := env.Obs; obs != nil {
+				obs.Segment()
+			}
 			var err error
 			acc, err = run(env, seg, feed, kinds, stopAfter)
 			if err != nil {
@@ -1038,5 +1044,11 @@ func (c *Compiled) Run(ctx context.Context, env *Env) ([]Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	return acc.Rows(), nil
+	rows := acc.Rows()
+	if obs := env.Obs; obs != nil {
+		// Batch.Rows is the single sanctioned typed→boxed conversion; count
+		// it at the pipeline edge rather than inside Batch.
+		obs.BoxedRows(len(rows))
+	}
+	return rows, nil
 }

@@ -22,6 +22,7 @@ import (
 	"repro/internal/query/hiactor"
 	"repro/internal/query/ir"
 	"repro/internal/query/naive"
+	"repro/internal/query/obsv"
 	"repro/internal/retry"
 	"repro/internal/storage/chaos"
 	"repro/internal/storage/gart"
@@ -64,18 +65,25 @@ func matrixStores(t *testing.T) (map[string]grin.Graph, *graph.Schema) {
 // engine per run keeps fault schedules independent; hiactor's pool is closed
 // before returning so the leak check sees a quiet world.
 func runOn(engine string, g grin.Graph, p *ir.Plan, maxRows int64, ctx context.Context) ([]exec.Row, error) {
+	return runOnObserved(engine, g, p, maxRows, ctx, nil)
+}
+
+// runOnObserved is runOn with an optional stats collector attached — the
+// fault matrix runs its cells with tracing enabled so a failing cell can log
+// the span history leading up to the fault.
+func runOnObserved(engine string, g grin.Graph, p *ir.Plan, maxRows int64, ctx context.Context, obs *obsv.QueryStats) ([]exec.Row, error) {
 	switch engine {
 	case "naive":
-		rows, _, err := naive.RunWith(ctx, p, g, nil, naive.Options{BatchSize: 16, MaxRows: maxRows})
+		rows, _, err := naive.RunWith(ctx, p, g, nil, naive.Options{BatchSize: 16, MaxRows: maxRows, Obs: obs})
 		return rows, err
 	case "gaia":
 		e := gaia.NewEngine(g, gaia.Options{Parallelism: 4, BatchSize: 16, MaxRows: maxRows})
-		rows, _, err := e.Submit(ctx, p, nil)
+		rows, _, err := e.SubmitObserved(ctx, p, nil, obs)
 		return rows, err
 	case "hiactor":
 		e := hiactor.NewEngine(func() grin.Graph { return g }, hiactor.Options{Shards: 2, BatchSize: 16, MaxRows: maxRows})
 		defer e.Close()
-		rows, _, err := e.Submit(ctx, p, nil)
+		rows, _, err := e.SubmitObserved(ctx, p, nil, obs)
 		return rows, err
 	}
 	panic("unknown engine " + engine)
@@ -150,8 +158,19 @@ func TestFaultMatrix(t *testing.T) {
 			}
 			for _, c := range cells {
 				t.Run(engine+"/"+backend+"/"+c.name, func(t *testing.T) {
+					// Every cell runs with stats + tracing attached: the
+					// matrix doubles as the observed-under-faults parity
+					// check, and a failing cell logs the span history
+					// leading up to the fault.
+					obs := obsv.NewQueryStats()
+					obs.Trace = obsv.NewTrace()
+					defer func() {
+						if t.Failed() {
+							t.Logf("trace of failing cell:\n%s", obs.Trace.Dump())
+						}
+					}()
 					faulty := chaos.Wrap(store, chaos.Options{Seed: 1, Faults: []chaos.Fault{c.fault}})
-					rows, err := runOn(engine, faulty, plan, 0, context.Background())
+					rows, err := runOnObserved(engine, faulty, plan, 0, context.Background(), obs)
 					if c.wantTyped == nil {
 						if err != nil {
 							t.Fatalf("benign fault failed the query: %v", err)
@@ -164,6 +183,18 @@ func TestFaultMatrix(t *testing.T) {
 					}
 					if !c.wantTyped(err) {
 						t.Fatalf("fault surfaced untyped: %v", err)
+					}
+					// A surfaced fault must be visible in the trace: at least
+					// one span or instant carries the error string.
+					var traced bool
+					for _, ev := range obs.Trace.Events() {
+						if ev.Err != "" {
+							traced = true
+							break
+						}
+					}
+					if !traced {
+						t.Error("typed error surfaced but no trace event records an error")
 					}
 				})
 			}

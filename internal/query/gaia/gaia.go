@@ -23,6 +23,7 @@ import (
 	"repro/internal/grin"
 	"repro/internal/query/exec"
 	"repro/internal/query/ir"
+	"repro/internal/query/obsv"
 	"repro/internal/query/optimizer"
 )
 
@@ -69,17 +70,7 @@ func (e *Engine) Submit(ctx context.Context, p *ir.Plan, params map[string]graph
 // SubmitWith executes with explicit optimizer options (used by the Fig 7e
 // rule ablation).
 func (e *Engine) SubmitWith(ctx context.Context, p *ir.Plan, params map[string]graph.Value, opt optimizer.Options) ([]exec.Row, []string, error) {
-	phys, err := optimizer.Optimize(p, e.cat, opt)
-	if err != nil {
-		return nil, nil, err
-	}
-	copts := exec.Options{}
-	if pr, ok := grin.AsPropertyReader(e.g); ok {
-		// With the catalog schema the compiler types batch columns and
-		// compiles predicate kernels; without it every column is boxed.
-		copts.Schema = pr.Schema()
-	}
-	c, err := exec.Compile(phys, copts)
+	c, err := e.compileWith(p, opt)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -90,21 +81,82 @@ func (e *Engine) SubmitWith(ctx context.Context, p *ir.Plan, params map[string]g
 	return rows, c.Out, nil
 }
 
+// SubmitObserved is Submit with an observability collector attached: stats
+// and trace spans land in obs while results stay row-for-row identical to
+// Submit. A nil obs degrades to plain Submit.
+func (e *Engine) SubmitObserved(ctx context.Context, p *ir.Plan, params map[string]graph.Value, obs *obsv.QueryStats) ([]exec.Row, []string, error) {
+	c, err := e.Compile(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows, err := e.RunCompiledObserved(ctx, c, params, obs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rows, c.Out, nil
+}
+
+// Compile optimizes and lowers a logical plan without executing it — the
+// entry point EXPLAIN (ANALYZE) uses so it can keep the Compiled around for
+// rendering after the run.
+func (e *Engine) Compile(p *ir.Plan) (*exec.Compiled, error) {
+	return e.compileWith(p, optimizer.All())
+}
+
+func (e *Engine) compileWith(p *ir.Plan, opt optimizer.Options) (*exec.Compiled, error) {
+	phys, err := optimizer.Optimize(p, e.cat, opt)
+	if err != nil {
+		return nil, err
+	}
+	copts := exec.Options{}
+	if pr, ok := grin.AsPropertyReader(e.g); ok {
+		// With the catalog schema the compiler types batch columns and
+		// compiles predicate kernels; without it every column is boxed.
+		copts.Schema = pr.Schema()
+	}
+	return exec.Compile(phys, copts)
+}
+
 // RunCompiled executes a compiled plan data-parallel: exec.Drive cuts the
 // plan into pipeline segments and morsels, parallelSegment runs each segment
 // across workers, blocking stages run at barriers.
 func (e *Engine) RunCompiled(ctx context.Context, c *exec.Compiled, params map[string]graph.Value) ([]exec.Row, error) {
-	env := &exec.Env{Graph: e.g, Params: params, BatchSize: e.opt.BatchSize, MaxRows: e.opt.MaxRows}
+	return e.RunCompiledObserved(ctx, c, params, nil)
+}
+
+// RunCompiledObserved is RunCompiled with an observability collector: per-
+// stage stats flow through the exec hooks, and the engine adds its own
+// gauges (worker busy/idle split, segment count, pool hit/miss, boxed result
+// rows). A nil obs is the zero-overhead disabled path.
+func (e *Engine) RunCompiledObserved(ctx context.Context, c *exec.Compiled, params map[string]graph.Value, obs *obsv.QueryStats) ([]exec.Row, error) {
+	env := &exec.Env{Graph: e.g, Params: params, BatchSize: e.opt.BatchSize, MaxRows: e.opt.MaxRows, Obs: obs}
+	if obs != nil {
+		obs.SetEngine("gaia", e.opt.Parallelism)
+	}
 	acc, err := c.Drive(ctx, env, e.parallelSegment)
 	if err != nil {
 		return nil, err
 	}
 	rows := acc.Rows()
+	if obs != nil {
+		obs.BoxedRows(len(rows))
+	}
 	// The final accumulator's payload arrays go back to the pool once the
 	// result is materialized — large results otherwise re-grow a fresh
 	// accumulator from zero on every query.
 	e.pool.Put(acc)
 	return rows, nil
+}
+
+// poolGet draws from the engine's batch pool, reporting hit/miss to the
+// observer when one is attached.
+func (e *Engine) poolGet(obs *obsv.QueryStats, kinds []graph.Kind, capRows int) *exec.Batch {
+	if obs == nil {
+		return e.pool.Get(kinds, capRows)
+	}
+	b, hit := e.pool.GetHit(kinds, capRows)
+	obs.PoolGet(hit)
+	return b
 }
 
 // seqBatch tags a batch with its position in the input stream.
@@ -124,7 +176,7 @@ type seqBatch struct {
 func (e *Engine) parallelSegment(env *exec.Env, seg []exec.Stage, feed func(exec.EmitBatch) error, kinds []graph.Kind, stopAfter int) (*exec.Batch, error) {
 	if len(seg) == 0 {
 		// No transforms: drain the feed directly.
-		acc := e.pool.Get(kinds, 0)
+		acc := e.poolGet(env.Obs, kinds, 0)
 		err := feed(func(b *exec.Batch) (bool, error) {
 			if err := env.ChargeRows(b.Len()); err != nil {
 				return false, err
@@ -176,6 +228,7 @@ func (e *Engine) parallelSegment(env *exec.Env, seg []exec.Stage, feed func(exec
 		errOnce.Do(func() { firstErr = err })
 		stop()
 	}
+	obs := env.Obs
 	var wg sync.WaitGroup
 	for w := 0; w < p; w++ {
 		wg.Add(1)
@@ -200,7 +253,7 @@ func (e *Engine) parallelSegment(env *exec.Env, seg []exec.Stage, feed func(exec
 			bufs := make([]*exec.Batch, len(seg))
 			for k := range seg {
 				if seg[k].Map != nil && k != lastMap {
-					bufs[k] = e.pool.Get(seg[k].OutLayout(), 0)
+					bufs[k] = e.poolGet(obs, seg[k].OutLayout(), 0)
 				}
 			}
 			defer func() {
@@ -214,12 +267,12 @@ func (e *Engine) parallelSegment(env *exec.Env, seg []exec.Stage, feed func(exec
 			if lastMap >= 0 {
 				lastLayout = seg[lastMap].OutLayout()
 			}
-			for sb := range in {
+			process := func(sb seqBatch) {
 				// Per-morsel lifecycle check: deadline, cancellation, and the
 				// shared row budget (charged atomically across workers).
 				if err := env.ChargeRows(sb.b.Len()); err != nil {
 					fail(err)
-					continue // keep draining so the producer unblocks
+					return // keep draining so the producer unblocks
 				}
 				cur := sb.b
 				var pooled *exec.Batch
@@ -241,7 +294,7 @@ func (e *Engine) parallelSegment(env *exec.Env, seg []exec.Stage, feed func(exec
 						// The last Map output is handed to the collector;
 						// draw its arena from the engine pool instead of
 						// allocating one per morsel.
-						dst = e.pool.Get(lastLayout, cur.Len())
+						dst = e.poolGet(obs, lastLayout, cur.Len())
 						pooled = dst
 					} else {
 						dst = bufs[k]
@@ -258,7 +311,7 @@ func (e *Engine) parallelSegment(env *exec.Env, seg []exec.Stage, feed func(exec
 					if pooled != nil {
 						e.pool.Put(pooled)
 					}
-					continue // keep draining so the producer unblocks
+					return // keep draining so the producer unblocks
 				}
 				// Always deliver: the collector drains results until every
 				// worker exits, and it needs all pre-error morsels to decide
@@ -266,6 +319,22 @@ func (e *Engine) parallelSegment(env *exec.Env, seg []exec.Stage, feed func(exec
 				// error point.
 				results <- seqBatch{sb.seq, cur}
 			}
+			if obs == nil {
+				for sb := range in {
+					process(sb)
+				}
+				return
+			}
+			// Observed path: split the worker's wall time into busy (morsel
+			// processing) and idle (waiting on the feed or the collector).
+			wstart := obsv.Now()
+			var busy int64
+			for sb := range in {
+				m0 := obsv.Now()
+				process(sb)
+				busy += obsv.Now() - m0
+			}
+			obs.WorkerDone(busy, obsv.Now()-wstart-busy)
 		}()
 	}
 	go func() {
@@ -276,7 +345,7 @@ func (e *Engine) parallelSegment(env *exec.Env, seg []exec.Stage, feed func(exec
 	// Collector: reassemble in input-sequence order. AppendBatch compacts
 	// any selection the segment's trailing filters installed; Put drops
 	// view batches (their payloads belong to the producer).
-	acc := e.pool.Get(kinds, 0)
+	acc := e.poolGet(obs, kinds, 0)
 	pending := map[int]*exec.Batch{}
 	next := 0
 	limitDone := false

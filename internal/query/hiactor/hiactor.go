@@ -23,6 +23,7 @@ import (
 	"repro/internal/grin"
 	"repro/internal/query/exec"
 	"repro/internal/query/ir"
+	"repro/internal/query/obsv"
 	"repro/internal/query/optimizer"
 )
 
@@ -58,6 +59,13 @@ type Engine struct {
 	rr        atomic.Uint64
 	wg        sync.WaitGroup
 	closed    atomic.Bool
+
+	// Pool-level gauges: accepted tasks, shed tasks (rejected at enqueue or
+	// expired while queued), and the high-water mailbox depth sampled at
+	// enqueue. Atomic adds only, so Metrics is safe against in-flight calls.
+	enqueued atomic.Int64
+	shed     atomic.Int64
+	maxDepth atomic.Int64
 }
 
 type task struct {
@@ -65,6 +73,7 @@ type task struct {
 	c      *exec.Compiled
 	params map[string]graph.Value
 	reply  chan result
+	obs    *obsv.QueryStats
 }
 
 type result struct {
@@ -106,6 +115,10 @@ func (e *Engine) actor(mailbox <-chan task) {
 		// A query that spent its deadline queued in the mailbox is shed
 		// without executing — the admission-control degradation path.
 		if err := t.ctx.Err(); err != nil {
+			e.shed.Add(1)
+			if t.obs != nil {
+				t.obs.Mailbox(0, 1)
+			}
 			t.reply <- result{err: ctxError(t.ctx)}
 			continue
 		}
@@ -124,8 +137,31 @@ func (e *Engine) runTask(t task) (rows []exec.Row, err error) {
 			rows, err = nil, &exec.PanicError{Stage: "hiactor:actor", Value: r}
 		}
 	}()
-	env := &exec.Env{Graph: e.provider(), Params: t.params, BatchSize: e.opt.BatchSize, MaxRows: e.opt.MaxRows}
+	if t.obs != nil {
+		t.obs.SetEngine("hiactor", e.opt.Shards)
+	}
+	env := &exec.Env{Graph: e.provider(), Params: t.params, BatchSize: e.opt.BatchSize, MaxRows: e.opt.MaxRows, Obs: t.obs}
 	return t.c.Run(t.ctx, env)
+}
+
+// Metrics is a point-in-time snapshot of the pool's admission gauges.
+type Metrics struct {
+	Shards   int   // actor count
+	Enqueued int64 // tasks accepted into a mailbox
+	Shed     int64 // tasks shed: rejected at enqueue or expired while queued
+	MaxDepth int64 // high-water mailbox depth sampled at enqueue
+}
+
+// Metrics reports the pool's cumulative admission-control gauges. The values
+// are schedule-dependent (they describe load, not query semantics) and so
+// live here rather than in per-stage snapshots.
+func (e *Engine) Metrics() Metrics {
+	return Metrics{
+		Shards:   e.opt.Shards,
+		Enqueued: e.enqueued.Load(),
+		Shed:     e.shed.Load(),
+		MaxDepth: e.maxDepth.Load(),
+	}
 }
 
 // background is the shared no-deadline context for nil-ctx callers.
@@ -200,11 +236,30 @@ func (e *Engine) Call(ctx context.Context, name string, params map[string]graph.
 	if !ok {
 		return nil, fmt.Errorf("hiactor: unknown procedure %q", name)
 	}
-	return e.submit(ctx, c, params)
+	return e.submit(ctx, c, params, nil)
+}
+
+// CallObserved is Call with a stats collector attached: per-stage counters,
+// the mailbox gauge for this invocation, and trace spans (when obs carries a
+// Trace) are recorded into obs.
+func (e *Engine) CallObserved(ctx context.Context, name string, params map[string]graph.Value, obs *obsv.QueryStats) ([]exec.Row, error) {
+	e.mu.RLock()
+	c, ok := e.procs[name]
+	e.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("hiactor: unknown procedure %q", name)
+	}
+	return e.submit(ctx, c, params, obs)
 }
 
 // Submit optimizes, compiles and executes an ad-hoc plan on one actor.
 func (e *Engine) Submit(ctx context.Context, p *ir.Plan, params map[string]graph.Value) ([]exec.Row, []string, error) {
+	return e.SubmitObserved(ctx, p, params, nil)
+}
+
+// SubmitObserved is Submit with a stats collector attached (nil obs is
+// identical to Submit).
+func (e *Engine) SubmitObserved(ctx context.Context, p *ir.Plan, params map[string]graph.Value, obs *obsv.QueryStats) ([]exec.Row, []string, error) {
 	phys, err := optimizer.Optimize(p, e.cat, optimizer.All())
 	if err != nil {
 		return nil, nil, err
@@ -213,14 +268,14 @@ func (e *Engine) Submit(ctx context.Context, p *ir.Plan, params map[string]graph
 	if err != nil {
 		return nil, nil, err
 	}
-	rows, err := e.submit(ctx, c, params)
+	rows, err := e.submit(ctx, c, params, obs)
 	if err != nil {
 		return nil, nil, err
 	}
 	return rows, c.Out, nil
 }
 
-func (e *Engine) submit(ctx context.Context, c *exec.Compiled, params map[string]graph.Value) ([]exec.Row, error) {
+func (e *Engine) submit(ctx context.Context, c *exec.Compiled, params map[string]graph.Value, obs *obsv.QueryStats) ([]exec.Row, error) {
 	if e.closed.Load() {
 		return nil, fmt.Errorf("hiactor: engine closed")
 	}
@@ -229,12 +284,29 @@ func (e *Engine) submit(ctx context.Context, c *exec.Compiled, params map[string
 	}
 	shard := int(e.rr.Add(1)) % len(e.mailboxes)
 	reply := make(chan result, 1)
+	// The depth gauge samples the target mailbox at enqueue — the queueing
+	// this call experiences, and the pool's backpressure signal.
+	depth := int64(len(e.mailboxes[shard]))
+	for {
+		cur := e.maxDepth.Load()
+		if depth <= cur || e.maxDepth.CompareAndSwap(cur, depth) {
+			break
+		}
+	}
 	// Enqueue under the caller's deadline: when the shard's mailbox is full,
 	// the context decides how long to wait — backpressure with a typed
 	// timeout instead of an unbounded block.
 	select {
-	case e.mailboxes[shard] <- task{ctx: ctx, c: c, params: params, reply: reply}:
+	case e.mailboxes[shard] <- task{ctx: ctx, c: c, params: params, reply: reply, obs: obs}:
+		e.enqueued.Add(1)
+		if obs != nil {
+			obs.Mailbox(depth, 0)
+		}
 	case <-ctx.Done():
+		e.shed.Add(1)
+		if obs != nil {
+			obs.Mailbox(depth, 1)
+		}
 		return nil, ctxError(ctx)
 	}
 	// The reply channel is buffered, so the actor never blocks sending even

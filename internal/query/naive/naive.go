@@ -13,6 +13,7 @@ import (
 	"repro/internal/grin"
 	"repro/internal/query/exec"
 	"repro/internal/query/ir"
+	"repro/internal/query/obsv"
 )
 
 // Options tunes the baseline run.
@@ -21,6 +22,9 @@ type Options struct {
 	BatchSize int
 	// MaxRows caps the rows one query may process (0: unlimited).
 	MaxRows int64
+	// Obs, when non-nil, collects per-stage runtime counters and trace spans
+	// for the run (EXPLAIN ANALYZE / trace export).
+	Obs *obsv.QueryStats
 }
 
 // Run interprets a logical plan serially under ctx; a fired deadline or
@@ -41,7 +45,10 @@ func RunWith(ctx context.Context, p *ir.Plan, g grin.Graph, params map[string]gr
 	if err != nil {
 		return nil, nil, err
 	}
-	rows, err := c.Run(ctx, &exec.Env{Graph: g, Params: params, BatchSize: o.BatchSize, MaxRows: o.MaxRows})
+	if o.Obs != nil {
+		o.Obs.SetEngine("naive", 1)
+	}
+	rows, err := c.Run(ctx, &exec.Env{Graph: g, Params: params, BatchSize: o.BatchSize, MaxRows: o.MaxRows, Obs: o.Obs})
 	if err != nil {
 		return nil, nil, err
 	}

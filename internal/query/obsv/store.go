@@ -1,0 +1,103 @@
+package obsv
+
+import "sync/atomic"
+
+// StoreSite enumerates the GRIN trait call sites a metering wrapper counts —
+// the same 15 sites internal/storage/chaos injects faults at, in the same
+// order, with the same names. Keeping the enumerations aligned means a fault
+// schedule and a call-count profile describe the same surface.
+type StoreSite uint8
+
+const (
+	StoreDegree StoreSite = iota
+	StoreNeighbors
+	StoreAdjSlice
+	StoreVertexProp
+	StoreEdgeProp
+	StoreEdgeWeight
+	StoreLookupVertex
+	StoreLabelRange
+	StoreScanVertices
+	StoreExpandBatch
+	StoreGatherVProp
+	StoreGatherEProp
+	StoreGatherVLabels
+	StoreGatherELabels
+	StoreScanBatch
+	// NumStoreSites sizes fixed counter arrays.
+	NumStoreSites
+)
+
+var storeSiteNames = [NumStoreSites]string{
+	"Degree", "Neighbors", "AdjSlice", "VertexProp", "EdgeProp",
+	"EdgeWeight", "LookupVertex", "LabelRange", "ScanVertices",
+	"ExpandBatch", "GatherVertexProp", "GatherEdgeProp",
+	"GatherVertexLabels", "GatherEdgeLabels", "ScanBatch",
+}
+
+// String returns the chaos-aligned site name.
+func (s StoreSite) String() string {
+	if s < NumStoreSites {
+		return storeSiteNames[s]
+	}
+	return "StoreSite(?)"
+}
+
+// Batch reports whether the site is one of the vectorized fast-path traits
+// (BatchAdjacency/BatchProps/BatchScan) as opposed to a per-row scalar site.
+func (s StoreSite) Batch() bool { return s >= StoreExpandBatch }
+
+// StoreStats counts trait calls per site for one metered store. Counters are
+// a fixed array of atomics — no map, no lock — so batch-loop call sites cost
+// one atomic add. The native flags are written once at wrap time (before any
+// query runs) and record whether each batch site is served natively by the
+// inner backend or routed through grin's generic scalar fallbacks; together
+// with the counts they show which path a backend actually took.
+type StoreStats struct {
+	backend string
+	native  [NumStoreSites]bool
+	calls   [NumStoreSites]atomic.Int64
+}
+
+// SetBackend records the metered backend's name (wrap time, single
+// goroutine).
+func (s *StoreStats) SetBackend(name string) { s.backend = name }
+
+// SetNative records whether the site's trait is natively provided by the
+// inner backend (wrap time, single goroutine).
+func (s *StoreStats) SetNative(site StoreSite, native bool) { s.native[site] = native }
+
+// Count records one call to the site.
+func (s *StoreStats) Count(site StoreSite) { s.calls[site].Add(1) }
+
+// Calls reads the site's counter.
+func (s *StoreStats) Calls(site StoreSite) int64 { return s.calls[site].Load() }
+
+// StoreSiteSnapshot is one site's row in a snapshot.
+type StoreSiteSnapshot struct {
+	Site  string
+	Calls int64
+	// Native is true when the inner backend serves this trait itself; false
+	// for batch traits that fall back to scalar loops (and for scalar sites
+	// on backends that lack the trait entirely).
+	Native bool
+	// Batch is true for the vectorized trait sites (ExpandBatch, Gather*,
+	// ScanBatch) as opposed to per-row scalar sites.
+	Batch bool
+}
+
+// StoreSnapshot is a point-in-time dump of all 15 site counters, in enum
+// order — never map order.
+type StoreSnapshot struct {
+	Backend string
+	Sites   []StoreSiteSnapshot
+}
+
+// Snapshot dumps the counters.
+func (s *StoreStats) Snapshot() StoreSnapshot {
+	snap := StoreSnapshot{Backend: s.backend, Sites: make([]StoreSiteSnapshot, NumStoreSites)}
+	for i := StoreSite(0); i < NumStoreSites; i++ {
+		snap.Sites[i] = StoreSiteSnapshot{Site: i.String(), Calls: s.calls[i].Load(), Native: s.native[i], Batch: i.Batch()}
+	}
+	return snap
+}

@@ -1,0 +1,146 @@
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefaultTraceCap bounds the event buffer so a pathological query cannot
+// turn the tracer into an unbounded allocation; past the cap events are
+// counted as dropped and the JSON export says so.
+const DefaultTraceCap = 1 << 16
+
+// Event is one recorded trace entry. Phase follows the Chrome trace-event
+// convention: "X" is a complete span (Start..Start+Dur), "i" an instant.
+type Event struct {
+	Name  string
+	Phase string
+	Start int64 // obsv.Now reading, nanoseconds
+	Dur   int64 // span duration, nanoseconds ("X" only)
+	TID   int   // stage ID for stage spans; 0 for query-level events
+	Rows  int64
+	Err   string
+}
+
+// Trace is a bounded, mutex-guarded span recorder for one query. Hook sites
+// only touch it through QueryStats when Trace is non-nil, so the untraced
+// path never takes the lock.
+type Trace struct {
+	mu      sync.Mutex
+	events  []Event
+	cap     int
+	dropped int64
+}
+
+// NewTrace returns a tracer with the default event cap.
+func NewTrace() *Trace { return &Trace{cap: DefaultTraceCap} }
+
+func (t *Trace) record(e Event) {
+	t.mu.Lock()
+	if len(t.events) >= t.cap {
+		t.dropped++
+	} else {
+		t.events = append(t.events, e)
+	}
+	t.mu.Unlock()
+}
+
+func (t *Trace) span(name string, tid int, start, end, rows int64, err error) {
+	e := Event{Name: name, Phase: "X", Start: start, Dur: end - start, TID: tid, Rows: rows}
+	if err != nil {
+		e.Err = err.Error()
+	}
+	t.record(e)
+}
+
+func (t *Trace) instant(name string, tid int, rows int64, err error) {
+	e := Event{Name: name, Phase: "i", Start: Now(), TID: tid, Rows: rows}
+	if err != nil {
+		e.Err = err.Error()
+	}
+	t.record(e)
+}
+
+// Events returns a copy of the recorded events in record order.
+func (t *Trace) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// Dropped reports how many events fell past the buffer cap.
+func (t *Trace) Dropped() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// chromeEvent is the trace-event JSON shape chrome://tracing / Perfetto load.
+type chromeEvent struct {
+	Name string      `json:"name"`
+	Ph   string      `json:"ph"`
+	TS   float64     `json:"ts"` // microseconds
+	Dur  float64     `json:"dur,omitempty"`
+	PID  int         `json:"pid"`
+	TID  int         `json:"tid"`
+	Args *chromeArgs `json:"args,omitempty"`
+}
+
+// chromeArgs is a fixed struct rather than a map so the exported JSON field
+// order is deterministic.
+type chromeArgs struct {
+	Rows    int64  `json:"rows,omitempty"`
+	Err     string `json:"error,omitempty"`
+	Dropped int64  `json:"dropped,omitempty"`
+}
+
+// WriteJSON writes the trace as a Chrome trace-event JSON array. If events
+// were dropped at the cap, a final metadata instant records the count.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	evs := t.Events()
+	out := make([]chromeEvent, 0, len(evs)+1)
+	for _, e := range evs {
+		ce := chromeEvent{Name: e.Name, Ph: e.Phase, TS: float64(e.Start) / 1e3, PID: 1, TID: e.TID}
+		if e.Phase == "X" {
+			ce.Dur = float64(e.Dur) / 1e3
+		}
+		if e.Rows != 0 || e.Err != "" {
+			ce.Args = &chromeArgs{Rows: e.Rows, Err: e.Err}
+		}
+		out = append(out, ce)
+	}
+	if d := t.Dropped(); d > 0 {
+		out = append(out, chromeEvent{Name: "trace-truncated", Ph: "i", PID: 1, Args: &chromeArgs{Dropped: d}})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// Dump renders the trace as human-readable lines — what the fault matrix
+// logs when a cell fails.
+func (t *Trace) Dump() string {
+	evs := t.Events()
+	var b strings.Builder
+	for _, e := range evs {
+		fmt.Fprintf(&b, "[%12v] %-2s tid=%-3d %s", time.Duration(e.Start), e.Phase, e.TID, e.Name)
+		if e.Phase == "X" {
+			fmt.Fprintf(&b, " dur=%v rows=%d", time.Duration(e.Dur), e.Rows)
+		} else if e.Rows != 0 {
+			fmt.Fprintf(&b, " rows=%d", e.Rows)
+		}
+		if e.Err != "" {
+			fmt.Fprintf(&b, " err=%q", e.Err)
+		}
+		b.WriteByte('\n')
+	}
+	if d := t.Dropped(); d > 0 {
+		fmt.Fprintf(&b, "(+%d events dropped at cap)\n", d)
+	}
+	return b.String()
+}

@@ -1,0 +1,241 @@
+// Observability integration tests: attaching stats + tracing to a query must
+// never change its results (the parity rerun), the schedule-independent
+// counters must merge identically at any parallelism (the deterministic-merge
+// contract), and EXPLAIN ANALYZE must report per-stage rows consistent with
+// the final cardinality (pinned by a golden rendering).
+package query_test
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/grin"
+	"repro/internal/query"
+	"repro/internal/query/cypher"
+	"repro/internal/query/gaia"
+	"repro/internal/query/gremlin"
+	"repro/internal/query/hiactor"
+	"repro/internal/query/ir"
+	"repro/internal/query/naive"
+	"repro/internal/query/obsv"
+	"repro/internal/storage/meter"
+	"repro/internal/storage/vineyard"
+)
+
+// newObserved builds a collector with tracing enabled and a metered view of
+// the store feeding its Store section.
+func newObserved(st grin.Graph) (*obsv.QueryStats, grin.Graph) {
+	obs := obsv.NewQueryStats()
+	obs.Trace = obsv.NewTrace()
+	mg := meter.Wrap(st, nil)
+	obs.Store = mg.Stats()
+	return obs, mg
+}
+
+// TestObservedParityMatrix reruns the SNB parity mix with full observability
+// attached — stats, tracing, and a metering store wrapper — and asserts every
+// engine returns rows identical to its unobserved run. Collection must be
+// purely passive; the leak check pins that observed runs also unwind clean.
+func TestObservedParityMatrix(t *testing.T) {
+	defer query.CheckLeaks(t)()
+	schema := dataset.SNBSchema()
+	const bs = 16
+	for name, st := range snbBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, tc := range snbParityCases {
+				t.Run(tc.name, func(t *testing.T) {
+					var plan *ir.Plan
+					var err error
+					if tc.lang == "gremlin" {
+						plan, err = gremlin.Parse(tc.q, schema)
+					} else {
+						plan, err = cypher.Parse(tc.q, schema)
+					}
+					if err != nil {
+						t.Fatal(err)
+					}
+
+					// naive: observed vs unobserved.
+					want, _, err := naive.RunWith(context.Background(), plan, st, tc.params, naive.Options{BatchSize: bs})
+					if err != nil {
+						t.Fatal(err)
+					}
+					obs, mst := newObserved(st)
+					got, _, err := naive.RunWith(context.Background(), plan, mst, tc.params, naive.Options{BatchSize: bs, Obs: obs})
+					if err != nil {
+						t.Fatal(err)
+					}
+					mustExactEqual(t, "naive observed", renderRows(got), renderRows(want))
+					assertCollected(t, obs, len(got))
+
+					// gaia at serial and full parallelism.
+					for _, par := range []int{1, runtime.NumCPU()} {
+						eng := gaia.NewEngine(st, gaia.Options{Parallelism: par, BatchSize: bs})
+						wantG, _, err := eng.Submit(context.Background(), plan, tc.params)
+						if err != nil {
+							t.Fatal(err)
+						}
+						obs, mst := newObserved(st)
+						engO := gaia.NewEngine(mst, gaia.Options{Parallelism: par, BatchSize: bs})
+						gotG, _, err := engO.SubmitObserved(context.Background(), plan, tc.params, obs)
+						if err != nil {
+							t.Fatal(err)
+						}
+						mustExactEqual(t, "gaia observed", renderRows(gotG), renderRows(wantG))
+						assertCollected(t, obs, len(gotG))
+					}
+
+					// hiactor through its actor pool.
+					he := hiactor.NewEngine(func() grin.Graph { return st }, hiactor.Options{Shards: 2, BatchSize: bs})
+					wantH, _, err := he.Submit(context.Background(), plan, tc.params)
+					he.Close()
+					if err != nil {
+						t.Fatal(err)
+					}
+					obs, mst = newObserved(st)
+					heO := hiactor.NewEngine(func() grin.Graph { return mst }, hiactor.Options{Shards: 2, BatchSize: bs})
+					gotH, _, err := heO.SubmitObserved(context.Background(), plan, tc.params, obs)
+					heO.Close()
+					if err != nil {
+						t.Fatal(err)
+					}
+					mustExactEqual(t, "hiactor observed", renderRows(gotH), renderRows(wantH))
+					assertCollected(t, obs, len(gotH))
+				})
+			}
+		})
+	}
+}
+
+// assertCollected sanity-checks that an observed run actually collected data:
+// the final stage produced the result cardinality, batches were counted, the
+// metered store saw calls, and trace spans were recorded.
+func assertCollected(t *testing.T, obs *obsv.QueryStats, rows int) {
+	t.Helper()
+	snap := obs.Snapshot()
+	if len(snap.Stages) == 0 {
+		t.Fatal("observed run bound no stages")
+	}
+	last := snap.Stages[len(snap.Stages)-1]
+	if last.RowsOut != int64(rows) {
+		t.Fatalf("final stage RowsOut = %d, want result cardinality %d", last.RowsOut, rows)
+	}
+	var batches int64
+	for _, s := range snap.Stages {
+		batches += s.Batches
+	}
+	if batches == 0 {
+		t.Fatal("observed run counted no batches")
+	}
+	if snap.Store != nil {
+		var calls int64
+		for _, site := range snap.Store.Sites {
+			calls += site.Calls
+		}
+		if calls == 0 {
+			t.Fatal("metered store saw no trait calls")
+		}
+	}
+	if obs.Trace != nil && len(obs.Trace.Events()) == 0 {
+		t.Fatal("trace recorded no events")
+	}
+	if snap.BoxedResultRows != int64(rows) {
+		t.Fatalf("BoxedResultRows = %d, want %d (one boxing per result row)", snap.BoxedResultRows, rows)
+	}
+}
+
+// TestStatsDeterministicMerge pins the determinism contract of the stats
+// layer itself: for a plan without a LIMIT short-circuit, the
+// schedule-independent counters (rows, batches, filter paths, selectivity)
+// are identical at parallelism 1 and NumCPU — morsel partition is
+// driver-independent and every counter merges commutatively.
+func TestStatsDeterministicMerge(t *testing.T) {
+	defer query.CheckLeaks(t)()
+	b := dataset.SNB(dataset.SNBOptions{Persons: 120, Seed: 9})
+	st, err := vineyard.Load(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := dataset.SNBSchema()
+	queries := []string{
+		`MATCH (p:Person)-[:KNOWS]->(f:Person) RETURN f.firstName`,
+		`MATCH (p:Person)-[:KNOWS]->(f:Person)-[:LIKES]->(po:Post)
+WHERE p.creationDate > 5 RETURN f.firstName, po.creationDate`,
+	}
+	for _, q := range queries {
+		plan, err := cypher.Parse(q, schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, bs := range []int{7, 1024} {
+			var ref []obsv.StageSnapshot
+			for _, par := range []int{1, runtime.NumCPU()} {
+				obs := obsv.NewQueryStats()
+				eng := gaia.NewEngine(st, gaia.Options{Parallelism: par, BatchSize: bs})
+				if _, _, err := eng.SubmitObserved(context.Background(), plan, nil, obs); err != nil {
+					t.Fatal(err)
+				}
+				det := obs.Deterministic()
+				if ref == nil {
+					ref = det
+					continue
+				}
+				if !reflect.DeepEqual(det, ref) {
+					t.Errorf("bs=%d par=%d: deterministic stats diverge\ngot:  %+v\nwant: %+v", bs, par, det, ref)
+				}
+			}
+		}
+	}
+}
+
+// TestExplainAnalyzeGolden pins the EXPLAIN ANALYZE rendering byte-for-byte
+// on an SNB two-hop expand (wall times suppressed) and cross-checks the
+// per-stage rows against the query's final cardinality.
+func TestExplainAnalyzeGolden(t *testing.T) {
+	b := dataset.SNB(dataset.SNBOptions{Persons: 120, Seed: 9})
+	st, err := vineyard.Load(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := cypher.Parse(
+		`MATCH (p:Person)-[:KNOWS]->(f:Person)-[:LIKES]->(po:Post) RETURN id(po)`,
+		dataset.SNBSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := gaia.NewEngine(st, gaia.Options{Parallelism: 4})
+	c, err := eng.Compile(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := obsv.NewQueryStats()
+	rows, err := eng.RunCompiledObserved(context.Background(), c, nil, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := obs.StageSnapshots()
+	if last := snaps[len(snaps)-1]; last.RowsOut != int64(len(rows)) {
+		t.Fatalf("final stage RowsOut = %d, want %d result rows", last.RowsOut, len(rows))
+	}
+	got := c.Explain(obs).Render(false)
+	want := goldenExplain
+	if got != want {
+		t.Errorf("EXPLAIN ANALYZE rendering drifted\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// goldenExplain is the pinned Render(false) output for the two-hop expand
+// above at Persons=120/Seed=9: the dataset generator and morsel partition are
+// deterministic, so these counters are stable across runs and parallelism.
+const goldenExplain = `PROJECT [MAP width=1]
+  rows: in=8692 out=8692  batches=2
+  EXPAND_FUSED(f->p) [MAP width=3]
+    rows: in=480 out=8692  batches=2
+    EXPAND_FUSED(f->po) [MAP width=2]
+      rows: in=120 out=480  batches=2
+      SCAN(f) [SOURCE width=1]
+        rows: in=0 out=120  batches=1
+`

@@ -1,0 +1,153 @@
+package meter
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/grin"
+	"repro/internal/query/obsv"
+	"repro/internal/storage/livegraph"
+	"repro/internal/storage/vineyard"
+)
+
+func loadVineyard(t *testing.T) grin.Graph {
+	t.Helper()
+	b := dataset.SNB(dataset.SNBOptions{Persons: 40, Seed: 3})
+	st, err := vineyard.Load(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestTraitMaskingHonest pins the capability contract: the wrapper's Go
+// method set covers every trait, but grin.Has must report exactly the inner
+// store's capabilities — on a full-trait backend and on a topology-only one.
+func TestTraitMaskingHonest(t *testing.T) {
+	lg := livegraph.NewStore(8)
+	if err := lg.AddEdge(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	for name, inner := range map[string]grin.Graph{"vineyard": loadVineyard(t), "livegraph": lg} {
+		mg := Wrap(inner, nil)
+		for _, tr := range grin.Traits(inner) {
+			if !grin.Has(mg, tr) {
+				t.Errorf("%s: wrapper hides trait %v the inner store has", name, tr)
+			}
+		}
+		for tr := grin.Trait(0); int(tr) < 16; tr++ {
+			if grin.Has(mg, tr) && !grin.Has(inner, tr) {
+				t.Errorf("%s: wrapper advertises trait %v the inner store lacks", name, tr)
+			}
+		}
+	}
+}
+
+// TestSiteCounting pins that each delegated call lands on its chaos-aligned
+// site counter, and that uncounted metadata calls (NumVertices, Schema) stay
+// out of the profile.
+func TestSiteCounting(t *testing.T) {
+	st := loadVineyard(t)
+	stats := &obsv.StoreStats{}
+	mg := Wrap(st, stats)
+
+	mg.NumVertices()
+	mg.Degree(0, graph.Out)
+	mg.Degree(0, graph.In)
+	mg.Neighbors(0, graph.Out, func(graph.VID, graph.EID) bool { return true })
+	mg.AdjSlice(0, graph.Out)
+	mg.VertexProp(0, 0)
+	var out grin.AdjBatch
+	mg.ExpandBatch([]graph.VID{0}, graph.Out, &out)
+	buf := make([]graph.VID, 4)
+	mg.ScanBatch(0, 0, buf)
+
+	want := map[obsv.StoreSite]int64{
+		obsv.StoreDegree:      2,
+		obsv.StoreNeighbors:   1,
+		obsv.StoreAdjSlice:    1,
+		obsv.StoreVertexProp:  1,
+		obsv.StoreExpandBatch: 1,
+		obsv.StoreScanBatch:   1,
+	}
+	for site := obsv.StoreSite(0); site < obsv.NumStoreSites; site++ {
+		if got := stats.Calls(site); got != want[site] {
+			t.Errorf("site %v: %d calls, want %d", site, got, want[site])
+		}
+	}
+	if got := mg.BackendName(); got != "meter(vineyard)" {
+		t.Errorf("BackendName = %q", got)
+	}
+}
+
+// TestNativeFlags pins the native/fallback regime recorded at wrap time: a
+// full-trait backend is native everywhere, a topology-only one is native only
+// where it really serves the trait.
+func TestNativeFlags(t *testing.T) {
+	vstats := Wrap(loadVineyard(t), nil).Stats()
+	for site := obsv.StoreSite(0); site < obsv.NumStoreSites; site++ {
+		if !vstats.Snapshot().Sites[site].Native {
+			t.Errorf("vineyard site %v not native", site)
+		}
+	}
+
+	lg := livegraph.NewStore(8)
+	if err := lg.AddEdge(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	lsnap := Wrap(lg, nil).Stats().Snapshot()
+	byName := map[string]obsv.StoreSiteSnapshot{}
+	for _, s := range lsnap.Sites {
+		byName[s.Site] = s
+	}
+	if !byName["Degree"].Native || !byName["Neighbors"].Native {
+		t.Error("livegraph topology sites must be native")
+	}
+	if byName["VertexProp"].Native {
+		t.Error("livegraph has no property reader; VertexProp cannot be native")
+	}
+	if byName["GatherVertexProp"].Native {
+		t.Error("livegraph has no batch props; GatherVertexProp cannot be native")
+	}
+}
+
+// versionedGraph lends the Versioned trait to any inner graph for the
+// snapshot-sink test (no committed backend exposes Versioned on its query
+// view; GART keeps it on the store handle).
+type versionedGraph struct {
+	grin.Graph
+	ver uint64
+}
+
+func (v *versionedGraph) ReadVersion() uint64 { return v.ver }
+
+func (v *versionedGraph) Snapshot(version uint64) grin.Graph { return v.Graph }
+
+func (v *versionedGraph) HasTrait(t grin.Trait) bool {
+	return t == grin.TraitVersioned || grin.Has(v.Graph, t)
+}
+
+// TestSnapshotSharesSink pins the versioned path: a metered store's Snapshot
+// returns a metered view whose calls land in the same counter sink, so one
+// profile covers the query's pinned read view.
+func TestSnapshotSharesSink(t *testing.T) {
+	mg := Wrap(&versionedGraph{Graph: loadVineyard(t), ver: 7}, nil)
+	vers, ok := grin.AsVersioned(mg)
+	if !ok {
+		t.Fatal("metered store lost the Versioned trait")
+	}
+	snap := vers.Snapshot(vers.ReadVersion())
+	msnap, ok := snap.(*Graph)
+	if !ok {
+		t.Fatalf("Snapshot returned %T, want a metered *Graph", snap)
+	}
+	if msnap.Stats() != mg.Stats() {
+		t.Fatal("snapshot does not share the wrapper's stats sink")
+	}
+	before := mg.Stats().Calls(obsv.StoreDegree)
+	msnap.Degree(0, graph.Out)
+	if mg.Stats().Calls(obsv.StoreDegree) != before+1 {
+		t.Fatal("snapshot call did not land in the shared sink")
+	}
+}
